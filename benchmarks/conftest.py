@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs one figure's simulation sweep exactly once (the
+simulation is deterministic — statistical rounds would re-measure the
+same number), attaches the reproduced metrics as ``extra_info`` and
+asserts the paper's qualitative shape: who wins, by roughly what
+factor, where knees/crossovers fall.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,35 @@
+"""Figure 2: collective communication efficiency vs input size."""
+
+from benchmarks.conftest import run_once
+from repro.bench.fig2 import fig2a_rows, fig2b_knee, fig2b_rows
+
+
+def test_fig2a_collective_variants(benchmark):
+    rows = run_once(benchmark, lambda: fig2a_rows(world_size=8))
+    benchmark.extra_info["rows"] = len(rows)
+    # Paper shape: native even all-gather fastest at every size; the
+    # list-output variant pays copies; uneven inputs (broadcast
+    # fallback) are far slower.
+    for row in rows:
+        assert row.bw_all_gather_base > row.bw_all_gather_list
+        assert row.bw_all_gather_list > row.bw_uneven_small
+        assert row.bw_all_gather_list > row.bw_uneven_large
+    # Bandwidth grows with size then saturates.
+    assert rows[-1].bw_all_gather_base > 10 * rows[0].bw_all_gather_base
+    # Large messages approach (but do not exceed) NVLink line rate.
+    assert rows[-1].bw_all_gather_base < 250e9
+
+
+def test_fig2b_launch_overhead_knee(benchmark):
+    rows = run_once(benchmark, lambda: fig2b_rows(world_size=8))
+    knee = fig2b_knee(rows)
+    benchmark.extra_info["knee_elements"] = knee
+    benchmark.extra_info["single_collective_ms"] = rows[-1][1] * 1e3
+    # Total time decreases monotonically with per-collective size, and
+    # the rapid-increase knee falls in the tens of millions of elements
+    # (paper: ~33M).
+    times = [t for _, t in rows]
+    assert all(a >= b for a, b in zip(times, times[1:]))
+    assert 2**23 <= knee <= 2**26
+    # Splitting 2^30 elements into 1M-element collectives is >5x worse.
+    assert times[0] > 5 * times[-1]

@@ -1,0 +1,35 @@
+"""Figure 6(a): FSDP vs DDP across T5 model sizes on 8 GPUs."""
+
+from benchmarks.conftest import run_once
+from repro.bench.fig6 import fig6a_rows
+
+
+def test_fig6a_fsdp_vs_ddp(benchmark):
+    rows = run_once(benchmark, lambda: fig6a_rows(world_size=8, batch=8, seq=512))
+    by_name = {r.name: r for r in rows}
+    for row in rows:
+        benchmark.extra_info[row.name] = "OOM" if row.oom else round(row.tflops_per_gpu, 1)
+
+    # Small models: FSDP performs like DDP (within 10%).
+    for label in ("T5-611M", "T5-2.28B"):
+        ddp = by_name[f"{label} DDP fp32"]
+        fsdp = by_name[f"{label} FSDP fp32"]
+        assert not ddp.oom and not fsdp.oom
+        ratio = fsdp.tflops_per_gpu / ddp.tflops_per_gpu
+        assert 0.9 < ratio < 1.15, f"{label}: FSDP/DDP ratio {ratio}"
+
+    # DDP cannot wrap models beyond 2.28B (out of memory on 80GB).
+    assert by_name["T5-11B DDP fp32"].oom
+    assert not by_name["T5-11B FSDP fp32"].oom
+
+    # Turning on BF16 yields significantly higher TFLOPS.
+    for label in ("T5-611M", "T5-2.28B", "T5-11B"):
+        fp32 = by_name[f"{label} FSDP fp32"]
+        bf16 = by_name[f"{label} FSDP bf16"]
+        assert bf16.tflops_per_gpu > 1.3 * fp32.tflops_per_gpu
+
+    # FSDP memory is far below DDP's.
+    assert (
+        by_name["T5-2.28B FSDP fp32"].peak_reserved_gib
+        < 0.6 * by_name["T5-2.28B DDP fp32"].peak_reserved_gib
+    )

@@ -1,0 +1,31 @@
+"""Figure 6(b): backward prefetching on GPT-175B (~18% TFLOPS gain)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.fig6 import fig6b_rows
+
+WORLD_SIZES = (128, 256)  # the full 128..512 sweep runs in repro.bench
+
+
+def test_fig6b_backward_prefetch_gain(benchmark):
+    rows = run_once(benchmark, lambda: fig6b_rows(world_sizes=WORLD_SIZES))
+    gains = []
+    for i in range(0, len(rows), 2):
+        with_prefetch, without = rows[i], rows[i + 1]
+        assert not with_prefetch.oom and not without.oom
+        gain = with_prefetch.tflops_per_gpu / without.tflops_per_gpu - 1.0
+        gains.append(gain)
+        benchmark.extra_info[f"gain@{with_prefetch.world_size}"] = f"{gain * 100:.1f}%"
+        benchmark.extra_info[f"tflops@{with_prefetch.world_size}"] = round(
+            with_prefetch.tflops_per_gpu, 1
+        )
+
+    # Paper: ~18% speedup, persisting across cluster sizes.
+    for gain in gains:
+        assert 0.10 < gain < 0.30, f"prefetch gain {gain * 100:.1f}% out of band"
+    # The gain does not vanish as the cluster grows.
+    assert gains[-1] > 0.10
+
+    # Paper: >173 TFLOPS/GPU at batch size 1 with prefetching
+    # (>55% of the 312 TFLOPS BF16 peak).
+    assert rows[0].tflops_per_gpu > 150.0
+    assert rows[0].tflops_per_gpu / 312.0 > 0.5

@@ -1,0 +1,35 @@
+"""Figure 7(a): DHEN training throughput under four sharding configs."""
+
+from benchmarks.conftest import run_once
+from repro.bench.scale import dhen_sweep
+
+WORLD_SIZES = (8, 64, 512)
+
+
+def test_fig7a_dhen_strategy_ordering(benchmark):
+    rows = run_once(benchmark, lambda: dhen_sweep(world_sizes=WORLD_SIZES))
+    by_key = {(r.name, r.world_size): r for r in rows}
+    for r in rows:
+        benchmark.extra_info[f"{r.name}@{r.world_size}"] = (
+            "OOM" if r.oom else round(r.qps_per_gpu, 1)
+        )
+
+    largest = WORLD_SIZES[-1]
+    fs_raf = by_key[("DHEN FullShard RAF", largest)].qps_per_gpu
+    fs_nraf = by_key[("DHEN FullShard NRAF", largest)].qps_per_gpu
+    hs_raf = by_key[("DHEN HybridShard RAF", largest)].qps_per_gpu
+    hs_nraf = by_key[("DHEN HybridShard NRAF", largest)].qps_per_gpu
+
+    # Paper ordering at scale: Full Sharding with RAF yields the
+    # smallest memory but the lowest QPS; Hybrid with NRAF the opposite.
+    assert fs_raf < fs_nraf < hs_raf < hs_nraf
+
+    # The memory ordering is inverted (checked in Figure 8's bench).
+    fs_raf_mem = by_key[("DHEN FullShard RAF", largest)].peak_reserved_gib
+    hs_nraf_mem = by_key[("DHEN HybridShard NRAF", largest)].peak_reserved_gib
+    assert fs_raf_mem < hs_nraf_mem
+
+    # At one host (8 GPUs) hybrid degenerates to full sharding.
+    assert by_key[("DHEN HybridShard RAF", 8)].qps_per_gpu == (
+        by_key[("DHEN FullShard RAF", 8)].qps_per_gpu
+    )

@@ -1,0 +1,85 @@
+"""Figure 7(b): GPT-175B TFLOPS per GPU, near-linear scaling."""
+
+import dataclasses
+
+from benchmarks.conftest import run_once
+from repro.bench.scale import gpt175b_sweep
+from repro.perf import SimConfig, simulate_training
+
+WORLD_SIZES = (128, 256, 512)
+
+
+def test_fig7b_gpt175b_scaling(benchmark):
+    rows = run_once(
+        benchmark, lambda: gpt175b_sweep(world_sizes=WORLD_SIZES, batch_sizes=(1, 2))
+    )
+    for r in rows:
+        benchmark.extra_info[f"{r.name}@{r.world_size}"] = (
+            "OOM" if r.oom else round(r.tflops_per_gpu, 1)
+        )
+    bs1 = [r for r in rows if r.batch_size == 1]
+    bs2 = [r for r in rows if r.batch_size == 2]
+
+    # Paper: ~173 TFLOPS (bs=1) and ~186 TFLOPS (bs=2) per GPU,
+    # i.e. 55-60% of the 312 TFLOPS BF16 peak.
+    for r in bs1:
+        assert not r.oom
+        assert 150 < r.tflops_per_gpu < 210
+        assert r.tflops_per_gpu / 312.0 > 0.48
+    # bs=2 reaches higher utilization than bs=1.
+    assert bs2[-1].tflops_per_gpu > bs1[-1].tflops_per_gpu
+
+    # Near-linear scaling 128 -> 512 GPUs: per-GPU TFLOPS within 5%.
+    for series in (bs1, bs2):
+        drop = 1.0 - series[-1].tflops_per_gpu / series[0].tflops_per_gpu
+        assert drop < 0.05, f"scaling drop {drop * 100:.1f}%"
+
+
+def test_fig7b_defragmentation_dip(benchmark):
+    """The 128-GPU bs=2 anomaly: memory pressure triggers cudaMalloc
+    retries that lengthen the backward pass.
+
+    Our simulated memory inventory is leaner than the authors' stack,
+    so the near-capacity regime is reproduced by tightening the device
+    budget (see EXPERIMENTS.md); the *mechanism* — retries at the
+    smallest cluster size only, recovering at larger ones — is the
+    paper's.
+    """
+    capacity = int(58 * 2**30)
+
+    def run_tight():
+        from repro.models import GPT3_175B
+        from repro.fsdp import ModuleWrapPolicy
+        from repro.fsdp.mixed_precision import BF16_MIXED
+        from repro.models.transformer import TransformerBlock
+        from repro.perf.workloads import gpt_builder, gpt_loss_fn
+
+        results = []
+        for world in (128, 192):
+            results.append(
+                simulate_training(
+                    SimConfig(
+                        name=f"GPT-175B bs=2 58GiB",
+                        build_model=gpt_builder(GPT3_175B),
+                        make_loss=gpt_loss_fn(GPT3_175B, 2, 2048),
+                        batch_size=2,
+                        world_size=world,
+                        auto_wrap_policy=ModuleWrapPolicy({TransformerBlock}),
+                        mixed_precision=BF16_MIXED,
+                        capacity=capacity,
+                        iterations=1,
+                    )
+                )
+            )
+        return results
+
+    at_128, at_192 = run_once(benchmark, run_tight)
+    benchmark.extra_info["tflops@128"] = "OOM" if at_128.oom else round(at_128.tflops_per_gpu, 1)
+    benchmark.extra_info["tflops@192"] = "OOM" if at_192.oom else round(at_192.tflops_per_gpu, 1)
+    benchmark.extra_info["retries@128"] = at_128.num_alloc_retries
+    benchmark.extra_info["retries@192"] = at_192.num_alloc_retries
+    assert not at_128.oom and not at_192.oom
+    # 128 GPUs hold the largest shards: retries appear there first and
+    # per-GPU TFLOPS dips relative to 192 GPUs.
+    assert at_128.num_alloc_retries > at_192.num_alloc_retries
+    assert at_128.tflops_per_gpu < at_192.tflops_per_gpu

@@ -1,0 +1,78 @@
+"""Deferred initialization (Section 3.1): build huge models on a fake device.
+
+Constructs a model far larger than host memory on the meta device —
+tensors carry shapes and *recorded* init operations, no storage — then
+shows FSDP materializing it unit by unit so that peak device memory
+stays near one unsharded unit instead of the whole model.
+
+Run:  python examples/deferred_init_demo.py
+"""
+
+import numpy as np
+
+import repro
+from repro import distributed as dist, nn
+from repro.fsdp import (
+    FullyShardedDataParallel as FSDP,
+    ModuleWrapPolicy,
+    deferred_init,
+    is_deferred,
+    materialize_module,
+)
+from repro.cuda.device import cpu_device
+
+
+def build_tower(width: int, depth: int) -> nn.Module:
+    return nn.Sequential(*[nn.Linear(width, width) for _ in range(depth)])
+
+
+def main():
+    # ------------------------------------------------------------------
+    # Part 1: a 40 GB model described without allocating anything.
+    # ------------------------------------------------------------------
+    huge = deferred_init(build_tower, width=100_000, depth=1)
+    params = sum(p.numel for p in huge.parameters())
+    print(f"described a {params * 4 / 2**30:.1f} GiB (fp32) model on the fake device")
+    assert is_deferred(huge)
+
+    # ------------------------------------------------------------------
+    # Part 2: record/replay reproduces the user's init bit-for-bit.
+    # ------------------------------------------------------------------
+    repro.manual_seed(123)
+    direct = build_tower(16, 2)
+    repro.manual_seed(123)
+    recorded = deferred_init(build_tower, 16, 2)
+    materialize_module(recorded, cpu_device())
+    for (name, a), (_, b) in zip(direct.named_parameters(), recorded.named_parameters()):
+        assert np.array_equal(a.numpy(), b.numpy()), name
+    print("record/replay reproduced the direct initialization exactly")
+
+    # ------------------------------------------------------------------
+    # Part 3: FSDP materializes unit by unit — peak ~ one unit, not the
+    # model (run on 4 simulated GPUs; measure the init phase).
+    # ------------------------------------------------------------------
+    WIDTH, DEPTH, WORLD = 512, 8, 4
+    model_bytes = DEPTH * (WIDTH * WIDTH + WIDTH) * 4
+
+    def worker(rank):
+        device = dist.get_device()
+        deferred = deferred_init(build_tower, WIDTH, DEPTH)
+        device.reset_peak_memory_stats()
+        FSDP(
+            deferred,
+            device=device,
+            auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+        )
+        return device.memory_stats()["allocated_bytes.all.peak"]
+
+    peaks = dist.spawn(worker, WORLD)
+    unit_bytes = (WIDTH * WIDTH + WIDTH) * 4
+    print(f"\nmodel size          : {model_bytes / 2**20:.1f} MiB")
+    print(f"one unsharded unit  : {unit_bytes / 2**20:.1f} MiB")
+    print(f"init peak per rank  : {peaks[0] / 2**20:.1f} MiB")
+    assert peaks[0] < 0.6 * model_bytes, "init peak should stay near one unit"
+    print("\nunit-by-unit materialization kept the init peak low — demo OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Simulate GPT-175B training on 128 simulated A100s (Figure 7(b)).
+
+Runs the paper's flagship configuration end to end in *abstract* mode:
+the full FSDP code path executes — deferred init, unit-by-unit
+sharding, AllGathers on the communication stream, backward prefetching,
+the rate limiter, BF16 collectives, Adam on the shards — with
+shape-only tensors, an analytic A100 kernel model and a RoCE fat-tree
+communication model.  Finishes in seconds of wall-clock time.
+
+Run:  python examples/paper_scale_simulation.py
+"""
+
+from repro.fsdp import ModuleWrapPolicy
+from repro.fsdp.mixed_precision import BF16_MIXED
+from repro.models import GPT3_175B
+from repro.models.transformer import TransformerBlock
+from repro.perf import SimConfig, simulate_training
+from repro.perf.workloads import gpt_builder, gpt_loss_fn
+
+WORLD_SIZE = 128
+BATCH = 1
+SEQ = 2048
+
+
+def main():
+    print(
+        f"simulating minGPT-175B ({GPT3_175B.approx_params / 1e9:.0f}B params) "
+        f"on {WORLD_SIZE} simulated A100-80GB GPUs\n"
+        f"batch {BATCH}/GPU, seq {SEQ}, BF16, activation checkpointing, "
+        "full sharding, backward prefetch, rate limiter\n"
+    )
+    config = SimConfig(
+        name="GPT-175B",
+        build_model=gpt_builder(GPT3_175B),
+        make_loss=gpt_loss_fn(GPT3_175B, BATCH, SEQ),
+        batch_size=BATCH,
+        world_size=WORLD_SIZE,
+        auto_wrap_policy=ModuleWrapPolicy({TransformerBlock}),
+        mixed_precision=BF16_MIXED,
+        iterations=1,
+    )
+    result = simulate_training(config)
+
+    print(f"iteration latency:     {result.iteration_latency:.2f} s")
+    print(f"TFLOPS per GPU:        {result.tflops_per_gpu:.1f} "
+          f"({result.tflops_per_gpu / 312 * 100:.0f}% of BF16 peak; paper: ~173, 55%)")
+    print(f"peak memory (GiB):     allocated {result.peak_allocated_gib:.1f}, "
+          f"active {result.peak_active_gib:.1f}, reserved {result.peak_reserved_gib:.1f}")
+    print(f"cudaMalloc retries:    {result.num_alloc_retries}")
+    print(f"comm volume per iter:  {result.comm_gib:.1f} GiB/GPU "
+          f"({result.cross_host_gib:.1f} GiB cross-host) in {result.collectives} collectives")
+    assert not result.oom
+    assert result.tflops_per_gpu > 150
+    print("\npaper-scale simulation OK")
+
+
+if __name__ == "__main__":
+    main()

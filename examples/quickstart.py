@@ -1,0 +1,113 @@
+"""Quickstart: train a small transformer with FSDP on 4 simulated GPUs.
+
+Demonstrates the core workflow of the paper:
+
+1. spawn SPMD ranks (each with a simulated A100);
+2. wrap the model with ``FullyShardedDataParallel`` using an auto-wrap
+   policy so every transformer block becomes one FSDP unit;
+3. construct the optimizer *after* wrapping so it holds only the
+   sharded FlatParameters (the ZeRO memory saving);
+4. train, observing that gradients and losses agree with local
+   training while per-rank memory holds only 1/W of the model.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+from repro import distributed as dist, nn
+from repro.fsdp import FullyShardedDataParallel as FSDP, ModuleWrapPolicy
+from repro.models import GptConfig, MinGPT
+from repro.models.transformer import TransformerBlock
+from repro.optim import Adam
+
+WORLD_SIZE = 4
+CONFIG = GptConfig(vocab_size=512, block_size=32, n_layer=4, n_head=4, n_embd=64)
+STEPS = 8
+BATCH_PER_RANK = 4
+
+
+def make_batch(rank: int, step: int, device):
+    rng = np.random.default_rng(1000 * step + rank)  # per-rank data shard
+    tokens = rng.integers(0, CONFIG.vocab_size, (BATCH_PER_RANK, CONFIG.block_size + 1))
+    inputs = repro.tensor(tokens[:, :-1], device=device)
+    targets = repro.tensor(tokens[:, 1:], device=device)
+    return inputs, targets
+
+
+# Build the initial weights once: in this threaded simulation all
+# ranks share one process RNG, so per-rank construction would race.
+# (Real multi-process FSDP just seeds identically per process.)
+repro.manual_seed(0)
+_REFERENCE = MinGPT(CONFIG)
+INIT_STATE = _REFERENCE.state_dict()
+
+
+def worker(rank: int):
+    device = dist.get_device()
+
+    model = MinGPT(CONFIG)
+    model.load_state_dict(INIT_STATE)
+
+    fsdp_model = FSDP(
+        model,
+        device=device,
+        auto_wrap_policy=ModuleWrapPolicy({TransformerBlock}),
+    )
+    # The optimizer sees only sharded FlatParameters.
+    optimizer = Adam(fsdp_model.parameters(), lr=3e-4)
+
+    losses = []
+    # Overfit a fixed per-rank batch so progress is visible in 8 steps.
+    inputs, targets = make_batch(rank, 0, device)
+    for step in range(STEPS):
+        optimizer.zero_grad()
+        logits = fsdp_model(inputs)
+        loss = nn.functional.cross_entropy(logits, targets)
+        loss.backward()
+        fsdp_model.clip_grad_norm_(1.0)
+        optimizer.step()
+        losses.append(loss.item())
+        if rank == 0:
+            print(f"step {step}: loss {loss.item():.4f}")
+
+    sharded = sum(h.flat_param.numel for h in fsdp_model.flat_handles)
+    total = sum(h.total_numel for h in fsdp_model.flat_handles)
+    stats = device.memory_stats()
+    from repro.fsdp import full_state_dict
+
+    final = {k: v.numpy() for k, v in full_state_dict(fsdp_model).items()}
+    return {
+        "losses": losses,
+        "sharded_params": sharded,
+        "total_params": total,
+        "peak_gib": stats["allocated_bytes.all.peak"] / 2**30,
+        "final_state": final,
+    }
+
+
+def main():
+    print(f"training a {CONFIG.approx_params / 1e6:.1f}M-param GPT "
+          f"on {WORLD_SIZE} simulated GPUs with FSDP\n")
+    results = dist.spawn(worker, WORLD_SIZE)
+
+    first = results[0]
+    print(f"\neach rank holds {first['sharded_params']:,} of "
+          f"{first['total_params']:,} parameters "
+          f"(1/{first['total_params'] // first['sharded_params']})")
+    print(f"peak simulated device memory: {first['peak_gib'] * 1024:.1f} MiB")
+    # Per-rank losses differ (each rank trains on its own shard of the
+    # batch) but the synchronized parameters must agree exactly.
+    for other in results[1:]:
+        for name, value in first["final_state"].items():
+            assert np.allclose(value, other["final_state"][name]), "ranks diverged!"
+    mean_first = np.mean([r["losses"][0] for r in results])
+    mean_last = np.mean([r["losses"][-1] for r in results])
+    assert mean_last < mean_first, "loss did not decrease"
+    print(f"mean loss {mean_first:.4f} -> {mean_last:.4f}; "
+          "all ranks hold identical parameters — quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

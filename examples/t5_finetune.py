@@ -1,0 +1,116 @@
+"""Fine-tune a T5 encoder-decoder with FSDP + BF16 mixed precision.
+
+Shows the full production recipe from the paper:
+
+- ``deferred_init`` builds the model on the fake device (Section 3.1),
+  FSDP materializes it unit by unit on each simulated GPU;
+- native BF16 mixed precision (Section 4.4): compute and collectives in
+  BF16, optimizer in FP32;
+- the sharded gradient scaler (for FP16-style workflows);
+- saving and reloading a full (unsharded) checkpoint.
+
+Run:  python examples/t5_finetune.py
+"""
+
+import numpy as np
+
+import repro
+from repro import distributed as dist, nn
+from repro.fsdp import (
+    BF16_MIXED,
+    FullyShardedDataParallel as FSDP,
+    ModuleWrapPolicy,
+    ShardedGradScaler,
+    deferred_init,
+    full_state_dict,
+    load_full_state_dict,
+)
+from repro.models import T5Config, T5Model
+from repro.models.transformer import TransformerBlock
+from repro.optim import Adam
+
+WORLD_SIZE = 4
+CONFIG = T5Config(
+    vocab_size=256, d_model=48, d_ff=96, num_heads=4, head_dim=12, num_layers=2
+)
+STEPS = 6
+BATCH, SRC_LEN, TGT_LEN = 4, 10, 8
+
+# Snapshot the recorded-initialization model once (threads share the RNG).
+repro.manual_seed(0)
+_DEFERRED = deferred_init(T5Model, CONFIG)
+
+
+def make_batch(rank, device):
+    rng = np.random.default_rng(rank)
+    src = repro.tensor(rng.integers(0, CONFIG.vocab_size, (BATCH, SRC_LEN)), device=device)
+    tgt = repro.tensor(rng.integers(0, CONFIG.vocab_size, (BATCH, TGT_LEN)), device=device)
+    labels = repro.tensor(rng.integers(0, CONFIG.vocab_size, (BATCH, TGT_LEN)), device=device)
+    return src, tgt, labels
+
+
+def worker(rank: int):
+    device = dist.get_device()
+    # Each rank starts from the same initial weights (the materialized
+    # deferred-init snapshot computed in main()).
+    model = T5Model(CONFIG)
+    model.load_state_dict(_reference_state)
+    fsdp_model = FSDP(
+        model,
+        device=device,
+        auto_wrap_policy=ModuleWrapPolicy({TransformerBlock}),
+        mixed_precision=BF16_MIXED,
+    )
+    optimizer = Adam(fsdp_model.parameters(), lr=1e-3)
+    scaler = ShardedGradScaler()
+
+    src, tgt, labels = make_batch(rank, device)
+    losses = []
+    for step in range(STEPS):
+        optimizer.zero_grad()
+        logits = fsdp_model(src, tgt)
+        loss = nn.functional.cross_entropy(logits, labels)
+        scaler.scale(loss).backward()
+        scaler.unscale_(optimizer)
+        stepped = scaler.step(optimizer)
+        scaler.update()
+        losses.append(loss.item())
+        if rank == 0:
+            print(f"step {step}: loss {loss.item():.4f} (stepped={stepped})")
+
+    # Save a full checkpoint (gathered unit by unit), reload it, and
+    # verify the round trip.
+    checkpoint = {k: v.numpy().copy() for k, v in full_state_dict(fsdp_model).items()}
+    load_full_state_dict(
+        fsdp_model, {k: repro.tensor(v) for k, v in checkpoint.items()}
+    )
+    after = {k: v.numpy() for k, v in full_state_dict(fsdp_model).items()}
+    for key, value in checkpoint.items():
+        assert np.allclose(value, after[key]), f"checkpoint round trip broke {key}"
+    return losses
+
+
+def main():
+    global _reference_state
+    # Materialize the deferred model once on the host: the recorded
+    # init ops replay deterministically, giving the shared initial
+    # state every rank loads (Section 3.1's record-replay).
+    from repro.cuda.device import cpu_device
+    from repro.fsdp import materialize_module
+
+    materialize_module(_DEFERRED, cpu_device())
+    _reference_state = _DEFERRED.state_dict()
+
+    print(
+        f"fine-tuning a {CONFIG.approx_params / 1e6:.2f}M-param T5 on "
+        f"{WORLD_SIZE} simulated GPUs (BF16 mixed precision)\n"
+    )
+    results = dist.spawn(worker, WORLD_SIZE)
+    mean_first = np.mean([r[0] for r in results])
+    mean_last = np.mean([r[-1] for r in results])
+    assert mean_last < mean_first
+    print(f"\nmean loss {mean_first:.4f} -> {mean_last:.4f}; checkpoint round trip OK")
+
+
+if __name__ == "__main__":
+    main()

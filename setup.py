@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation --no-use-pep517`` uses this
+legacy path; PEP 660 editable installs work too where wheel exists.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — a from-scratch reproduction of PyTorch FSDP (VLDB 2023).
+
+The package layers:
+
+- a numpy-backed tensor library with reverse-mode autograd
+  (:mod:`repro.tensor`, :mod:`repro.autograd`, :mod:`repro.ops`);
+- a simulated multi-GPU runtime — streams, events, caching allocator,
+  cost models (:mod:`repro.cuda`, :mod:`repro.hw`);
+- collective communication over simulated clusters
+  (:mod:`repro.distributed`);
+- module/optimizer substrates (:mod:`repro.nn`, :mod:`repro.optim`);
+- the paper's contribution, FullyShardedDataParallel
+  (:mod:`repro.fsdp`), plus the DistributedDataParallel baseline
+  (:mod:`repro.ddp`);
+- paper-scale model definitions, a performance driver and benchmark
+  harnesses (:mod:`repro.models`, :mod:`repro.perf`, :mod:`repro.bench`).
+"""
+
+from repro import dtypes
+from repro.dtypes import bfloat16, bool_, float16, float32, float64, int32, int64
+from repro.random import manual_seed
+from repro.tensor import (
+    Tensor,
+    arange,
+    cat,
+    empty,
+    empty_like,
+    full,
+    ones,
+    ones_like,
+    rand,
+    randn,
+    stack,
+    tensor,
+    zeros,
+    zeros_like,
+)
+from repro.autograd import enable_grad, is_grad_enabled, no_grad
+from repro.cuda import Device, cpu_device, meta_device
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "empty",
+    "full",
+    "randn",
+    "rand",
+    "arange",
+    "cat",
+    "stack",
+    "zeros_like",
+    "ones_like",
+    "empty_like",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "manual_seed",
+    "Device",
+    "cpu_device",
+    "meta_device",
+    "dtypes",
+    "float32",
+    "float16",
+    "bfloat16",
+    "float64",
+    "int64",
+    "int32",
+    "bool_",
+    "__version__",
+]

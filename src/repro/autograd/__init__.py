@@ -1,0 +1,33 @@
+"""Reverse-mode automatic differentiation."""
+
+from repro.autograd.engine import grad, queue_callback, run_backward
+from repro.autograd.function import (
+    AccumulateGrad,
+    Context,
+    Edge,
+    Function,
+    Node,
+    RemovableHandle,
+)
+from repro.autograd.grad_mode import (
+    enable_grad,
+    is_grad_enabled,
+    no_grad,
+    set_grad_enabled,
+)
+
+__all__ = [
+    "run_backward",
+    "grad",
+    "queue_callback",
+    "Function",
+    "Context",
+    "Node",
+    "Edge",
+    "AccumulateGrad",
+    "RemovableHandle",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
+]

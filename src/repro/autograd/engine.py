@@ -1,0 +1,210 @@
+"""Reverse-mode execution engine.
+
+Implements the dependency-counted ready-queue evaluation used by
+PyTorch's autograd engine, including the extension points FSDP needs
+(Section 4.3):
+
+- tensor hooks fire when the (fully accumulated) gradient of a tensor
+  is computed — FSDP anchors pre-backward unsharding there;
+- ``AccumulateGrad`` post hooks fire when a leaf's gradient is
+  finalized — FSDP launches ReduceScatter there;
+- :func:`queue_callback` registers work to run at the end of the
+  current backward (``GraphTask`` exit) — FSDP waits for pending
+  reductions there so the optimizer never consumes gradients early.
+
+Saved activations are released as soon as each node executes (unless
+``retain_graph``), so backward frees simulated memory progressively
+like the real engine.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.autograd.function import AccumulateGrad, Edge, Node
+from repro.autograd.grad_mode import no_grad
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tensor import Tensor
+
+__all__ = ["run_backward", "queue_callback", "grad"]
+
+_state = threading.local()
+
+
+def queue_callback(callback: Callable[[], None]) -> None:
+    """Run ``callback`` when the current backward pass finishes.
+
+    Outside a backward pass the callback runs immediately.
+    """
+    callbacks = getattr(_state, "callbacks", None)
+    if callbacks is None:
+        callback()
+    else:
+        callbacks.append(callback)
+
+
+def _count_dependencies(root_nodes: list) -> dict:
+    deps: dict[object, int] = {}
+    seen: set[int] = set()
+    stack = []
+    for node in root_nodes:
+        if id(node) not in seen:
+            seen.add(id(node))
+            stack.append(node)
+    while stack:
+        node = stack.pop()
+        for edge in node.next_edges:
+            if edge is None:
+                continue
+            deps[edge.node] = deps.get(edge.node, 0) + 1
+            if id(edge.node) not in seen:
+                seen.add(id(edge.node))
+                stack.append(edge.node)
+    return deps
+
+
+def run_backward(
+    tensors: list["Tensor"],
+    grad_tensors: list[Optional["Tensor"]],
+    retain_graph: bool = False,
+) -> None:
+    """Run backward from ``tensors`` seeded with ``grad_tensors``."""
+    from repro.tensor import Tensor  # local to avoid import cycle
+
+    if len(tensors) != len(grad_tensors):
+        raise ValueError("tensors and grad_tensors must have equal length")
+
+    roots: list[tuple[Edge, Tensor]] = []
+    for tensor, seed in zip(tensors, grad_tensors):
+        if not tensor.requires_grad:
+            raise RuntimeError("tensor does not require grad")
+        if seed is None:
+            if tensor.numel != 1:
+                raise RuntimeError("grad can be implicitly created only for scalar outputs")
+            from repro.tensor import ones_like
+
+            seed = ones_like(tensor)
+        edge = tensor._grad_edge()
+        if edge is not None:
+            roots.append((edge, seed))
+
+    nested = getattr(_state, "callbacks", None) is not None
+    if not nested:
+        _state.callbacks = []
+    try:
+        _execute(roots, retain_graph)
+    finally:
+        if not nested:
+            callbacks, _state.callbacks = _state.callbacks, None
+            for callback in callbacks:
+                callback()
+
+
+def _execute(roots: list[tuple[Edge, "Tensor"]], retain_graph: bool) -> None:
+    deps = _count_dependencies([edge.node for edge, _ in roots])
+    buffers: dict[object, list] = {}
+    ready: deque = deque()
+    pending_ready: set[int] = set()
+
+    def deliver(edge: Edge, grad) -> None:
+        node = edge.node
+        buffer = buffers.get(node)
+        if buffer is None:
+            buffer = [None] * node.num_outputs
+            buffers[node] = buffer
+        if grad is not None:
+            slot = buffer[edge.input_nr]
+            if slot is None:
+                buffer[edge.input_nr] = grad
+            else:
+                with no_grad():
+                    buffer[edge.input_nr] = slot + grad
+
+    def decrement(node) -> None:
+        remaining = deps.get(node, 0) - 1
+        deps[node] = remaining
+        if remaining <= 0 and id(node) not in pending_ready:
+            pending_ready.add(id(node))
+            ready.append(node)
+
+    for edge, seed in roots:
+        deliver(edge, seed)
+        if deps.get(edge.node, 0) == 0 and id(edge.node) not in pending_ready:
+            pending_ready.add(id(edge.node))
+            ready.append(edge.node)
+
+    while ready:
+        node = ready.popleft()
+        buffer = buffers.pop(node, [None] * node.num_outputs)
+
+        if isinstance(node, AccumulateGrad):
+            grad = buffer[0]
+            if grad is not None:
+                variable = node.variable
+                if variable is not None:
+                    for hook in list(variable._hooks.values()):
+                        replacement = hook(grad)
+                        if replacement is not None:
+                            grad = replacement
+                    node.accumulate(grad)
+            continue
+
+        if all(g is None for g in buffer):
+            # No gradient flowed into this node; propagate the "no grad"
+            # signal without executing backward.
+            for edge in node.next_edges:
+                if edge is not None:
+                    decrement(edge.node)
+            if not retain_graph:
+                node.ctx.release()
+            continue
+
+        for i, hooks in enumerate(node.output_hooks):
+            grad = buffer[i]
+            if grad is None or not hooks:
+                continue
+            for hook in list(hooks.values()):
+                replacement = hook(grad)
+                if replacement is not None:
+                    grad = replacement
+            buffer[i] = grad
+
+        grads = node.run_backward(buffer)
+        if len(grads) != len(node.next_edges):
+            raise RuntimeError(
+                f"{node.name}.backward returned {len(grads)} gradients for "
+                f"{len(node.next_edges)} inputs"
+            )
+        for grad, edge in zip(grads, node.next_edges):
+            if edge is None:
+                continue
+            deliver(edge, grad)
+            decrement(edge.node)
+        if not retain_graph:
+            node.ctx.release()
+
+
+def grad(
+    outputs: list["Tensor"],
+    inputs: list["Tensor"],
+    grad_outputs: Optional[list[Optional["Tensor"]]] = None,
+) -> list[Optional["Tensor"]]:
+    """Compute gradients of ``outputs`` w.r.t. ``inputs``.
+
+    A convenience wrapper over :func:`run_backward` that stashes and
+    restores ``.grad`` on the inputs (our engine always accumulates
+    into leaves).
+    """
+    stashed = [t.grad for t in inputs]
+    for t in inputs:
+        t.grad = None
+    try:
+        seeds = grad_outputs if grad_outputs is not None else [None] * len(outputs)
+        run_backward(list(outputs), list(seeds), retain_graph=False)
+        return [t.grad for t in inputs]
+    finally:
+        for t, old in zip(inputs, stashed):
+            t.grad = old

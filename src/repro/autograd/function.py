@@ -1,0 +1,189 @@
+"""Autograd ``Function`` base class and graph nodes.
+
+Mirrors the relevant parts of ``torch.autograd``:
+
+- :class:`Function` — define ``forward(ctx, ...)`` / ``backward(ctx, ...)``
+  and call ``apply``;
+- :class:`Node` — a recorded backward node with edges to the producers
+  of its inputs;
+- :class:`AccumulateGrad` — the sink node of a leaf tensor, supporting
+  the post-accumulate-grad hooks FSDP uses to launch ReduceScatter the
+  moment a FlatParameter's gradient is finalized (Section 4.3).
+
+Tensor hooks (``Tensor.register_hook``) are captured per graph edge by
+*list identity*, so hooks registered after the forward pass (as FSDP
+does on unit outputs) still fire.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.autograd.grad_mode import is_grad_enabled, no_grad
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tensor import Tensor
+
+__all__ = ["Context", "Function", "Node", "AccumulateGrad", "Edge", "RemovableHandle"]
+
+
+class RemovableHandle:
+    """Deregisters a hook on ``remove()``."""
+
+    _next_id = 0
+
+    def __init__(self, hooks: dict[int, Any]):
+        self._hooks = hooks
+        self.hook_id = RemovableHandle._next_id
+        RemovableHandle._next_id += 1
+
+    def remove(self) -> None:
+        self._hooks.pop(self.hook_id, None)
+
+
+class Context:
+    """Per-call storage for ``Function.forward`` → ``backward``."""
+
+    def __init__(self):
+        self.saved_tensors: tuple = ()
+        self._released = False
+
+    def save_for_backward(self, *tensors) -> None:
+        self.saved_tensors = tensors
+
+    def release(self) -> None:
+        """Drop saved tensors so activation storage can be freed."""
+        self.saved_tensors = ()
+        self._released = True
+
+
+class Edge:
+    """Backward-graph edge: deliver grad to ``node`` input slot ``input_nr``."""
+
+    __slots__ = ("node", "input_nr")
+
+    def __init__(self, node: "Node", input_nr: int):
+        self.node = node
+        self.input_nr = input_nr
+
+
+class Node:
+    """A backward node recorded for one ``Function.apply`` call."""
+
+    __slots__ = (
+        "function",
+        "ctx",
+        "next_edges",
+        "num_outputs",
+        "output_hooks",
+        "name",
+        "metadata",
+        "__weakref__",
+    )
+
+    def __init__(self, function: type["Function"], ctx: Context, next_edges: list[Optional[Edge]]):
+        self.function = function
+        self.ctx = ctx
+        self.next_edges = next_edges
+        self.num_outputs = 1
+        # One hook dict per forward output, shared with the output
+        # tensor so later ``register_hook`` calls are visible here.
+        self.output_hooks: list[dict[int, Any]] = []
+        self.name = function.__name__
+        self.metadata: dict[str, Any] = {}
+
+    def run_backward(self, grad_outputs: list[Optional["Tensor"]]) -> tuple:
+        """Invoke the function's backward under ``no_grad``."""
+        with no_grad():
+            if self.num_outputs == 1:
+                grads = self.function.backward(self.ctx, grad_outputs[0])
+            else:
+                grads = self.function.backward(self.ctx, *grad_outputs)
+        if not isinstance(grads, tuple):
+            grads = (grads,)
+        return grads
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.name}>"
+
+
+class AccumulateGrad:
+    """Sink node accumulating into a leaf tensor's ``.grad``."""
+
+    __slots__ = ("variable_ref", "post_hooks", "next_edges", "num_outputs", "name", "__weakref__")
+
+    def __init__(self, variable: "Tensor"):
+        import weakref
+
+        self.variable_ref = weakref.ref(variable)
+        self.post_hooks: dict[int, Any] = {}
+        self.next_edges: list[Optional[Edge]] = []
+        self.num_outputs = 1
+        self.name = "AccumulateGrad"
+
+    @property
+    def variable(self) -> Optional["Tensor"]:
+        return self.variable_ref()
+
+    def accumulate(self, grad: "Tensor") -> None:
+        variable = self.variable
+        if variable is None:
+            return
+        with no_grad():
+            if variable.grad is None:
+                variable.grad = grad
+            else:
+                variable.grad = variable.grad + grad
+        for hook in list(self.post_hooks.values()):
+            hook(variable)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<Node AccumulateGrad>"
+
+
+class Function:
+    """Base class for differentiable ops (``torch.autograd.Function``)."""
+
+    @staticmethod
+    def forward(ctx: Context, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @staticmethod
+    def backward(ctx: Context, *grad_outputs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *args, **kwargs):
+        from repro.tensor import Tensor
+
+        tensor_inputs = [a for a in args if isinstance(a, Tensor)]
+        needs_grad = is_grad_enabled() and any(
+            t.requires_grad and t.dtype.is_floating for t in tensor_inputs
+        )
+
+        ctx = Context()
+        ctx.needs_input_grad = tuple(
+            isinstance(a, Tensor) and a.requires_grad and a.dtype.is_floating for a in args
+        )
+        with no_grad():
+            outputs = cls.forward(ctx, *args, **kwargs)
+        single = not isinstance(outputs, tuple)
+        output_tuple = (outputs,) if single else outputs
+
+        if needs_grad:
+            next_edges: list[Optional[Edge]] = []
+            for arg in args:
+                if isinstance(arg, Tensor) and arg.requires_grad and arg.dtype.is_floating:
+                    next_edges.append(arg._grad_edge())
+                else:
+                    next_edges.append(None)
+            node = Node(cls, ctx, next_edges)
+            node.num_outputs = len(output_tuple)
+            for i, out in enumerate(output_tuple):
+                out.requires_grad = True
+                out.grad_fn = node
+                out._output_nr = i
+                node.output_hooks.append(out._hooks)
+        else:
+            ctx.release()
+        return outputs

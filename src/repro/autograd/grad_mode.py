@@ -1,0 +1,41 @@
+"""Gradient-mode context managers (``no_grad`` / ``enable_grad``)."""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+__all__ = ["is_grad_enabled", "no_grad", "enable_grad", "set_grad_enabled"]
+
+_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Whether ops record autograd graphs on this thread."""
+    return getattr(_state, "enabled", True)
+
+
+def _set(enabled: bool) -> bool:
+    previous = is_grad_enabled()
+    _state.enabled = enabled
+    return previous
+
+
+@contextlib.contextmanager
+def set_grad_enabled(enabled: bool):
+    """Context manager forcing grad mode to ``enabled``."""
+    previous = _set(enabled)
+    try:
+        yield
+    finally:
+        _set(previous)
+
+
+def no_grad():
+    """Disable autograd recording inside the context."""
+    return set_grad_enabled(False)
+
+
+def enable_grad():
+    """Re-enable autograd recording inside the context."""
+    return set_grad_enabled(True)

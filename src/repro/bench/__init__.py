@@ -1,0 +1,10 @@
+"""Figure harnesses: regenerate every table and figure of Section 5.
+
+Run everything with ``python -m repro.bench`` (takes a few minutes);
+individual figures via ``python -m repro.bench.fig2`` etc.  The pytest
+wrappers in ``benchmarks/`` run reduced sweeps with shape assertions.
+"""
+
+from repro.bench import ablations, fig2, fig5, fig6, fig7, fig8, scale, traffic
+
+__all__ = ["fig2", "fig5", "fig6", "fig7", "fig8", "scale", "ablations", "traffic"]

@@ -1,0 +1,56 @@
+"""Figure 8 — memory footprint of the large-model runs.
+
+Prints the three series ``torch.cuda.memory_stats()`` exposes — peak
+allocated, peak active and peak reserved — for the DHEN, GPT-175B and
+T5-11B sweeps (the same runs as Figure 7).
+
+Expected shapes: memory decreases as GPUs are added (smaller shards);
+GPT-175B at 128 GPUs with batch size 2 pushes reserved memory to the
+80GB capacity (the defragmentation case); T5-11B runs comfortably
+below capacity everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.report import print_table
+from repro.bench.scale import dhen_sweep, gpt175b_sweep, t5_11b_sweep
+from repro.perf import PerfResult
+
+__all__ = ["print_memory_table", "main"]
+
+
+def print_memory_table(title: str, results: list[PerfResult]) -> None:
+    print_table(
+        title,
+        ["config", "GPUs", "alloc GiB", "active GiB", "reserved GiB", "retries"],
+        [
+            (
+                r.name,
+                r.world_size,
+                "OOM" if r.oom else f"{r.peak_allocated_gib:.1f}",
+                "OOM" if r.oom else f"{r.peak_active_gib:.1f}",
+                "OOM" if r.oom else f"{r.peak_reserved_gib:.1f}",
+                r.num_alloc_retries,
+            )
+            for r in results
+        ],
+    )
+
+
+def main(
+    dhen: Optional[list[PerfResult]] = None,
+    gpt: Optional[list[PerfResult]] = None,
+    t5: Optional[list[PerfResult]] = None,
+) -> None:
+    dhen = dhen if dhen is not None else dhen_sweep()
+    gpt = gpt if gpt is not None else gpt175b_sweep()
+    t5 = t5 if t5 is not None else t5_11b_sweep()
+    print_memory_table("Figure 8(a): DHEN peak memory", dhen)
+    print_memory_table("Figure 8(b): GPT-175B peak memory (80GB capacity)", gpt)
+    print_memory_table("Figure 8(c): T5-11B peak memory", t5)
+
+
+if __name__ == "__main__":
+    main()

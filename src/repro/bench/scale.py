@@ -1,0 +1,124 @@
+"""Shared large-scale sweeps for Figures 7 and 8.
+
+Figure 7 reports throughput (QPS for DHEN, TFLOPS/GPU for GPT-175B and
+T5-11B); Figure 8 reports the peak-memory series of the same runs.
+Each sweep returns :class:`PerfResult` rows carrying both.
+"""
+
+from __future__ import annotations
+
+from repro.fsdp import ModuleWrapPolicy, ShardingStrategy
+from repro.fsdp.mixed_precision import BF16_MIXED
+from repro.models import DHEN_PAPER, GPT3_175B, T5_11B
+from repro.models.dhen import DhenLayer
+from repro.models.transformer import TransformerBlock
+from repro.perf import PerfResult, SimConfig, simulate_training
+from repro.perf.workloads import (
+    dhen_builder,
+    dhen_ignored_modules,
+    dhen_loss_fn,
+    gpt_builder,
+    gpt_loss_fn,
+    t5_builder,
+    t5_loss_fn,
+)
+
+__all__ = ["dhen_sweep", "gpt175b_sweep", "t5_11b_sweep", "DHEN_STRATEGIES"]
+
+#: The four DHEN configurations of Figures 7(a)/8(a): full or hybrid
+#: sharding, resharding after forward (RAF) or not (NRAF).
+DHEN_STRATEGIES = (
+    ("FullShard RAF", ShardingStrategy.FULL_SHARD),
+    ("FullShard NRAF", ShardingStrategy.SHARD_GRAD_OP),
+    ("HybridShard RAF", ShardingStrategy.HYBRID_SHARD),
+    ("HybridShard NRAF", ShardingStrategy.HYBRID_SHARD_ZERO2),
+)
+
+
+def dhen_sweep(
+    world_sizes: tuple[int, ...] = (8, 16, 32, 64, 128, 256, 512),
+    global_batch: int = 1024,
+    iterations: int = 1,
+) -> list[PerfResult]:
+    """DHEN with the paper's global batch of 1024 split across GPUs.
+
+    Shrinking per-GPU batches make communication progressively more
+    prominent, which is what separates the four sharding
+    configurations at scale (Figure 7(a)).
+    """
+    results = []
+    for label, strategy in DHEN_STRATEGIES:
+        for world in world_sizes:
+            batch = max(1, global_batch // world)
+            results.append(
+                simulate_training(
+                    SimConfig(
+                        name=f"DHEN {label}",
+                        build_model=dhen_builder(DHEN_PAPER),
+                        make_loss=dhen_loss_fn(DHEN_PAPER, batch),
+                        batch_size=batch,
+                        world_size=world,
+                        sharding_strategy=strategy,
+                        auto_wrap_policy=ModuleWrapPolicy({DhenLayer}),
+                        mixed_precision=BF16_MIXED,
+                        ignored_modules_of=dhen_ignored_modules,
+                        iterations=iterations,
+                        warmup=3,
+                    )
+                )
+            )
+    return results
+
+
+def gpt175b_sweep(
+    world_sizes: tuple[int, ...] = (128, 192, 256, 384, 512),
+    batch_sizes: tuple[int, ...] = (1, 2),
+    seq: int = 2048,
+    iterations: int = 1,
+) -> list[PerfResult]:
+    results = []
+    for batch in batch_sizes:
+        for world in world_sizes:
+            results.append(
+                simulate_training(
+                    SimConfig(
+                        name=f"GPT-175B bs={batch}",
+                        build_model=gpt_builder(GPT3_175B),
+                        make_loss=gpt_loss_fn(GPT3_175B, batch, seq),
+                        batch_size=batch,
+                        world_size=world,
+                        auto_wrap_policy=ModuleWrapPolicy({TransformerBlock}),
+                        mixed_precision=BF16_MIXED,
+                        iterations=iterations,
+                        warmup=2,
+                    )
+                )
+            )
+    return results
+
+
+def t5_11b_sweep(
+    world_sizes: tuple[int, ...] = (8, 16, 32, 64, 128, 256, 512),
+    batch_sizes: tuple[int, ...] = (8, 16),
+    seq: int = 512,
+    iterations: int = 1,
+) -> list[PerfResult]:
+    results = []
+    for batch in batch_sizes:
+        for world in world_sizes:
+            results.append(
+                simulate_training(
+                    SimConfig(
+                        name=f"T5-11B bs={batch}",
+                        build_model=t5_builder(T5_11B),
+                        make_loss=t5_loss_fn(T5_11B, batch, seq),
+                        batch_size=batch,
+                        world_size=world,
+                        auto_wrap_policy=ModuleWrapPolicy({TransformerBlock}),
+                        mixed_precision=BF16_MIXED,
+                        iterations=iterations,
+                        warmup=2,
+                    )
+                )
+            )
+    return results

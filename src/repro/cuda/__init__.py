@@ -1,0 +1,31 @@
+"""Simulated CUDA device runtime.
+
+This package replaces real CUDA devices with a discrete-event
+simulation that preserves the scheduling semantics FSDP depends on:
+
+- :class:`~repro.cuda.stream.Stream` timelines with sequential ordering
+  of enqueued kernels and cross-stream edges via
+  :class:`~repro.cuda.stream.Event`;
+- a simulated CPU-thread clock that *issues* work and can run ahead of
+  GPU execution (the dynamic behind Section 3.4's rate limiter);
+- a :class:`~repro.cuda.allocator.CachingAllocator` implementing
+  per-stream block pools, block splitting/coalescing, cross-stream
+  reuse gating, cudaMalloc retries and ``memory_stats()`` including
+  ``num_alloc_retries``.
+
+Durations come from :mod:`repro.hw` cost models; no real GPU is used.
+"""
+
+from repro.cuda.allocator import CachingAllocator, MemoryStats
+from repro.cuda.device import Device, cpu_device, meta_device
+from repro.cuda.stream import Event, Stream
+
+__all__ = [
+    "Device",
+    "Stream",
+    "Event",
+    "CachingAllocator",
+    "MemoryStats",
+    "cpu_device",
+    "meta_device",
+]

@@ -1,0 +1,350 @@
+"""Simulated CUDA caching allocator.
+
+Re-implements the decision procedure of PyTorch's CUDA caching
+allocator at the fidelity Section 3.4 of the paper requires:
+
+- blocks are carved out of ``cudaMalloc``-ed *segments* and cached in
+  **per-stream pools**; a block freed by the CPU returns to the pool of
+  its allocation stream;
+- a cached block may always be reused by **its own stream** (stream
+  ordering makes that safe), but if the block was used by a *different*
+  stream (``record_stream``), reuse must wait until that use has
+  actually retired on the GPU relative to the CPU clock — this is the
+  producer/consumer-stream hazard that over-allocates the communication
+  stream's pool when the CPU runs ahead;
+- when no cached block fits and ``cudaMalloc`` would exceed device
+  capacity, the allocator performs a **cudaMalloc retry**: it
+  synchronizes the device, releases all cached segments and tries
+  again, at a large simulated cost (``num_alloc_retries`` counts these,
+  exactly like ``torch.cuda.memory_stats()``);
+- statistics track current and peak ``allocated`` (live tensor bytes),
+  ``active`` (live plus freed-but-not-yet-reusable bytes) and
+  ``reserved`` (total segment bytes), the three series of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import OutOfMemoryError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cuda.device import Device
+    from repro.cuda.stream import Stream
+
+__all__ = ["Block", "Segment", "CachingAllocator", "MemoryStats"]
+
+_ALLOC_ROUND = 512
+_SMALL_BLOCK_LIMIT = 1 << 20  # 1 MiB
+_SMALL_SEGMENT_SIZE = 2 << 20  # 2 MiB
+_LARGE_SEGMENT_MIN = 20 << 20  # 20 MiB
+# Only split a block when the remainder is worth keeping.
+_SPLIT_REMAINDER_MIN = 512
+# Simulated cost of raw driver calls.  cudaMalloc pays a fixed call
+# overhead plus page-mapping time proportional to the segment size;
+# cudaFree (during a retry) synchronizes the device and pays per
+# released segment.  These are what make cudaMalloc retries "greatly
+# degrade training throughput" (Section 3.4): after a retry the cache
+# is empty, so every subsequent large allocation stalls the CPU in the
+# driver while the GPU pipeline drains and restarts.
+_CUDA_MALLOC_CALL_COST = 50e-6
+_CUDA_MALLOC_MAPPING_BYTES_PER_S = 30e9
+_CUDA_FREE_PER_SEGMENT_COST = 300e-6
+
+
+def _round_size(nbytes: int) -> int:
+    if nbytes <= 0:
+        return _ALLOC_ROUND
+    return (nbytes + _ALLOC_ROUND - 1) // _ALLOC_ROUND * _ALLOC_ROUND
+
+
+@dataclass
+class Segment:
+    """One cudaMalloc-ed region, carved into blocks."""
+
+    segment_id: int
+    size: int
+    stream_id: int
+    is_small: bool
+
+
+class Block:
+    """A contiguous sub-range of a segment.
+
+    Attributes:
+        requested: bytes the tensor asked for (allocated-stat units).
+        size: rounded bytes the block occupies in its segment.
+        reuse_ready_time: latest GPU completion time of kernels from
+            *other* streams that used this block; gates cross-stream
+            reuse.
+    """
+
+    __slots__ = (
+        "segment",
+        "offset",
+        "size",
+        "requested",
+        "allocated",
+        "prev",
+        "next",
+        "reuse_ready_time",
+    )
+
+    def __init__(self, segment: Segment, offset: int, size: int):
+        self.segment = segment
+        self.offset = offset
+        self.size = size
+        self.requested = 0
+        self.allocated = False
+        self.prev: Optional[Block] = None
+        self.next: Optional[Block] = None
+        self.reuse_ready_time = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alloc" if self.allocated else "free"
+        return f"Block(seg={self.segment.segment_id}, off={self.offset}, size={self.size}, {state})"
+
+
+@dataclass
+class MemoryStats:
+    """Counters mirroring ``torch.cuda.memory_stats()`` keys we need."""
+
+    allocated_bytes: int = 0
+    allocated_peak: int = 0
+    active_bytes: int = 0
+    active_peak: int = 0
+    reserved_bytes: int = 0
+    reserved_peak: int = 0
+    num_alloc_retries: int = 0
+    num_ooms: int = 0
+    num_cuda_mallocs: int = 0
+    num_block_reuses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "allocated_bytes.all.current": self.allocated_bytes,
+            "allocated_bytes.all.peak": self.allocated_peak,
+            "active_bytes.all.current": self.active_bytes,
+            "active_bytes.all.peak": self.active_peak,
+            "reserved_bytes.all.current": self.reserved_bytes,
+            "reserved_bytes.all.peak": self.reserved_peak,
+            "num_alloc_retries": self.num_alloc_retries,
+            "num_ooms": self.num_ooms,
+            "num_device_alloc": self.num_cuda_mallocs,
+            "num_block_reuses": self.num_block_reuses,
+        }
+
+
+class CachingAllocator:
+    """Per-device caching allocator over simulated memory."""
+
+    def __init__(self, device: "Device", capacity: int):
+        self.device = device
+        self.capacity = capacity
+        self.stats = MemoryStats()
+        self._pools: dict[int, list[Block]] = {}
+        self._next_segment_id = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def allocate(self, nbytes: int, stream: "Stream") -> Block:
+        """Allocate ``nbytes`` for use on ``stream``.
+
+        Follows the caching-allocator procedure: try the stream's pool,
+        then cudaMalloc, then retry after releasing all cached blocks,
+        then raise :class:`OutOfMemoryError`.
+        """
+        size = _round_size(nbytes)
+        block = self._find_pooled(size, stream)
+        if block is None:
+            block = self._try_cuda_malloc(size, stream)
+        if block is None:
+            self._retry_free_cached(stream)
+            block = self._find_pooled(size, stream)
+            if block is None:
+                block = self._try_cuda_malloc(size, stream)
+        if block is None:
+            self.stats.num_ooms += 1
+            raise OutOfMemoryError(
+                self.device, nbytes, self.capacity, self.stats.reserved_bytes
+            )
+        block.allocated = True
+        block.requested = nbytes
+        self.stats.allocated_bytes += nbytes
+        self.stats.allocated_peak = max(self.stats.allocated_peak, self.stats.allocated_bytes)
+        self._bump_active()
+        return block
+
+    def free(self, block: Block) -> None:
+        """Return a block to its stream's pool (CPU-side free)."""
+        if not block.allocated:
+            return
+        block.allocated = False
+        self.stats.allocated_bytes -= block.requested
+        block.requested = 0
+        merged = self._coalesce(block)
+        self._pools.setdefault(merged.segment.stream_id, []).append(merged)
+        self._bump_active()
+
+    def record_use(self, block: Block, stream: "Stream", end_time: float) -> None:
+        """Note that a kernel on ``stream`` uses ``block`` until ``end_time``.
+
+        Uses from the block's own allocation stream are ordered by the
+        stream and do not delay reuse; uses from other streams do
+        (``record_stream`` semantics).
+        """
+        if stream.stream_id != block.segment.stream_id:
+            block.reuse_ready_time = max(block.reuse_ready_time, end_time)
+
+    def memory_stats(self) -> dict[str, int]:
+        self._refresh_active()
+        return self.stats.as_dict()
+
+    def reset_peak_stats(self) -> None:
+        self._refresh_active()
+        s = self.stats
+        s.allocated_peak = s.allocated_bytes
+        s.active_peak = s.active_bytes
+        s.reserved_peak = s.reserved_bytes
+
+    def empty_cache(self) -> None:
+        """Release all reusable cached segments (``torch.cuda.empty_cache``)."""
+        self._release_free_segments(require_retired=True)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _find_pooled(self, size: int, stream: "Stream") -> Optional[Block]:
+        pool = self._pools.get(stream.stream_id)
+        if not pool:
+            return None
+        now = self.device.cpu_time()
+        best: Optional[Block] = None
+        best_index = -1
+        for index, block in enumerate(pool):
+            if block.size < size:
+                continue
+            if block.reuse_ready_time > now:
+                # Cross-stream use has not retired yet; unsafe to reuse.
+                continue
+            if best is None or block.size < best.size:
+                best, best_index = block, index
+        if best is None:
+            return None
+        pool.pop(best_index)
+        self.stats.num_block_reuses += 1
+        self._maybe_split(best, size, stream)
+        return best
+
+    def _maybe_split(self, block: Block, size: int, stream: "Stream") -> None:
+        remainder = block.size - size
+        should_split = (
+            remainder >= _SPLIT_REMAINDER_MIN
+            and (block.segment.is_small or remainder >= _SMALL_BLOCK_LIMIT)
+        )
+        if not should_split:
+            return
+        rest = Block(block.segment, block.offset + size, remainder)
+        rest.reuse_ready_time = block.reuse_ready_time
+        rest.prev = block
+        rest.next = block.next
+        if block.next is not None:
+            block.next.prev = rest
+        block.next = rest
+        block.size = size
+        self._pools.setdefault(block.segment.stream_id, []).append(rest)
+
+    def _try_cuda_malloc(self, size: int, stream: "Stream") -> Optional[Block]:
+        is_small = size <= _SMALL_BLOCK_LIMIT
+        if is_small:
+            segment_size = _SMALL_SEGMENT_SIZE
+        elif size < _LARGE_SEGMENT_MIN:
+            segment_size = _LARGE_SEGMENT_MIN
+        else:
+            segment_size = size
+        if self.stats.reserved_bytes + segment_size > self.capacity:
+            # Fall back to an exact-size segment before giving up.
+            segment_size = size
+            if self.stats.reserved_bytes + segment_size > self.capacity:
+                return None
+        segment = Segment(self._next_segment_id, segment_size, stream.stream_id, is_small)
+        self._next_segment_id += 1
+        self.stats.reserved_bytes += segment_size
+        self.stats.reserved_peak = max(self.stats.reserved_peak, self.stats.reserved_bytes)
+        self.stats.num_cuda_mallocs += 1
+        self.device.consume_cpu(
+            _CUDA_MALLOC_CALL_COST + segment_size / _CUDA_MALLOC_MAPPING_BYTES_PER_S
+        )
+        block = Block(segment, 0, segment_size)
+        self._maybe_split(block, size, stream)
+        return block
+
+    def _retry_free_cached(self, stream: "Stream") -> None:
+        """The cudaMalloc-retry path: device sync + release cached segments."""
+        self.stats.num_alloc_retries += 1
+        # Synchronizing the device lets every pending cross-stream use
+        # retire, making all cached blocks releasable — and serializes
+        # the pipeline: all subsequent kernels start after this point.
+        self.device.synchronize()
+        reserved_before = self.stats.reserved_bytes
+        self._release_free_segments(require_retired=False)
+        released_segments = max(
+            1, (reserved_before - self.stats.reserved_bytes) // _LARGE_SEGMENT_MIN
+        )
+        self.device.consume_cpu(released_segments * _CUDA_FREE_PER_SEGMENT_COST)
+
+    def _release_free_segments(self, *, require_retired: bool) -> None:
+        now = self.device.cpu_time()
+        for stream_id, pool in list(self._pools.items()):
+            kept: list[Block] = []
+            for block in pool:
+                whole_segment_free = (
+                    block.prev is None and block.next is None and block.offset == 0
+                )
+                retired = block.reuse_ready_time <= now
+                if whole_segment_free and (retired or not require_retired):
+                    self.stats.reserved_bytes -= block.segment.size
+                else:
+                    kept.append(block)
+            self._pools[stream_id] = kept
+
+    def _coalesce(self, block: Block) -> Block:
+        """Merge ``block`` with free neighbors; returns the merged block.
+
+        Free neighbors are always resident in the pool, so merging
+        removes them from it; the caller re-inserts the result.
+        """
+        pool = self._pools.setdefault(block.segment.stream_id, [])
+        neighbor = block.prev
+        if neighbor is not None and not neighbor.allocated:
+            pool.remove(neighbor)
+            neighbor.next = block.next
+            if block.next is not None:
+                block.next.prev = neighbor
+            neighbor.size += block.size
+            neighbor.reuse_ready_time = max(neighbor.reuse_ready_time, block.reuse_ready_time)
+            block = neighbor
+        neighbor = block.next
+        if neighbor is not None and not neighbor.allocated:
+            pool.remove(neighbor)
+            block.next = neighbor.next
+            if neighbor.next is not None:
+                neighbor.next.prev = block
+            block.size += neighbor.size
+            block.reuse_ready_time = max(block.reuse_ready_time, neighbor.reuse_ready_time)
+        return block
+
+    def _bump_active(self) -> None:
+        self._refresh_active()
+        self.stats.active_peak = max(self.stats.active_peak, self.stats.active_bytes)
+
+    def _refresh_active(self) -> None:
+        now = self.device.cpu_time()
+        pending = 0
+        for pool in self._pools.values():
+            for block in pool:
+                if block.reuse_ready_time > now:
+                    pending += block.size
+        self.stats.active_bytes = self.stats.allocated_bytes + pending

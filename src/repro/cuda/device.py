@@ -1,0 +1,208 @@
+"""Simulated devices.
+
+Three device kinds exist:
+
+- ``"sim_gpu"``: a fully simulated accelerator with streams, a CPU
+  clock, a caching allocator and cost models — one per rank;
+- ``"cpu"``: host memory; unbounded, no timing (used for offload and
+  the init-on-CPU path of Section 4.1);
+- ``"meta"``: the "fake" device of deferred initialization
+  (Section 3.1) — tensors carry shape/dtype but no storage.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.cuda.allocator import Block, CachingAllocator
+from repro.cuda.stream import Event, Stream
+from repro.errors import DeviceError
+from repro.hw.kernel_model import KernelCost, KernelCostModel
+from repro.hw.specs import A100_80GB, GpuSpec
+
+__all__ = ["Device", "cpu_device", "meta_device"]
+
+_device_counter = itertools.count()
+
+
+class Device:
+    """A simulated execution device."""
+
+    def __init__(
+        self,
+        kind: str = "sim_gpu",
+        *,
+        index: Optional[int] = None,
+        spec: GpuSpec = A100_80GB,
+        capacity: Optional[int] = None,
+    ):
+        if kind not in ("sim_gpu", "cpu", "meta"):
+            raise DeviceError(f"unknown device kind: {kind!r}")
+        self.kind = kind
+        self.index = next(_device_counter) if index is None else index
+        self.spec = spec
+        # When False, tensors on this device carry no real data: shapes,
+        # kernel costs and allocator traffic still flow (abstract mode
+        # used for paper-scale models).  Meta devices never materialize.
+        self.materialize_data = kind != "meta"
+        self._cpu_time = 0.0
+        # Cumulative FLOPs of all kernels launched (drives TFLOPS-per-GPU
+        # metrics; includes activation-checkpoint recomputation, matching
+        # how hardware utilization is reported in the paper).
+        self.flops_total = 0.0
+        self.kernels_launched = 0
+        # Optional tracing callback: (label, stream_name, start, end).
+        self.trace_hook = None
+        self._next_stream_id = 0
+        self.streams: list[Stream] = []
+        if kind == "sim_gpu":
+            self.kernel_model = KernelCostModel(spec)
+            self.allocator = CachingAllocator(self, capacity or spec.memory_bytes)
+            self.default_stream = self.new_stream("default")
+            self.current_stream = self.default_stream
+        else:
+            self.kernel_model = None
+            self.allocator = None
+            self.default_stream = None
+            self.current_stream = None
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def is_sim_gpu(self) -> bool:
+        return self.kind == "sim_gpu"
+
+    @property
+    def is_meta(self) -> bool:
+        return self.kind == "meta"
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.kind == "cpu"
+
+    def __repr__(self) -> str:
+        if self.kind == "sim_gpu":
+            return f"device(sim_gpu:{self.index})"
+        return f"device({self.kind})"
+
+    # ------------------------------------------------------------------
+    # Streams and clocks
+    # ------------------------------------------------------------------
+    def new_stream(self, name: str = "") -> Stream:
+        self._require_sim("streams")
+        stream = Stream(self, self._next_stream_id, name)
+        self._next_stream_id += 1
+        self.streams.append(stream)
+        return stream
+
+    def cpu_time(self) -> float:
+        return self._cpu_time
+
+    def consume_cpu(self, seconds: float) -> None:
+        """Advance the CPU clock by doing ``seconds`` of host work."""
+        if seconds < 0:
+            raise ValueError("cpu time must advance monotonically")
+        self._cpu_time += seconds
+
+    def advance_cpu_to(self, time: float) -> None:
+        """Block the CPU until simulated wall-clock ``time``."""
+        if time > self._cpu_time:
+            self._cpu_time = time
+
+    def synchronize(self) -> None:
+        """CPU waits for all streams (``torch.cuda.synchronize``)."""
+        if not self.is_sim_gpu:
+            return
+        for stream in self.streams:
+            self.advance_cpu_to(stream.ready_time)
+
+    def now(self) -> float:
+        """The furthest point any work on this device reaches."""
+        if not self.is_sim_gpu:
+            return self._cpu_time
+        frontier = self._cpu_time
+        for stream in self.streams:
+            frontier = max(frontier, stream.ready_time)
+        return frontier
+
+    # ------------------------------------------------------------------
+    # Kernel launches
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        cost: KernelCost,
+        dtype,
+        *,
+        stream: Optional[Stream] = None,
+        blocks: tuple[Block, ...] = (),
+    ) -> tuple[float, float]:
+        """Issue one kernel: consume CPU launch time, enqueue on stream.
+
+        ``blocks`` are the storage blocks the kernel touches; their
+        cross-stream usage is recorded for the allocator's reuse gate.
+        """
+        self._require_sim("kernels")
+        stream = stream or self.current_stream
+        self.consume_cpu(self.kernel_model.launch_overhead())
+        duration = self.kernel_model.duration(cost, dtype)
+        self.flops_total += cost.flops
+        self.kernels_launched += 1
+        start, end = stream.enqueue(duration)
+        for block in blocks:
+            self.allocator.record_use(block, stream, end)
+        return start, end
+
+    def new_event(self) -> Event:
+        self._require_sim("events")
+        return Event(self)
+
+    def stream(self, stream: Stream):
+        """Context manager making ``stream`` the current stream.
+
+        Allocations and kernels issued inside run on ``stream`` — how
+        FSDP routes AllGather destinations to the producer stream
+        (Section 3.4).
+        """
+        import contextlib
+
+        @contextlib.contextmanager
+        def _guard():
+            previous = self.current_stream
+            self.current_stream = stream
+            try:
+                yield stream
+            finally:
+                self.current_stream = previous
+
+        return _guard()
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def memory_stats(self) -> dict[str, int]:
+        self._require_sim("memory stats")
+        return self.allocator.memory_stats()
+
+    def reset_peak_memory_stats(self) -> None:
+        self._require_sim("memory stats")
+        self.allocator.reset_peak_stats()
+
+    def _require_sim(self, what: str) -> None:
+        if not self.is_sim_gpu:
+            raise DeviceError(f"{what} are only available on sim_gpu devices, not {self.kind}")
+
+
+_CPU = Device("cpu", index=-1)
+_META = Device("meta", index=-2)
+
+
+def cpu_device() -> Device:
+    """The process-wide host device."""
+    return _CPU
+
+
+def meta_device() -> Device:
+    """The process-wide fake device used by deferred initialization."""
+    return _META

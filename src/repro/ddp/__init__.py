@@ -1,0 +1,5 @@
+"""DistributedDataParallel — the model-replication baseline (Section 2.1)."""
+
+from repro.ddp.distributed_data_parallel import DistributedDataParallel
+
+__all__ = ["DistributedDataParallel"]

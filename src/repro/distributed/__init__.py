@@ -1,0 +1,37 @@
+"""Distributed runtime: process groups, collectives, SPMD launchers."""
+
+from repro.distributed.api import (
+    WorldContext,
+    barrier,
+    default_group,
+    get_device,
+    get_rank,
+    get_world_size,
+    init_single_process,
+    is_initialized,
+    new_group,
+    shutdown,
+    spawn,
+)
+from repro.distributed.process_group import ProcessGroup, ReduceOp, Work
+from repro.distributed.symmetric import SymmetricProcessGroup
+from repro.distributed.threaded import ThreadedProcessGroup
+
+__all__ = [
+    "ProcessGroup",
+    "ThreadedProcessGroup",
+    "SymmetricProcessGroup",
+    "Work",
+    "ReduceOp",
+    "WorldContext",
+    "spawn",
+    "init_single_process",
+    "shutdown",
+    "get_rank",
+    "get_world_size",
+    "get_device",
+    "default_group",
+    "new_group",
+    "is_initialized",
+    "barrier",
+]

@@ -1,0 +1,255 @@
+"""World management: launching SPMD ranks and creating groups.
+
+Two entry points:
+
+- :func:`spawn` — run a function on N rank *threads* with real data
+  movement (tests, examples, numerical-equivalence checks);
+- :func:`init_single_process` — set up one representative rank with the
+  symmetric backend for paper-scale performance sweeps.
+
+Within a rank, :func:`get_rank` / :func:`get_device` /
+:func:`default_group` access the thread-local world, and
+:func:`new_group` creates subgroups (hybrid sharding's sharded and
+replicated groups, Section 3.2.2).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.cuda.device import Device
+from repro.distributed.process_group import ProcessGroup
+from repro.distributed.rendezvous import Rendezvous
+from repro.distributed.symmetric import SymmetricProcessGroup
+from repro.distributed.threaded import ThreadedProcessGroup
+from repro.errors import DistributedError
+from repro.hw.comm_model import CommModel
+from repro.hw.specs import ClusterTopology, cluster_of
+
+__all__ = [
+    "spawn",
+    "init_single_process",
+    "shutdown",
+    "get_rank",
+    "get_world_size",
+    "get_device",
+    "default_group",
+    "new_group",
+    "is_initialized",
+    "barrier",
+    "WorldContext",
+]
+
+_tls = threading.local()
+
+
+class Cluster:
+    """Shared state of one threaded world."""
+
+    def __init__(self, topology: ClusterTopology, comm_model: CommModel, devices: list[Device]):
+        self.topology = topology
+        self.comm_model = comm_model
+        self.devices = devices
+        self._lock = threading.Lock()
+        self._rendezvous: dict[tuple, Rendezvous] = {}
+
+    def rendezvous_for(self, ranks: tuple[int, ...], call_index: int) -> Rendezvous:
+        key = (ranks, call_index)
+        with self._lock:
+            rdv = self._rendezvous.get(key)
+            if rdv is None:
+                rdv = Rendezvous(len(ranks))
+                self._rendezvous[key] = rdv
+            return rdv
+
+
+@dataclass
+class WorldContext:
+    """Thread-local description of the calling rank's world."""
+
+    rank: int
+    world_size: int
+    device: Device
+    topology: ClusterTopology
+    comm_model: CommModel
+    backend: str
+    cluster: Optional[Cluster] = None
+    group: Optional[ProcessGroup] = None
+    _group_counters: dict = field(default_factory=dict)
+
+    def next_group_index(self, ranks: tuple[int, ...]) -> int:
+        index = self._group_counters.get(ranks, 0)
+        self._group_counters[ranks] = index + 1
+        return index
+
+
+def _current(required: bool = True) -> Optional[WorldContext]:
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is None and required:
+        raise DistributedError(
+            "no distributed world on this thread; use spawn() or init_single_process()"
+        )
+    return ctx
+
+
+def is_initialized() -> bool:
+    return _current(required=False) is not None
+
+
+def get_rank() -> int:
+    return _current().rank
+
+
+def get_world_size() -> int:
+    return _current().world_size
+
+
+def get_device() -> Device:
+    return _current().device
+
+
+def default_group() -> ProcessGroup:
+    ctx = _current()
+    if ctx.group is None:
+        ctx.group = new_group(tuple(range(ctx.world_size)))
+    return ctx.group
+
+
+def barrier() -> None:
+    default_group().barrier()
+
+
+def new_group(ranks: Sequence[int], *, concurrent_groups: int = 1) -> ProcessGroup:
+    """Create a subgroup over ``ranks``; collective across its members.
+
+    In the threaded backend every member must call this the same number
+    of times with the same ranks, in the same order (like
+    ``torch.distributed.new_group``).  ``concurrent_groups`` tells the
+    cost model how many sibling groups share the same links (hybrid
+    sharding's per-local-rank replicate groups).
+    """
+    ctx = _current()
+    ranks = tuple(sorted(int(r) for r in ranks))
+    if ctx.rank not in ranks:
+        raise DistributedError(
+            f"rank {ctx.rank} must be a member of the group it creates ({ranks})"
+        )
+    if ctx.backend == "symmetric":
+        return SymmetricProcessGroup(
+            rank=ctx.rank,
+            ranks=ranks,
+            device=ctx.device,
+            comm_model=ctx.comm_model,
+            concurrent_groups=concurrent_groups,
+        )
+    assert ctx.cluster is not None
+    call_index = ctx.next_group_index(ranks)
+    rdv = ctx.cluster.rendezvous_for(ranks, call_index)
+    return ThreadedProcessGroup(
+        rendezvous=rdv,
+        rank=ctx.rank,
+        ranks=ranks,
+        device=ctx.device,
+        comm_model=ctx.comm_model,
+        concurrent_groups=concurrent_groups,
+    )
+
+
+def init_single_process(
+    world_size: int,
+    *,
+    rank: int = 0,
+    topology: Optional[ClusterTopology] = None,
+    materialize: bool = False,
+    capacity: Optional[int] = None,
+    comm_model: Optional[CommModel] = None,
+) -> WorldContext:
+    """Set up a symmetric one-rank world for performance simulation."""
+    topology = topology or cluster_of(world_size)
+    if topology.world_size < world_size:
+        raise DistributedError(
+            f"topology holds {topology.world_size} GPUs < world_size {world_size}"
+        )
+    comm_model = comm_model or CommModel(topology)
+    device = Device("sim_gpu", index=rank, spec=topology.gpu, capacity=capacity)
+    device.materialize_data = materialize
+    ctx = WorldContext(
+        rank=rank,
+        world_size=world_size,
+        device=device,
+        topology=topology,
+        comm_model=comm_model,
+        backend="symmetric",
+    )
+    _tls.ctx = ctx
+    return ctx
+
+
+def shutdown() -> None:
+    """Tear down the calling thread's world context."""
+    _tls.ctx = None
+
+
+def spawn(
+    fn: Callable,
+    world_size: int,
+    *,
+    topology: Optional[ClusterTopology] = None,
+    materialize: bool = True,
+    capacity: Optional[int] = None,
+    comm_model: Optional[CommModel] = None,
+    args: tuple = (),
+) -> list:
+    """Run ``fn(rank, *args)`` on ``world_size`` threads; returns results.
+
+    Each thread gets its own simulated device and thread-local world;
+    collectives inside ``fn`` move real data between the threads.
+    """
+    topology = topology or cluster_of(world_size)
+    if topology.world_size < world_size:
+        raise DistributedError(
+            f"topology holds {topology.world_size} GPUs < world_size {world_size}"
+        )
+    shared_comm_model = comm_model or CommModel(topology)
+    devices = []
+    for rank in range(world_size):
+        device = Device("sim_gpu", index=rank, spec=topology.gpu, capacity=capacity)
+        device.materialize_data = materialize
+        devices.append(device)
+    cluster = Cluster(topology, shared_comm_model, devices)
+
+    results: list = [None] * world_size
+    errors: list = [None] * world_size
+
+    def worker(rank: int) -> None:
+        ctx = WorldContext(
+            rank=rank,
+            world_size=world_size,
+            device=devices[rank],
+            topology=topology,
+            comm_model=shared_comm_model,
+            backend="threaded",
+            cluster=cluster,
+        )
+        _tls.ctx = ctx
+        try:
+            results[rank] = fn(rank, *args)
+        except BaseException as exc:  # noqa: BLE001 - propagated below
+            errors[rank] = exc
+        finally:
+            _tls.ctx = None
+
+    threads = [
+        threading.Thread(target=worker, args=(rank,), name=f"rank{rank}")
+        for rank in range(world_size)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for rank, error in enumerate(errors):
+        if error is not None:
+            raise DistributedError(f"rank {rank} failed: {error!r}") from error
+    return results

@@ -1,0 +1,200 @@
+"""Process-group abstraction and the ``Work`` handle.
+
+Semantics follow PyTorch's ``ProcessGroupNCCL`` as described in
+Sections 3.3.1–3.3.2 of the paper:
+
+- every collective runs on a caller-supplied *communication stream* on
+  the rank's device (FSDP passes one stream for both AllGather and
+  ReduceScatter, reproducing the serialization that motivates backward
+  prefetching);
+- collectives are asynchronous with respect to the CPU and return a
+  :class:`Work`; ``Work.wait()`` blocks the CPU thread, while
+  ``Work.wait(stream)`` only inserts a GPU-side dependency — the
+  distinction FSDP exploits to overlap communication with computation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cuda.device import Device
+from repro.cuda.stream import Event, Stream
+from repro.errors import DistributedError
+from repro.hw.comm_model import CollectiveKind, CommModel
+from repro.tensor import Tensor
+
+__all__ = ["Work", "ProcessGroup", "ReduceOp"]
+
+
+class ReduceOp:
+    SUM = "sum"
+    AVG = "avg"
+    MAX = "max"
+
+
+class Work:
+    """Handle to an asynchronously running collective."""
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    def wait(self, stream: Optional[Stream] = None) -> None:
+        """Block the CPU (no stream) or order a stream after the collective."""
+        if stream is None:
+            self._event.synchronize()
+        else:
+            stream.wait_event(self._event)
+
+    def query(self) -> bool:
+        return self._event.query()
+
+    @property
+    def completion_time(self) -> float:
+        return self._event.time or 0.0
+
+
+class ProcessGroup:
+    """A group of ranks that can run collectives together."""
+
+    def __init__(
+        self,
+        *,
+        rank: int,
+        ranks: Sequence[int],
+        device: Device,
+        comm_model: CommModel,
+        concurrent_groups: int = 1,
+    ):
+        self.global_rank = rank
+        self.ranks = tuple(ranks)
+        if rank not in self.ranks:
+            raise DistributedError(f"rank {rank} is not a member of group {self.ranks}")
+        self.rank = self.ranks.index(rank)
+        self.device = device
+        self.comm_model = comm_model
+        self.concurrent_groups = concurrent_groups
+        # The group's internal communication stream (one per device, like
+        # ProcessGroupNCCL's internal NCCL stream).
+        self.comm_stream = device.new_stream(f"pg{id(self) & 0xFFFF:x}-comm")
+        self.bytes_sent = 0
+        self.cross_host_bytes = 0
+        self.collective_count = 0
+
+    @property
+    def world_size(self) -> int:
+        return len(self.ranks)
+
+    # ------------------------------------------------------------------
+    # Cost accounting shared by backends
+    # ------------------------------------------------------------------
+    def _collective_duration(
+        self, kind: CollectiveKind, nbytes: int, shard_nbytes=None
+    ) -> float:
+        return self.comm_model.time(
+            kind,
+            nbytes,
+            self.ranks,
+            concurrent_groups=self.concurrent_groups,
+            shard_nbytes=shard_nbytes,
+        )
+
+    def _account_traffic(self, kind: CollectiveKind, nbytes: int) -> None:
+        world = self.world_size
+        if world <= 1:
+            return
+        if kind is CollectiveKind.ALL_REDUCE:
+            per_rank = 2.0 * nbytes * (world - 1) / world
+        else:
+            per_rank = nbytes * (world - 1) / world
+        self.bytes_sent += int(per_rank)
+        self.collective_count += 1
+        topo = self.comm_model.topology
+        if len(topo.hosts_spanned(self.ranks)) > 1:
+            self.cross_host_bytes += int(per_rank)
+
+    def _launch_collective(
+        self,
+        kind: CollectiveKind,
+        nbytes: int,
+        stream: Optional[Stream],
+        *,
+        collective_start: Optional[float] = None,
+        shard_nbytes=None,
+    ) -> Work:
+        """Enqueue the collective kernel and return its Work handle.
+
+        ``collective_start`` lets threaded backends impose the max of
+        all ranks' ready times; the symmetric backend assumes peers are
+        in lockstep with this rank.
+        """
+        stream = stream or self.comm_stream
+        device = self.device
+        device.consume_cpu(device.spec.kernel_launch_cpu)
+        duration = self._collective_duration(kind, nbytes, shard_nbytes)
+        issue = device.cpu_time()
+        if collective_start is not None:
+            issue = max(issue, collective_start)
+        stream.enqueue(
+            duration, issue_time=max(issue, stream.ready_time), label=kind.value
+        )
+        self._account_traffic(kind, nbytes)
+        event = stream.record_event()
+        return Work(event)
+
+    # ------------------------------------------------------------------
+    # Collective API (implemented by backends)
+    # ------------------------------------------------------------------
+    def all_gather_into_tensor(
+        self, output: Tensor, input: Tensor, *, stream: Optional[Stream] = None
+    ) -> Work:
+        raise NotImplementedError
+
+    def reduce_scatter_tensor(
+        self, output: Tensor, input: Tensor, op: str = ReduceOp.SUM, *, stream: Optional[Stream] = None
+    ) -> Work:
+        raise NotImplementedError
+
+    def all_reduce(
+        self, tensor: Tensor, op: str = ReduceOp.SUM, *, stream: Optional[Stream] = None
+    ) -> Work:
+        raise NotImplementedError
+
+    def broadcast(self, tensor: Tensor, src: int, *, stream: Optional[Stream] = None) -> Work:
+        raise NotImplementedError
+
+    def all_gather(
+        self, outputs: Sequence[Tensor], input: Tensor, *, stream: Optional[Stream] = None
+    ) -> Work:
+        raise NotImplementedError
+
+    def all_to_all_bytes(self, nbytes: int, *, stream: Optional[Stream] = None) -> Work:
+        """Cost-only all-to-all of ``nbytes`` total payload.
+
+        Used for the sparse-embedding exchange of the DHEN workload,
+        where only the communication time and traffic matter to the
+        simulation (the lookup itself is rank-local).
+        """
+        return self._launch_collective(CollectiveKind.ALL_TO_ALL, nbytes, stream)
+
+    def barrier(self) -> None:
+        raise NotImplementedError
+
+    def all_reduce_scalar(self, value: float, op: str = ReduceOp.SUM) -> float:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared validation
+    # ------------------------------------------------------------------
+    def _check_all_gather_shapes(self, output: Tensor, input: Tensor) -> None:
+        if output.numel != input.numel * self.world_size:
+            raise DistributedError(
+                f"all_gather_into_tensor: output numel {output.numel} != "
+                f"world_size {self.world_size} * input numel {input.numel}"
+            )
+
+    def _check_reduce_scatter_shapes(self, output: Tensor, input: Tensor) -> None:
+        if input.numel != output.numel * self.world_size:
+            raise DistributedError(
+                f"reduce_scatter_tensor: input numel {input.numel} != "
+                f"world_size {self.world_size} * output numel {output.numel}"
+            )

@@ -1,0 +1,63 @@
+"""Barrier-style rendezvous for the threaded process-group backend.
+
+Each collective is one rendezvous round: every member thread deposits
+a payload (its data shard and its local ready-time), the last arrival
+runs a combiner over all payloads, and everyone leaves with the
+combined result.  Rounds are generation-counted so the same object can
+be reused for an unbounded sequence of collectives.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+from repro.errors import DistributedError
+
+__all__ = ["Rendezvous"]
+
+_DEFAULT_TIMEOUT = 120.0
+
+
+class Rendezvous:
+    """A reusable all-to-all meeting point for ``world_size`` threads."""
+
+    def __init__(self, world_size: int, timeout: float = _DEFAULT_TIMEOUT):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+        self.timeout = timeout
+        self._cond = threading.Condition()
+        self._generation = 0
+        self._arrived = 0
+        self._payloads: list = [None] * world_size
+        self._result = None
+
+    def exchange(self, member_rank: int, payload, combiner: Callable[[Sequence], object]):
+        """Deposit ``payload``; the last thread runs ``combiner(payloads)``.
+
+        Returns the combiner's result to every member.
+        """
+        with self._cond:
+            generation = self._generation
+            self._payloads[member_rank] = payload
+            self._arrived += 1
+            if self._arrived == self.world_size:
+                try:
+                    self._result = combiner(self._payloads)
+                finally:
+                    self._arrived = 0
+                    self._payloads = [None] * self.world_size
+                    self._generation += 1
+                    self._cond.notify_all()
+                return self._result
+            deadline_result = self._cond.wait_for(
+                lambda: self._generation != generation, timeout=self.timeout
+            )
+            if not deadline_result:
+                raise DistributedError(
+                    f"rendezvous timed out after {self.timeout}s "
+                    f"(member {member_rank}, generation {generation}); "
+                    "a peer rank likely failed or diverged"
+                )
+            return self._result

@@ -1,0 +1,85 @@
+"""Symmetric single-rank backend for performance simulation.
+
+SPMD training is symmetric: every rank runs the same program on the
+same-sized shards, so for *timing and memory* purposes one rank's
+timeline plus group-aware collective costs is enough.  This backend
+assumes all peers reach each collective at the same simulated instant
+as the local rank, and performs no data movement (it is used with
+abstract tensors for the paper-scale sweeps of Sections 5.2–5.4).
+
+For numerics-preserving runs use :class:`ThreadedProcessGroup`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.distributed.process_group import ProcessGroup, ReduceOp, Work
+from repro.errors import DistributedError
+from repro.hw.comm_model import CollectiveKind
+from repro.tensor import Tensor
+
+__all__ = ["SymmetricProcessGroup"]
+
+
+class SymmetricProcessGroup(ProcessGroup):
+    """Single-process stand-in for a full group of lockstep ranks."""
+
+    def all_gather_into_tensor(self, output, input, *, stream=None) -> Work:
+        self._check_all_gather_shapes(output, input)
+        if output.is_materialized and self.world_size > 1:
+            raise DistributedError(
+                "SymmetricProcessGroup cannot produce real gathered data; "
+                "use the threaded backend for materialized tensors"
+            )
+        nbytes = output.numel * input.dtype.itemsize
+        work = self._launch_collective(CollectiveKind.ALL_GATHER_BASE, nbytes, stream)
+        self._record_blocks(output, input, stream)
+        return work
+
+    def reduce_scatter_tensor(self, output, input, op=ReduceOp.SUM, *, stream=None) -> Work:
+        self._check_reduce_scatter_shapes(output, input)
+        nbytes = input.numel * input.dtype.itemsize
+        work = self._launch_collective(CollectiveKind.REDUCE_SCATTER, nbytes, stream)
+        self._record_blocks(output, input, stream)
+        return work
+
+    def all_reduce(self, tensor, op=ReduceOp.SUM, *, stream=None) -> Work:
+        nbytes = tensor.numel * tensor.dtype.itemsize
+        work = self._launch_collective(CollectiveKind.ALL_REDUCE, nbytes, stream)
+        self._record_blocks(tensor, tensor, stream)
+        return work
+
+    def broadcast(self, tensor, src: int, *, stream=None) -> Work:
+        nbytes = tensor.numel * tensor.dtype.itemsize
+        work = self._launch_collective(CollectiveKind.BROADCAST, nbytes, stream)
+        self._record_blocks(tensor, tensor, stream)
+        return work
+
+    def all_gather(self, outputs: Sequence[Tensor], input: Tensor, *, stream=None) -> Work:
+        sizes = [o.numel for o in outputs]
+        even = len(set(sizes)) == 1 and sizes[0] == input.numel
+        kind = CollectiveKind.ALL_GATHER_LIST if even else CollectiveKind.ALL_GATHER_UNEVEN
+        nbytes = sum(sizes) * input.dtype.itemsize
+        shard_nbytes = [s * input.dtype.itemsize for s in sizes]
+        return self._launch_collective(kind, nbytes, stream, shard_nbytes=shard_nbytes)
+
+    def barrier(self) -> None:
+        self.device.consume_cpu(self.comm_model.launch_overhead)
+
+    def all_reduce_scalar(self, value: float, op: str = ReduceOp.SUM) -> float:
+        if op == ReduceOp.SUM:
+            return float(value) * self.world_size
+        if op == ReduceOp.AVG or op == ReduceOp.MAX:
+            return float(value)
+        raise DistributedError(f"unknown reduce op {op}")
+
+    def _record_blocks(self, output: Tensor, input: Tensor, stream) -> None:
+        stream = stream or self.comm_stream
+        if not self.device.is_sim_gpu:
+            return
+        end = stream.ready_time
+        for t in (output, input):
+            block = t._storage.block
+            if block is not None:
+                self.device.allocator.record_use(block, stream, end)

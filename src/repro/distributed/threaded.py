@@ -1,0 +1,210 @@
+"""Threaded SPMD backend: N ranks as N python threads, real data.
+
+Used by tests and examples to check numerical equivalence (FSDP vs
+local training) with the simulated clocks still advancing: each
+collective's start time is the max of the member ranks' communication
+stream frontiers, like a real NCCL collective that cannot begin until
+every participant has joined.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import dtypes
+from repro.cuda.stream import Stream
+from repro.distributed.process_group import ProcessGroup, ReduceOp, Work
+from repro.distributed.rendezvous import Rendezvous
+from repro.errors import DistributedError
+from repro.hw.comm_model import CollectiveKind
+from repro.tensor import Tensor
+
+__all__ = ["ThreadedProcessGroup"]
+
+
+def _payload_array(t: Tensor) -> Optional[np.ndarray]:
+    if not t.is_materialized:
+        return None
+    return np.ascontiguousarray(t._np.reshape(-1), dtype=np.float64)
+
+
+class ThreadedProcessGroup(ProcessGroup):
+    """Process group whose collectives rendezvous across rank threads."""
+
+    def __init__(self, *, rendezvous: Rendezvous, **kwargs):
+        super().__init__(**kwargs)
+        self.rendezvous = rendezvous
+
+    # ------------------------------------------------------------------
+    # Core rendezvous-collective template
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        kind: CollectiveKind,
+        nbytes: int,
+        data: Optional[np.ndarray],
+        combine_data,
+        stream: Optional[Stream],
+        shard_nbytes=None,
+    ) -> tuple[Work, object]:
+        stream = stream or self.comm_stream
+        device = self.device
+        device.consume_cpu(device.spec.kernel_launch_cpu)
+        local_ready = max(device.cpu_time(), stream.ready_time)
+
+        def combiner(payloads):
+            times = [t for t, _ in payloads]
+            datas = [d for _, d in payloads]
+            combined = combine_data(datas) if combine_data is not None else None
+            return (max(times), combined)
+
+        start, combined = self.rendezvous.exchange(
+            self.rank, (local_ready, data), combiner
+        )
+        duration = self._collective_duration(kind, nbytes, shard_nbytes)
+        stream.enqueue(duration, issue_time=start, label=kind.value)
+        self._account_traffic(kind, nbytes)
+        event = stream.record_event()
+        return Work(event), combined
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def all_gather_into_tensor(self, output, input, *, stream=None) -> Work:
+        self._check_all_gather_shapes(output, input)
+        nbytes = output.numel * input.dtype.itemsize
+
+        work, gathered = self._run(
+            CollectiveKind.ALL_GATHER_BASE,
+            nbytes,
+            _payload_array(input),
+            _concat_or_none,
+            stream,
+        )
+        if gathered is not None and output.is_materialized:
+            output._np.reshape(-1)[...] = dtypes.quantize(gathered, output.dtype)
+        self._record_blocks(output, input, stream)
+        return work
+
+    def reduce_scatter_tensor(self, output, input, op=ReduceOp.SUM, *, stream=None) -> Work:
+        self._check_reduce_scatter_shapes(output, input)
+        nbytes = input.numel * input.dtype.itemsize
+
+        def combine(datas):
+            if any(d is None for d in datas):
+                return None
+            total = np.sum(datas, axis=0)
+            if op == ReduceOp.AVG:
+                total = total / self.world_size
+            return total
+
+        work, reduced = self._run(
+            CollectiveKind.REDUCE_SCATTER, nbytes, _payload_array(input), combine, stream
+        )
+        if reduced is not None and output.is_materialized:
+            shard = reduced[self.rank * output.numel : (self.rank + 1) * output.numel]
+            output._np.reshape(-1)[...] = dtypes.quantize(shard, output.dtype)
+        self._record_blocks(output, input, stream)
+        return work
+
+    def all_reduce(self, tensor, op=ReduceOp.SUM, *, stream=None) -> Work:
+        nbytes = tensor.numel * tensor.dtype.itemsize
+
+        def combine(datas):
+            if any(d is None for d in datas):
+                return None
+            if op == ReduceOp.MAX:
+                return np.max(datas, axis=0)
+            total = np.sum(datas, axis=0)
+            if op == ReduceOp.AVG:
+                total = total / self.world_size
+            return total
+
+        work, reduced = self._run(
+            CollectiveKind.ALL_REDUCE, nbytes, _payload_array(tensor), combine, stream
+        )
+        if reduced is not None and tensor.is_materialized:
+            tensor._np.reshape(-1)[...] = dtypes.quantize(reduced, tensor.dtype)
+        self._record_blocks(tensor, tensor, stream)
+        return work
+
+    def broadcast(self, tensor, src: int, *, stream=None) -> Work:
+        if src not in self.ranks:
+            raise DistributedError(f"broadcast src {src} not in group {self.ranks}")
+        src_index = self.ranks.index(src)
+        nbytes = tensor.numel * tensor.dtype.itemsize
+
+        def combine(datas):
+            return datas[src_index]
+
+        work, data = self._run(
+            CollectiveKind.BROADCAST, nbytes, _payload_array(tensor), combine, stream
+        )
+        if data is not None and tensor.is_materialized:
+            tensor._np.reshape(-1)[...] = dtypes.quantize(data, tensor.dtype)
+        self._record_blocks(tensor, tensor, stream)
+        return work
+
+    def all_gather(self, outputs: Sequence[Tensor], input: Tensor, *, stream=None) -> Work:
+        if len(outputs) != self.world_size:
+            raise DistributedError("all_gather needs one output tensor per rank")
+        sizes = [o.numel for o in outputs]
+        even = len(set(sizes)) == 1 and sizes[0] == input.numel
+        kind = CollectiveKind.ALL_GATHER_LIST if even else CollectiveKind.ALL_GATHER_UNEVEN
+        nbytes = sum(sizes) * input.dtype.itemsize
+        shard_nbytes = [s * input.dtype.itemsize for s in sizes]
+
+        def combine(datas):
+            if any(d is None for d in datas):
+                return None
+            return list(datas)
+
+        work, shards = self._run(
+            kind, nbytes, _payload_array(input), combine, stream, shard_nbytes=shard_nbytes
+        )
+        if shards is not None:
+            for out, shard in zip(outputs, shards):
+                if out.is_materialized:
+                    out._np.reshape(-1)[...] = dtypes.quantize(shard, out.dtype)
+        return work
+
+    def barrier(self) -> None:
+        work, _ = self._run(CollectiveKind.BROADCAST, 0, None, None, None)
+        work.wait()
+
+    def all_reduce_scalar(self, value: float, op: str = ReduceOp.SUM) -> float:
+        def combiner(payloads):
+            values = [v for _, v in payloads]
+            times = [t for t, _ in payloads]
+            if op == ReduceOp.MAX:
+                result = max(values)
+            elif op == ReduceOp.AVG:
+                result = sum(values) / len(values)
+            else:
+                result = sum(values)
+            return (max(times), result)
+
+        start, result = self.rendezvous.exchange(
+            self.rank, (self.device.cpu_time(), float(value)), combiner
+        )
+        self.device.advance_cpu_to(start + self.comm_model.launch_overhead)
+        return result
+
+    # ------------------------------------------------------------------
+    def _record_blocks(self, output: Tensor, input: Tensor, stream: Optional[Stream]) -> None:
+        stream = stream or self.comm_stream
+        if not self.device.is_sim_gpu:
+            return
+        end = stream.ready_time
+        for t in (output, input):
+            block = t._storage.block
+            if block is not None:
+                self.device.allocator.record_use(block, stream, end)
+
+
+def _concat_or_none(datas):
+    if any(d is None for d in datas):
+        return None
+    return np.concatenate(datas)

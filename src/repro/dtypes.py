@@ -1,0 +1,141 @@
+"""Data types for the simulated tensor library.
+
+The simulator distinguishes dtypes for three reasons:
+
+1. Byte size drives memory accounting in the caching allocator
+   (peak allocated / active / reserved, Figure 8).
+2. Compute dtype selects the GPU peak-FLOPS lane in the kernel cost
+   model (312 TFLOPS BF16 tensor core vs 19.5 TFLOPS FP32 on A100).
+3. Low-precision numerics must be *emulated* so that mixed-precision
+   training (Section 4.4 of the paper) has observable rounding, which
+   the gradient-scaler tests rely on.
+
+``bfloat16`` has no native numpy representation, so values are kept in
+float32 storage and rounded to the nearest bfloat16-representable value
+after each op via mantissa truncation (round-to-nearest-even).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DType",
+    "float32",
+    "float16",
+    "bfloat16",
+    "float64",
+    "int64",
+    "int32",
+    "uint8",
+    "bool_",
+    "all_dtypes",
+    "quantize",
+    "result_type",
+    "from_numpy_dtype",
+]
+
+
+@dataclass(frozen=True)
+class DType:
+    """A tensor element type.
+
+    Attributes:
+        name: canonical name, e.g. ``"bfloat16"``.
+        itemsize: bytes per element as accounted by the allocator.
+        np_dtype: the numpy dtype used for *storage*. bfloat16 is stored
+            in float32 and quantized after each op.
+        is_floating: whether the dtype participates in autograd.
+    """
+
+    name: str
+    itemsize: int
+    np_dtype: np.dtype
+    is_floating: bool
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"repro.{self.name}"
+
+
+float32 = DType("float32", 4, np.dtype(np.float32), True)
+float16 = DType("float16", 2, np.dtype(np.float16), True)
+bfloat16 = DType("bfloat16", 2, np.dtype(np.float32), True)
+float64 = DType("float64", 8, np.dtype(np.float64), True)
+int64 = DType("int64", 8, np.dtype(np.int64), False)
+int32 = DType("int32", 4, np.dtype(np.int32), False)
+uint8 = DType("uint8", 1, np.dtype(np.uint8), False)
+bool_ = DType("bool", 1, np.dtype(np.bool_), False)
+
+all_dtypes = (float32, float16, bfloat16, float64, int64, int32, uint8, bool_)
+
+_BY_NAME = {dt.name: dt for dt in all_dtypes}
+
+# Promotion lattice for binary float ops; integer types promote to the
+# float operand's dtype when mixed.
+_FLOAT_RANK = {float16: 0, bfloat16: 1, float32: 2, float64: 3}
+
+
+def get(name: str) -> DType:
+    """Look up a dtype by canonical name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown dtype name: {name!r}") from None
+
+
+def from_numpy_dtype(np_dtype: np.dtype) -> DType:
+    """Map a numpy dtype to the closest repro dtype (bf16 unreachable)."""
+    np_dtype = np.dtype(np_dtype)
+    for dt in (float32, float16, float64, int64, int32, uint8, bool_):
+        if dt.np_dtype == np_dtype:
+            return dt
+    if np_dtype in (np.dtype(np.int16), np.dtype(np.int8)):
+        return int32
+    raise ValueError(f"unsupported numpy dtype: {np_dtype}")
+
+
+def result_type(a: DType, b: DType) -> DType:
+    """Binary-op result dtype: floats win over ints, higher rank wins."""
+    if a is b:
+        return a
+    if a.is_floating and not b.is_floating:
+        return a
+    if b.is_floating and not a.is_floating:
+        return b
+    if a.is_floating and b.is_floating:
+        return a if _FLOAT_RANK[a] >= _FLOAT_RANK[b] else b
+    # Both integral: pick the wider one.
+    return a if a.itemsize >= b.itemsize else b
+
+
+def _round_to_bfloat16(values: np.ndarray) -> np.ndarray:
+    """Round float32 values to bfloat16 precision (nearest-even).
+
+    bfloat16 keeps the float32 exponent and truncates the mantissa to
+    7 bits; the standard trick adds half of the dropped LSB (plus the
+    round-to-even correction) before truncating the low 16 bits.
+    """
+    as_int = np.ascontiguousarray(values, dtype=np.float32).view(np.uint32)
+    rounding_bias = ((as_int >> 16) & 1).astype(np.uint32) + np.uint32(0x7FFF)
+    rounded = ((as_int + rounding_bias) & np.uint32(0xFFFF0000)).view(np.float32)
+    # NaN payloads can be clobbered by the bias; restore NaN-ness.
+    nan_mask = np.isnan(values)
+    if nan_mask.any():
+        rounded = np.where(nan_mask, np.float32(np.nan), rounded)
+    return rounded.reshape(values.shape)
+
+
+def quantize(values: np.ndarray, dtype: DType) -> np.ndarray:
+    """Coerce a numpy array into ``dtype``'s storage representation.
+
+    For bfloat16 this performs emulated rounding; everything else is a
+    plain astype (no-op when already matching).
+    """
+    if dtype is bfloat16:
+        return _round_to_bfloat16(np.asarray(values, dtype=np.float32))
+    arr = np.asarray(values)
+    if arr.dtype != dtype.np_dtype:
+        arr = arr.astype(dtype.np_dtype)
+    return arr

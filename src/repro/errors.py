@@ -1,0 +1,57 @@
+"""Exception types shared across the repro library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "OutOfMemoryError",
+    "DeviceError",
+    "DistributedError",
+    "FsdpError",
+    "ShardingError",
+    "DeferredInitError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class DeviceError(ReproError):
+    """Raised on invalid simulated-device operations."""
+
+
+class OutOfMemoryError(DeviceError):
+    """Raised when a simulated device cannot serve an allocation.
+
+    Mirrors ``torch.cuda.OutOfMemoryError``: raised after the caching
+    allocator has already attempted a cudaMalloc retry (freeing all
+    cached blocks) and still cannot satisfy the request.
+    """
+
+    def __init__(self, device: object, requested: int, capacity: int, reserved: int):
+        self.device = device
+        self.requested = requested
+        self.capacity = capacity
+        self.reserved = reserved
+        super().__init__(
+            f"CUDA out of memory on {device}: tried to allocate "
+            f"{requested / 2**30:.2f} GiB (capacity {capacity / 2**30:.2f} GiB, "
+            f"reserved {reserved / 2**30:.2f} GiB)"
+        )
+
+
+class DistributedError(ReproError):
+    """Raised on process-group misuse (rank mismatch, shape mismatch...)."""
+
+
+class FsdpError(ReproError):
+    """Raised on invalid FSDP configuration or runtime state."""
+
+
+class ShardingError(FsdpError):
+    """Raised when a sharding configuration is inconsistent."""
+
+
+class DeferredInitError(FsdpError):
+    """Raised when deferred initialization cannot record or replay."""

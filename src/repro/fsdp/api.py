@@ -1,0 +1,373 @@
+"""``FullyShardedDataParallel`` — the model-wrapper frontend (Section 4).
+
+Wrapping replaces sub-modules selected by ``auto_wrap_policy`` with
+nested FSDP units (each owning one FlatParameter) and makes the wrapped
+instance a unit for the residual parameters.  The first forward call of
+the outermost wrapper performs lazy root initialization: it creates the
+shared runtime (streams, rate limiter, execution-order tracker) and
+attaches every unit beneath it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from typing import Callable, Optional
+
+from repro import distributed as dist
+from repro import nn, ops
+from repro.autograd.grad_mode import no_grad
+from repro.cuda.device import Device
+from repro.distributed import ProcessGroup, ReduceOp
+from repro.errors import FsdpError
+from repro.fsdp.flat_param import FlatParamHandle, FlatParameter
+from repro.fsdp.mixed_precision import MixedPrecision
+from repro.fsdp.offload import CPUOffload
+from repro.fsdp.runtime import BackwardPrefetch, FsdpRuntime, FsdpUnit, RATE_LIMIT_INFLIGHT
+from repro.fsdp.sharding import ShardingStrategy, make_process_groups
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.tensor import Tensor, empty
+
+__all__ = ["FullyShardedDataParallel", "fsdp_modules"]
+
+
+class FullyShardedDataParallel(nn.Module):
+    """Shard a module's parameters across data-parallel ranks."""
+
+    def __init__(
+        self,
+        module: Module,
+        process_group: Optional[ProcessGroup] = None,
+        *,
+        sharding_strategy: ShardingStrategy = ShardingStrategy.FULL_SHARD,
+        sharding_factor: Optional[int] = None,
+        auto_wrap_policy: Optional[Callable[[Module], bool]] = None,
+        mixed_precision: Optional[MixedPrecision] = None,
+        backward_prefetch: BackwardPrefetch = BackwardPrefetch.BACKWARD_PRE,
+        forward_prefetch: bool = False,
+        limit_all_gathers: bool = True,
+        rate_limit_inflight: int = RATE_LIMIT_INFLIGHT,
+        cpu_offload: Optional["CPUOffload"] = None,
+        device: Optional[Device] = None,
+        param_init_fn: Optional[Callable[[Module], None]] = None,
+        ignored_modules: Optional[list[Module]] = None,
+    ):
+        super().__init__()
+        device = device or dist.get_device()
+        self._device = device
+        ignored_ids = _ignored_module_ids(ignored_modules)
+        self._config = dict(
+            sharding_strategy=sharding_strategy,
+            sharding_factor=sharding_factor,
+            mixed_precision=mixed_precision,
+            backward_prefetch=backward_prefetch,
+            forward_prefetch=forward_prefetch,
+            limit_all_gathers=limit_all_gathers,
+            rate_limit_inflight=rate_limit_inflight,
+            cpu_offload=cpu_offload,
+            device=device,
+            param_init_fn=param_init_fn,
+        )
+
+        if auto_wrap_policy is not None:
+            _auto_wrap(
+                module,
+                auto_wrap_policy,
+                dict(self._config, process_group=process_group),
+                ignored_ids,
+            )
+
+        plan = make_process_groups(
+            sharding_strategy, process_group, sharding_factor=sharding_factor
+        )
+        # Ignored modules (e.g. model-parallel sparse embedding tables)
+        # are materialized on the device but never flattened or sharded.
+        ignored_triples = _collect_unit_params(module, only_ids=ignored_ids)
+        _materialize_unit_params(ignored_triples, device, None)
+        triples = _collect_unit_params(module, skip_ids=ignored_ids)
+        _materialize_unit_params(triples, device, param_init_fn)
+        triples = _collect_unit_params(module, skip_ids=ignored_ids)
+        _move_buffers(module, device, mixed_precision)
+
+        handle: Optional[FlatParamHandle] = None
+        if triples:
+            mp = mixed_precision
+            handle = FlatParamHandle(
+                triples,
+                device,
+                plan.shard_group,
+                param_dtype=mp.param_dtype if mp else None,
+                reduce_dtype=mp.resolved_reduce_dtype() if mp else None,
+                keep_low_precision_grads=mp.keep_low_precision_grads if mp else False,
+                offload_params=bool(cpu_offload and cpu_offload.offload_params),
+                label=type(module).__name__,
+            )
+            self.register_parameter("_flat_param", handle.flat_param)
+
+        self.module = module
+        self._fsdp_unit = FsdpUnit(handle, plan, label=type(module).__name__)
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        self._lazy_init()
+        if self._fsdp_unit.is_root:
+            args, kwargs = _cast_forward_inputs(
+                self._config["mixed_precision"], args, kwargs
+            )
+        self._fsdp_unit.pre_forward()
+        output = self.module(*args, **kwargs)
+        return self._fsdp_unit.post_forward(output)
+
+    def _lazy_init(self) -> None:
+        if self._fsdp_unit.runtime is not None:
+            return
+        # The first wrapper whose forward runs with no runtime attached
+        # is the root: it builds the shared runtime and adopts every
+        # unit underneath it.
+        _init_runtime_for_root(self, self._fsdp_unit, self._device, self._config)
+
+    # ------------------------------------------------------------------
+    # Introspection / utilities
+    # ------------------------------------------------------------------
+    @property
+    def sharding_strategy(self) -> ShardingStrategy:
+        return self._fsdp_unit.plan.strategy
+
+    @property
+    def flat_handles(self) -> list[FlatParamHandle]:
+        return [u.handle for u in _units_under(self) if u.handle is not None]
+
+    @contextlib.contextmanager
+    def no_sync(self):
+        """Accumulate gradients without communication (Section 3.3.4).
+
+        Each rank keeps *unsharded* gradients locally — higher memory,
+        less communication — until the first backward outside the
+        context reduces them.
+        """
+        units = _units_under(self)
+        previous = [u.no_sync for u in units]
+        for unit in units:
+            unit.no_sync = True
+        try:
+            yield
+        finally:
+            for unit, value in zip(units, previous):
+                unit.no_sync = value
+
+    @contextlib.contextmanager
+    def summon_full_params(self, *, writeback: bool = True):
+        """Temporarily materialize unsharded parameters on every rank.
+
+        Inside the context the original parameter attributes are valid
+        unsharded views (useful for evaluation, surgery or export).
+        With ``writeback`` (default), in-place edits made through the
+        views are scattered back into the local shards on exit;
+        otherwise edits are discarded with the unsharded storage.
+        """
+        units = [u for u in _units_under(self) if u.handle is not None]
+        was_unsharded = []
+        for unit in units:
+            handle = unit.handle
+            was_unsharded.append(handle.is_unsharded)
+            if not handle.is_unsharded:
+                event = handle.unshard()
+                if event is not None:
+                    event.synchronize()
+            handle.use_unsharded_views()
+        try:
+            yield self
+        finally:
+            for unit, keep in zip(units, was_unsharded):
+                handle = unit.handle
+                if writeback:
+                    handle.writeback_unsharded_to_shard()
+                if not keep:
+                    handle.reshard()
+
+    def clip_grad_norm_(self, max_norm: float) -> float:
+        """Gradient clipping that is correct under sharding.
+
+        Local shard norms are squared-summed across the shard group
+        (Section 7.2.1 explains why a local-only norm is wrong).
+        """
+        from repro.optim.clip import local_grad_norm_sq
+
+        units = [u for u in _units_under(self) if u.handle is not None]
+        if not units:
+            return 0.0
+        local_sq = local_grad_norm_sq(u.handle.flat_param for u in units)
+        group = units[0].plan.shard_group
+        total_sq = group.all_reduce_scalar(local_sq, op=ReduceOp.SUM)
+        total_norm = math.sqrt(total_sq)
+        if total_norm > max_norm and total_norm > 0.0:
+            scale = max_norm / (total_norm + 1e-6)
+            with no_grad():
+                for unit in units:
+                    grad = unit.handle.flat_param.grad
+                    if grad is not None:
+                        grad.mul_(scale)
+        return total_norm
+
+    def extra_repr(self) -> str:
+        unit = self._fsdp_unit
+        handle = unit.handle
+        numel = handle.total_numel if handle else 0
+        return f"strategy={unit.plan.strategy.name}, unit_numel={numel}"
+
+
+def fsdp_modules(module: Module) -> list[FullyShardedDataParallel]:
+    """All FSDP wrappers in a module tree (outermost first)."""
+    return [m for m in module.modules() if isinstance(m, FullyShardedDataParallel)]
+
+
+# ----------------------------------------------------------------------
+# Wiring helpers (shared with fully_shard)
+# ----------------------------------------------------------------------
+def _units_under(root: Module) -> list[FsdpUnit]:
+    units: list[FsdpUnit] = []
+    for mod in root.modules():
+        unit = getattr(mod, "_fsdp_unit", None)
+        if isinstance(unit, FsdpUnit) and unit not in units:
+            units.append(unit)
+    return units
+
+
+def _init_runtime_for_root(
+    root_module: Module, root_unit: FsdpUnit, device: Device, config: dict
+) -> None:
+    runtime = FsdpRuntime(
+        device,
+        backward_prefetch=config["backward_prefetch"],
+        forward_prefetch=config["forward_prefetch"],
+        limit_all_gathers=config["limit_all_gathers"],
+        rate_limit_inflight=config["rate_limit_inflight"],
+    )
+    root_unit.is_root = True
+    # The paper intentionally keeps the outermost unit's parameters in
+    # memory between forward and backward (Section 3.3.1, Figure 5).
+    root_unit.reshard_after_forward = False
+    for unit in _units_under(root_module):
+        unit.attach_runtime(runtime)
+    if root_unit.runtime is None:
+        root_unit.attach_runtime(runtime)
+
+
+def _cast_forward_inputs(mixed_precision, args: tuple, kwargs: dict):
+    """Cast floating tensor inputs to the compute dtype (root pre-forward)."""
+    if mixed_precision is None or mixed_precision.param_dtype is None:
+        return args, kwargs
+    dtype = mixed_precision.param_dtype
+
+    def cast(value):
+        if isinstance(value, Tensor) and value.dtype.is_floating:
+            return ops.cast(value, dtype)
+        return value
+
+    return tuple(cast(a) for a in args), {k: cast(v) for k, v in kwargs.items()}
+
+
+def _ignored_module_ids(ignored_modules) -> set[int]:
+    """Ids of ignored modules and all their descendants."""
+    ids: set[int] = set()
+    for module in ignored_modules or ():
+        for sub in module.modules():
+            ids.add(id(sub))
+    return ids
+
+
+def _auto_wrap(module: Module, policy, wrap_kwargs: dict, ignored_ids: set[int] = frozenset()) -> None:
+    for name, child in list(module._modules.items()):
+        if child is None or isinstance(child, FullyShardedDataParallel):
+            continue
+        if id(child) in ignored_ids:
+            continue
+        _auto_wrap(child, policy, wrap_kwargs, ignored_ids)
+        if policy(child):
+            kwargs = dict(wrap_kwargs)
+            kwargs.pop("param_init_fn", None)
+            module._modules[name] = FullyShardedDataParallel(
+                child,
+                kwargs.pop("process_group", None),
+                param_init_fn=wrap_kwargs.get("param_init_fn"),
+                **kwargs,
+            )
+
+
+def _collect_unit_params(
+    module: Module,
+    skip_ids: set[int] = frozenset(),
+    only_ids: Optional[set[int]] = None,
+) -> list[tuple[Module, str, Parameter]]:
+    """Parameters of this unit: everything not already flattened.
+
+    ``skip_ids`` excludes ignored modules; ``only_ids`` selects just
+    those (used to materialize ignored modules without sharding them).
+    """
+    triples: list[tuple[Module, str, Parameter]] = []
+    for mod in module.modules():
+        if only_ids is not None:
+            if id(mod) not in only_ids:
+                continue
+        elif id(mod) in skip_ids:
+            continue
+        for name, param in mod._parameters.items():
+            if param is None or isinstance(param, FlatParameter):
+                continue
+            triples.append((mod, name, param))
+    return triples
+
+
+def _materialize_unit_params(
+    triples: list[tuple[Module, str, Parameter]],
+    device: Device,
+    param_init_fn: Optional[Callable[[Module], None]],
+) -> None:
+    """Deferred-init replay / CPU-streaming for this unit (Section 4.1).
+
+    Meta parameters are materialized on the target device by replaying
+    their recorded init ops; CPU parameters are streamed to the device.
+    Either way only this unit's parameters are unsharded at once.
+    """
+    materialized: dict[int, Parameter] = {}
+    for mod, name, param in triples:
+        if id(param) in materialized:
+            mod._parameters[name] = materialized[id(param)]
+            continue
+        new_param: Optional[Parameter] = None
+        if param.device.is_meta:
+            real = empty(*param.shape, dtype=param.dtype, device=device)
+            param.replay_init_on(real)
+            new_param = Parameter(real, requires_grad=param.requires_grad)
+        elif param.device is not device:
+            with no_grad():
+                moved = ops.to_device(param.detach(), device)
+            new_param = Parameter(moved, requires_grad=param.requires_grad)
+        if new_param is not None:
+            materialized[id(param)] = new_param
+            mod._parameters[name] = new_param
+    if param_init_fn is not None:
+        seen: set[int] = set()
+        for mod, _, _ in triples:
+            if id(mod) not in seen:
+                seen.add(id(mod))
+                param_init_fn(mod)
+
+
+def _move_buffers(module: Module, device: Device, mixed_precision) -> None:
+    dtype = mixed_precision.resolved_buffer_dtype() if mixed_precision else None
+    for mod in module.modules():
+        for name, buffer in mod._buffers.items():
+            if buffer is None:
+                continue
+            moved = buffer
+            if buffer.device is not device:
+                with no_grad():
+                    moved = ops.to_device(moved, device)
+            if dtype is not None and moved.dtype.is_floating and moved.dtype is not dtype:
+                with no_grad():
+                    moved = ops.cast(moved, dtype)
+            mod._buffers[name] = moved

@@ -1,0 +1,72 @@
+"""Deferred initialization (Section 3.1).
+
+``deferred_init(factory)`` builds the model on the *fake* (meta)
+device: parameter tensors carry shapes but no storage, and every
+recorded initialization op (``normal_``, ``uniform_``, ``fill_``,
+``zero_``) is stored with its RNG child seed.  When FSDP later
+materializes each unit — one at a time, sharding before moving on —
+the recorded ops are replayed on the real device, reproducing the
+user's initialization bit-identically without ever holding more than
+one unsharded unit in device memory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cuda.device import Device, meta_device
+from repro.errors import DeferredInitError
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.tensor import empty, use_device
+
+__all__ = ["deferred_init", "materialize_module", "is_deferred"]
+
+
+def deferred_init(factory: Callable[..., Module], *args, **kwargs) -> Module:
+    """Build ``factory(*args, **kwargs)`` on the fake device.
+
+    Third-party model code needs no changes: tensor factories invoked
+    without an explicit device are routed to the meta device, and
+    in-place init ops record themselves for later replay.
+    """
+    with use_device(meta_device()):
+        module = factory(*args, **kwargs)
+    if not isinstance(module, Module):
+        raise DeferredInitError("deferred_init factory must return a Module")
+    return module
+
+
+def is_deferred(module: Module) -> bool:
+    """True if any parameter of ``module`` still lives on the fake device."""
+    return any(p.device.is_meta for p in module.parameters())
+
+
+def materialize_module(
+    module: Module,
+    device: Device,
+    *,
+    param_init_fn: Optional[Callable[[Module], None]] = None,
+) -> Module:
+    """Materialize a whole deferred module on ``device`` (replaying init).
+
+    FSDP normally materializes unit by unit instead (lower peak
+    memory); this helper is the whole-model fallback, useful for small
+    models or tests.
+    """
+    for mod in module.modules():
+        for name, param in list(mod._parameters.items()):
+            if param is None or not param.device.is_meta:
+                continue
+            real = empty(*param.shape, dtype=param.dtype, device=device)
+            param.replay_init_on(real)
+            mod._parameters[name] = Parameter(real, requires_grad=param.requires_grad)
+        for name, buffer in list(mod._buffers.items()):
+            if buffer is None or not buffer.device.is_meta:
+                continue
+            real = empty(*buffer.shape, dtype=buffer.dtype, device=device)
+            buffer.replay_init_on(real)
+            mod._buffers[name] = real
+        if param_init_fn is not None:
+            param_init_fn(mod)
+    return module

@@ -1,0 +1,483 @@
+"""FlatParameter and FlatParamHandle (Sections 3.2.1, 3.2.3, 4.2).
+
+One :class:`FlatParameter` coalesces all parameters of one FSDP unit
+into a single padded 1-D tensor via the flatten-concat-chunk algorithm:
+
+- concatenate the flattened originals, right-pad to a multiple of the
+  sharding factor ``F`` (padding is at most ``F - 1``);
+- each rank permanently keeps only its ``1/F`` chunk (the *local
+  shard*) in full precision;
+- before compute, the chunks are AllGathered into a persistent
+  *unsharded storage* whose identity never changes — views saved by
+  autograd keep aliasing it across release/reallocate cycles, exactly
+  like ``storage().resize_(0)`` in the reference implementation;
+- the original parameters become autograd-visible ``split``/``view``
+  aliases of the unsharded FlatParameter, so the engine naturally
+  assembles the *unsharded* FlatParameter gradient and fires the
+  post-accumulate-grad hook once it is finalized, where FSDP launches
+  ReduceScatter.
+
+The handle also implements the mixed-precision dance of Section 4.4
+(low-precision shard cast + low-precision collectives, full-precision
+sharded copy retained for the optimizer).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro import dtypes, ops
+from repro.autograd.grad_mode import no_grad
+from repro.cuda.device import Device
+from repro.cuda.stream import Event, Stream
+from repro.distributed import ProcessGroup, ReduceOp, Work
+from repro.errors import FsdpError
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.storage import Storage
+from repro.tensor import Tensor
+
+__all__ = ["FlatParameter", "FlatParamHandle", "ParamInfo"]
+
+
+class FlatParameter(Parameter):
+    """The 1-D coalesced parameter owning an FSDP unit's storage."""
+
+    __slots__ = ()
+
+
+@dataclass
+class ParamInfo:
+    """Where one original parameter lives inside the FlatParameter."""
+
+    module: Module
+    name: str
+    shape: tuple[int, ...]
+    numel: int
+    offset: int
+    fqn: str = ""
+
+
+class FlatParamHandle:
+    """Manages one FlatParameter's shard/unshard lifecycle."""
+
+    def __init__(
+        self,
+        params: Sequence[tuple[Module, str, Parameter]],
+        device: Device,
+        shard_group: ProcessGroup,
+        *,
+        param_dtype: Optional[dtypes.DType] = None,
+        reduce_dtype: Optional[dtypes.DType] = None,
+        keep_low_precision_grads: bool = False,
+        offload_params: bool = False,
+        label: str = "",
+    ):
+        if not params:
+            raise FsdpError("FlatParamHandle requires at least one parameter")
+        self.device = device
+        self.shard_group = shard_group
+        self.label = label
+
+        unique: dict[int, Parameter] = {}
+        bindings: list[tuple[Module, str, int]] = []  # (module, name, param id)
+        for module, name, param in params:
+            if id(param) not in unique:
+                unique[id(param)] = param
+            bindings.append((module, name, id(param)))
+        originals = list(unique.values())
+
+        full_dtype = originals[0].dtype
+        for p in originals:
+            if p.dtype is not full_dtype:
+                raise FsdpError("all parameters in one FSDP unit must share a dtype")
+            if not p.is_materialized and device.materialize_data:
+                raise FsdpError("parameters must be materialized before flattening")
+        self.full_precision_dtype = full_dtype
+        self.compute_dtype = param_dtype or full_dtype
+        self.reduce_dtype = reduce_dtype or self.compute_dtype
+        self.keep_low_precision_grads = keep_low_precision_grads
+        self.offload_params = offload_params
+
+        # --- flatten-concat-chunk -------------------------------------
+        offsets: list[int] = []
+        total = 0
+        for p in originals:
+            offsets.append(total)
+            total += p.numel
+        factor = shard_group.world_size
+        self.total_numel = total
+        self.padded_numel = (total + factor - 1) // factor * factor
+        self.padding = self.padded_numel - total
+        self.shard_numel = self.padded_numel // factor
+        self.sharding_factor = factor
+
+        self.param_infos: list[ParamInfo] = []
+        id_to_index = {id(p): i for i, p in enumerate(originals)}
+        for module, name, pid in bindings:
+            index = id_to_index[pid]
+            p = originals[index]
+            self.param_infos.append(
+                ParamInfo(module, name, p.shape, p.numel, offsets[index], name)
+            )
+        self._unique_infos = [
+            ParamInfo(None, "", p.shape, p.numel, offsets[i])
+            for i, p in enumerate(originals)
+        ]
+
+        requires_grad = any(p.requires_grad for p in originals)
+        self._build_storages(originals, requires_grad)
+        self._deregister_and_bind()
+
+        # Runtime state -------------------------------------------------
+        self.is_unsharded = not self.needs_unshard
+        self._saved_grad_shard: Optional[Tensor] = None
+        self._unsharded_grad_accum: Optional[Tensor] = None
+        self._views: list[Tensor] = []
+
+    # ------------------------------------------------------------------
+    # Construction internals
+    # ------------------------------------------------------------------
+    @property
+    def needs_unshard(self) -> bool:
+        return (
+            self.sharding_factor > 1
+            or self.compute_dtype is not self.full_precision_dtype
+            or self.offload_params
+        )
+
+    def _build_storages(self, originals: Sequence[Parameter], requires_grad: bool) -> None:
+        device = self.device
+        with no_grad():
+            flats = [ops.view(p.detach(), (p.numel,)) for p in originals]
+            full_flat = ops.cat(flats, 0) if len(flats) > 1 else flats[0]
+            full_flat = ops.pad_right(full_flat, self.padding)
+            start = self.shard_group.rank * self.shard_numel
+            local_shard = ops.clone(ops.narrow(full_flat, 0, start, self.shard_numel))
+        del full_flat, flats
+        # Release the originals' storage: their data now lives in the
+        # shards across the group.
+        for p in originals:
+            p._storage.free()
+
+        if self.offload_params:
+            # CPU offloading: the permanent full-precision shard lives
+            # in host memory; a released device staging buffer receives
+            # the H2D copy before each AllGather.
+            from repro.cuda.device import cpu_device
+
+            with no_grad():
+                local_shard = ops.to_device(local_shard, cpu_device())
+            self._staged_shard_storage: Optional[Storage] = Storage(
+                device, self.full_precision_dtype, self.shard_numel
+            )
+            self._staged_shard = Tensor(
+                self._staged_shard_storage, (self.shard_numel,)
+            )
+            self._staged_shard_storage.release()
+        else:
+            self._staged_shard_storage = None
+            self._staged_shard = None
+
+        self.flat_param = FlatParameter(local_shard, requires_grad=requires_grad)
+
+        if self.needs_unshard:
+            self._unsharded_storage = Storage(
+                device, self.compute_dtype, self.padded_numel
+            )
+            self._unsharded_flat = Tensor(self._unsharded_storage, (self.padded_numel,))
+            self._unsharded_storage.release()
+        else:
+            # NO_SHARD in full precision: the local shard *is* the full
+            # flat parameter; no second copy exists.
+            self._unsharded_storage = local_shard._storage
+            self._unsharded_flat = local_shard
+
+        if self.compute_dtype is not self.full_precision_dtype:
+            self._mp_shard_storage: Optional[Storage] = Storage(
+                device, self.compute_dtype, self.shard_numel
+            )
+            self._mp_shard = Tensor(self._mp_shard_storage, (self.shard_numel,))
+            self._mp_shard_storage.release()
+        else:
+            self._mp_shard_storage = None
+            self._mp_shard = None
+
+        self._local_shard = local_shard
+
+    def _deregister_and_bind(self) -> None:
+        """Remove originals from module registries; bind alias views.
+
+        The placeholder views alias the (currently released) unsharded
+        storage so attribute access stays wired; they carry valid data
+        whenever the handle is unsharded.
+        """
+        for info in self.param_infos:
+            info.module._parameters.pop(info.name, None)
+            placeholder = Tensor(
+                self._unsharded_storage,
+                info.shape,
+                offset=info.offset,
+                dtype=self.compute_dtype,
+            )
+            object.__setattr__(info.module, info.name, placeholder)
+
+    # ------------------------------------------------------------------
+    # Unshard / reshard
+    # ------------------------------------------------------------------
+    def unshard(self, stream: Optional[Stream] = None) -> Optional[Event]:
+        """AllGather the shards into the unsharded storage.
+
+        Runs entirely on ``stream`` (the producer/communication
+        stream): the destination tensor is allocated there, which is
+        the allocator behaviour Section 3.4's rate limiter exists to
+        tame.  Returns the completion event, or None if already
+        unsharded.
+        """
+        if self.is_unsharded:
+            return None
+        device = self.device
+        stream = stream or self.shard_group.comm_stream
+        with device.stream(stream), no_grad():
+            source = self._local_shard
+            if self.offload_params:
+                self._staged_shard_storage.reallocate()
+                self._h2d_copy(self._staged_shard, self._local_shard, stream)
+                source = self._staged_shard
+            if self._mp_shard is not None:
+                self._mp_shard_storage.reallocate()
+                self._mp_shard.copy_(source)
+                gather_input = self._mp_shard
+            else:
+                gather_input = source
+            self._unsharded_storage.reallocate()
+            if self.sharding_factor > 1:
+                self.shard_group.all_gather_into_tensor(
+                    self._unsharded_flat, gather_input, stream=stream
+                )
+            else:
+                self._unsharded_flat.copy_(gather_input)
+            if self._mp_shard is not None:
+                self._mp_shard_storage.release()
+            if self.offload_params:
+                self._staged_shard_storage.release()
+        event = stream.record_event()
+        self.is_unsharded = True
+        return event
+
+    def reshard(self) -> bool:
+        """Free the unsharded storage; point the FlatParameter at its shard.
+
+        Returns True when storage was actually released.
+        """
+        if not self.needs_unshard or not self.is_unsharded:
+            return False
+        self._unsharded_storage.release()
+        self.flat_param.data = self._local_shard
+        self.is_unsharded = False
+        return True
+
+    def use_unsharded_views(self) -> None:
+        """Rebuild the original parameters as views of the FlatParameter.
+
+        The split/view calls are autograd-visible, so gradient flow
+        naturally targets the unsharded FlatParameter gradient
+        (Section 3.2.3).  Must be called with the handle unsharded.
+        """
+        if not self.is_unsharded:
+            raise FsdpError(f"cannot create views while sharded ({self.label})")
+        if self.needs_unshard:
+            self.flat_param.data = self._unsharded_flat
+        sections = [info.numel for info in self._unique_infos]
+        if self.padding:
+            sections.append(self.padding)
+        pieces = ops.split(self.flat_param, sections)
+        views_by_offset: dict[int, Tensor] = {}
+        for info, piece in zip(self._unique_infos, pieces):
+            views_by_offset[info.offset] = ops.view(piece, info.shape)
+        self._views = list(views_by_offset.values())
+        for info in self.param_infos:
+            object.__setattr__(info.module, info.name, views_by_offset[info.offset])
+
+    # ------------------------------------------------------------------
+    # Gradient handling
+    # ------------------------------------------------------------------
+    def prepare_gradient_for_backward(self) -> None:
+        """Stash any sharded gradient so unsharded accumulation is clean.
+
+        Without this, the engine would try to add an unsharded gradient
+        onto last iteration's sharded one (gradient accumulation *with*
+        communication keeps sharded grads across iterations,
+        Section 3.3.4).
+        """
+        grad = self.flat_param.grad
+        if grad is not None and grad.numel == self.shard_numel and self.needs_unshard:
+            with no_grad():
+                if self._saved_grad_shard is not None:
+                    grad = grad + self._saved_grad_shard
+            self._saved_grad_shard = grad
+            self.flat_param.grad = None
+
+    def reduce_grad(
+        self,
+        stream: Stream,
+        *,
+        replicate_group: Optional[ProcessGroup] = None,
+        no_sync: bool = False,
+    ) -> Optional[Work]:
+        """Post-backward gradient path: ReduceScatter (+AllReduce).
+
+        With ``no_sync`` the unsharded gradient is accumulated locally
+        and no communication happens (accumulate-without-communication,
+        Section 3.3.4).
+        """
+        grad = self.flat_param.grad
+        self.flat_param.grad = None
+        if grad is None:
+            return None
+        device = self.device
+
+        with no_grad():
+            if self._unsharded_grad_accum is not None:
+                grad = grad + self._unsharded_grad_accum
+                self._unsharded_grad_accum = None
+            if no_sync:
+                self._unsharded_grad_accum = grad
+                return None
+
+            with device.stream(stream):
+                # The gradient was produced on the compute stream; the
+                # reduction must not start before it is final.
+                stream.wait_stream(device.default_stream)
+                if grad.dtype is not self.reduce_dtype:
+                    grad = ops.cast(grad, self.reduce_dtype)
+                work: Optional[Work] = None
+                if self.sharding_factor > 1:
+                    from repro.tensor import empty
+
+                    new_shard = empty(
+                        self.shard_numel, dtype=self.reduce_dtype, device=device
+                    )
+                    work = self.shard_group.reduce_scatter_tensor(
+                        new_shard, grad, op=ReduceOp.AVG, stream=stream
+                    )
+                else:
+                    new_shard = grad
+                if replicate_group is not None and replicate_group.world_size > 1:
+                    work = replicate_group.all_reduce(
+                        new_shard, op=ReduceOp.AVG, stream=stream
+                    )
+                if (
+                    new_shard.dtype is not self.full_precision_dtype
+                    and not self.keep_low_precision_grads
+                ):
+                    new_shard = ops.cast(new_shard, self.full_precision_dtype)
+
+            if self.offload_params:
+                # The optimizer runs on host shards: move the reduced
+                # gradient shard D2H (PCIe cost on the comm stream).
+                from repro.cuda.device import cpu_device
+                from repro.hw.kernel_model import KernelCost
+
+                pcie = 25e9
+                device.launch(
+                    KernelCost(
+                        bytes_moved=new_shard.nbytes
+                        * (device.spec.mem_bandwidth / pcie)
+                    ),
+                    new_shard.dtype,
+                    stream=stream,
+                )
+                new_shard = ops.to_device(new_shard, cpu_device())
+            if self._saved_grad_shard is not None:
+                new_shard = new_shard + self._saved_grad_shard
+
+        # Park the reduced shard instead of assigning ``.grad``: more
+        # unsharded contributions may still arrive in this backward
+        # (e.g. a parent unit's parameters used inside several
+        # activation-checkpoint GraphTasks fire AccumulateGrad once per
+        # recompute).  The end-of-backward callback moves the stash
+        # into ``.grad`` for the optimizer.
+        self._saved_grad_shard = new_shard.detach()
+        return work
+
+    def _h2d_copy(self, device_dst: Tensor, host_src: Tensor, stream: Stream) -> None:
+        """Host-to-device copy over PCIe (data + simulated transfer time)."""
+        from repro.hw.kernel_model import KernelCost
+
+        if device_dst.is_materialized and host_src.is_materialized:
+            device_dst._np[...] = host_src._np
+        gpu = self.device
+        # Scale bytes so the roofline yields bytes / PCIe bandwidth.
+        pcie = 25e9
+        gpu.launch(
+            KernelCost(bytes_moved=device_dst.nbytes * (gpu.spec.mem_bandwidth / pcie)),
+            device_dst.dtype,
+            stream=stream,
+            blocks=tuple(
+                b for b in (device_dst._storage.block,) if b is not None
+            ),
+        )
+
+    def writeback_unsharded_to_shard(self) -> None:
+        """Scatter this rank's slice of the unsharded data into its shard.
+
+        Supports ``summon_full_params(writeback=True)``: edits made
+        through the unsharded views persist.  With mixed precision the
+        views are in compute precision, so the writeback is a cast.
+        """
+        if not self.needs_unshard or not self.is_unsharded:
+            return
+        start = self.shard_group.rank * self.shard_numel
+        with no_grad():
+            my_slice = Tensor(
+                self._unsharded_storage,
+                (self.shard_numel,),
+                offset=start,
+                dtype=self.compute_dtype,
+            )
+            self._local_shard.copy_(my_slice)
+
+    def gather_full_precision(self) -> Tensor:
+        """AllGather the *full-precision* shards into a fresh tensor.
+
+        Used by full state-dict collection; the caller drops the result
+        when done (it is independent of the unsharded compute storage).
+        """
+        from repro.tensor import empty
+
+        if self.sharding_factor == 1:
+            return ops.clone(self._local_shard)
+        with no_grad():
+            full = empty(
+                self.padded_numel, dtype=self.full_precision_dtype, device=self.device
+            )
+            work = self.shard_group.all_gather_into_tensor(full, self._local_shard)
+            work.wait()
+        return full
+
+    def restore_stashed_gradient(self) -> None:
+        """Put back a stashed sharded grad if no reduction consumed it."""
+        if self._saved_grad_shard is not None and self.flat_param.grad is None:
+            self.flat_param.grad = self._saved_grad_shard
+            self._saved_grad_shard = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def unsharded_nbytes(self) -> int:
+        return self.padded_numel * self.compute_dtype.itemsize
+
+    @property
+    def sharded_nbytes(self) -> int:
+        return self.shard_numel * self.full_precision_dtype.itemsize
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FlatParamHandle({self.label or 'unit'}, numel={self.total_numel}, "
+            f"padded={self.padded_numel}, F={self.sharding_factor}, "
+            f"unsharded={self.is_unsharded})"
+        )

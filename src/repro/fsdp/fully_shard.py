@@ -1,0 +1,105 @@
+"""``fully_shard`` — the non-intrusive module annotator (Section 4).
+
+Instead of replacing the module with a wrapper, ``fully_shard``
+installs FSDP logic as forward pre/post hooks via
+``register_forward_pre_hook`` / ``register_forward_hook``, preserving
+both the model structure and parameter fully-qualified names.  Apply it
+bottom-up (inner blocks first, the root module last); the root's first
+forward performs lazy runtime initialization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro import distributed as dist
+from repro.cuda.device import Device
+from repro.distributed import ProcessGroup
+from repro.errors import FsdpError
+from repro.fsdp.api import (
+    _collect_unit_params,
+    _init_runtime_for_root,
+    _materialize_unit_params,
+    _move_buffers,
+)
+from repro.fsdp.flat_param import FlatParamHandle
+from repro.fsdp.mixed_precision import MixedPrecision
+from repro.fsdp.runtime import BackwardPrefetch, FsdpUnit, RATE_LIMIT_INFLIGHT
+from repro.fsdp.sharding import ShardingStrategy, make_process_groups
+from repro.nn.module import Module
+
+__all__ = ["fully_shard"]
+
+
+def fully_shard(
+    module: Module,
+    process_group: Optional[ProcessGroup] = None,
+    *,
+    sharding_strategy: ShardingStrategy = ShardingStrategy.FULL_SHARD,
+    sharding_factor: Optional[int] = None,
+    mixed_precision: Optional[MixedPrecision] = None,
+    backward_prefetch: BackwardPrefetch = BackwardPrefetch.BACKWARD_PRE,
+    forward_prefetch: bool = False,
+    limit_all_gathers: bool = True,
+    rate_limit_inflight: int = RATE_LIMIT_INFLIGHT,
+    cpu_offload=None,
+    device: Optional[Device] = None,
+    param_init_fn: Optional[Callable[[Module], None]] = None,
+) -> Module:
+    """Annotate ``module`` as one FSDP unit; returns the same module."""
+    if getattr(module, "_fsdp_unit", None) is not None:
+        raise FsdpError("module is already annotated with fully_shard")
+    device = device or dist.get_device()
+
+    plan = make_process_groups(
+        sharding_strategy, process_group, sharding_factor=sharding_factor
+    )
+    triples = _collect_unit_params(module)
+    _materialize_unit_params(triples, device, param_init_fn)
+    triples = _collect_unit_params(module)
+    _move_buffers(module, device, mixed_precision)
+
+    handle: Optional[FlatParamHandle] = None
+    if triples:
+        mp = mixed_precision
+        handle = FlatParamHandle(
+            triples,
+            device,
+            plan.shard_group,
+            param_dtype=mp.param_dtype if mp else None,
+            reduce_dtype=mp.resolved_reduce_dtype() if mp else None,
+            keep_low_precision_grads=mp.keep_low_precision_grads if mp else False,
+            offload_params=bool(cpu_offload and cpu_offload.offload_params),
+            label=type(module).__name__,
+        )
+        # FQN preservation: the FlatParameter is registered on the
+        # annotated module itself, not on a wrapper.
+        module.register_parameter("_flat_param", handle.flat_param)
+
+    unit = FsdpUnit(handle, plan, label=type(module).__name__)
+    object.__setattr__(module, "_fsdp_unit", unit)
+
+    config = dict(
+        backward_prefetch=backward_prefetch,
+        forward_prefetch=forward_prefetch,
+        limit_all_gathers=limit_all_gathers,
+        rate_limit_inflight=rate_limit_inflight,
+    )
+
+    def _pre_hook(mod: Module, args):
+        if unit.runtime is None:
+            _init_runtime_for_root(mod, unit, device, config)
+        new_args = args
+        if unit.is_root:
+            from repro.fsdp.api import _cast_forward_inputs
+
+            new_args, _ = _cast_forward_inputs(mixed_precision, args, {})
+        unit.pre_forward()
+        return new_args
+
+    def _post_hook(mod: Module, args, output):
+        return unit.post_forward(output)
+
+    module.register_forward_pre_hook(_pre_hook)
+    module.register_forward_hook(_post_hook)
+    return module

@@ -1,0 +1,54 @@
+"""Native mixed precision configuration (Section 4.4).
+
+FSDP keeps the sharded FlatParameter in full precision for the
+optimizer and maintains a low-precision copy for compute; the cast
+happens once per FlatParameter in pre-forward (and pre-backward when
+resharding after forward), not per-operator like autocast.  All
+collectives may run in the low precision, halving communication volume.
+
+Peak parameter memory *decreases* under this scheme: from
+``max_i {K_full ψ_i / F + K_full ψ_i}`` to
+``max_i {K_full ψ_i / F + K_low ψ_i}``, because the sharded full-
+precision copy is always resident while the transient unsharded copy
+is now low precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import dtypes
+
+__all__ = ["MixedPrecision", "BF16_MIXED", "FP16_MIXED"]
+
+
+@dataclass(frozen=True)
+class MixedPrecision:
+    """User-specified precisions, each independently optional.
+
+    Attributes:
+        param_dtype: dtype of unsharded parameters used by forward and
+            backward compute (and of the parameter AllGather).
+        reduce_dtype: dtype of gradient reduction collectives; defaults
+            to ``param_dtype``.
+        buffer_dtype: dtype buffers are cast to; defaults to
+            ``param_dtype``.
+        keep_low_precision_grads: keep sharded gradients in
+            ``reduce_dtype`` instead of upcasting for the optimizer.
+    """
+
+    param_dtype: Optional[dtypes.DType] = None
+    reduce_dtype: Optional[dtypes.DType] = None
+    buffer_dtype: Optional[dtypes.DType] = None
+    keep_low_precision_grads: bool = False
+
+    def resolved_reduce_dtype(self) -> Optional[dtypes.DType]:
+        return self.reduce_dtype or self.param_dtype
+
+    def resolved_buffer_dtype(self) -> Optional[dtypes.DType]:
+        return self.buffer_dtype or self.param_dtype
+
+
+BF16_MIXED = MixedPrecision(param_dtype=dtypes.bfloat16, reduce_dtype=dtypes.bfloat16)
+FP16_MIXED = MixedPrecision(param_dtype=dtypes.float16, reduce_dtype=dtypes.float16)

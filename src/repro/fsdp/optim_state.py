@@ -1,0 +1,141 @@
+"""Optimizer state-dict gathering for sharded models.
+
+The optimizer holds per-FlatParameter state tensors (e.g. Adam's
+``exp_avg``/``exp_avg_sq``) that are sharded exactly like the
+FlatParameter itself.  :func:`full_optim_state_dict` AllGathers each
+state tensor one unit at a time and re-keys it by the original
+parameter FQNs — the same consolidated format the unwrapped model's
+optimizer would produce — and :func:`load_full_optim_state_dict`
+scatters such a dict back into each rank's shards (e.g. when resuming
+on a different world size).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.autograd.grad_mode import no_grad
+from repro.errors import FsdpError
+from repro.nn.module import Module
+from repro.optim.optimizer import Optimizer
+from repro.tensor import Tensor, empty, tensor, zeros_like
+
+from repro.fsdp.state_dict import _handles_under, _join, _module_fqns
+
+__all__ = ["full_optim_state_dict", "load_full_optim_state_dict"]
+
+
+def _gather_state_tensor(handle, value: Tensor) -> np.ndarray:
+    """AllGather one sharded optimizer state tensor to full (padded) size."""
+    if value.numel != handle.shard_numel:
+        raise FsdpError(
+            f"optimizer state tensor has {value.numel} elements; expected the "
+            f"shard size {handle.shard_numel} — was the optimizer built "
+            "after FSDP wrapping?"
+        )
+    if handle.sharding_factor == 1:
+        return value.numpy().copy()
+    device_value = value
+    if value.device.is_cpu:
+        # Offloaded state: stage through the device for the collective.
+        from repro import ops
+
+        with no_grad():
+            device_value = ops.to_device(value.detach(), handle.device)
+    full = empty(handle.padded_numel, dtype=value.dtype, device=handle.device)
+    work = handle.shard_group.all_gather_into_tensor(full, device_value.detach())
+    work.wait()
+    return full.numpy().copy()
+
+
+def full_optim_state_dict(model: Module, optimizer: Optimizer) -> dict:
+    """Consolidate optimizer state, keyed by original parameter FQNs.
+
+    Returns ``{"state": {fqn: {name: value}}, "param_groups": [...]}``
+    where tensors are unsharded and scalars (e.g. Adam's ``step``) pass
+    through.  Requires functional (materialized) mode.
+    """
+    fqns = _module_fqns(model)
+    state_out: "OrderedDict[str, dict]" = OrderedDict()
+    for handle in _handles_under(model):
+        flat_state = optimizer.state.get(id(handle.flat_param), {})
+        gathered: dict[str, np.ndarray] = {}
+        scalars: dict[str, object] = {}
+        for key, value in flat_state.items():
+            if isinstance(value, Tensor):
+                gathered[key] = _gather_state_tensor(handle, value)
+            else:
+                scalars[key] = value
+        seen_offsets: set[int] = set()
+        for info in handle.param_infos:
+            if info.offset in seen_offsets:
+                continue
+            seen_offsets.add(info.offset)
+            fqn = _join(fqns[id(info.module)], info.name)
+            entry: dict[str, object] = dict(scalars)
+            for key, flat in gathered.items():
+                entry[key] = tensor(
+                    flat[info.offset : info.offset + info.numel].reshape(info.shape)
+                )
+            state_out[fqn] = entry
+
+    param_groups = []
+    for group in optimizer.param_groups:
+        meta = {k: v for k, v in group.items() if k != "params"}
+        meta["params"] = sorted(state_out.keys())
+        param_groups.append(meta)
+    return {"state": state_out, "param_groups": param_groups}
+
+
+def load_full_optim_state_dict(model: Module, optimizer: Optimizer, state_dict: dict) -> None:
+    """Scatter a consolidated optimizer state dict into local shards."""
+    fqns = _module_fqns(model)
+    state = state_dict["state"]
+    with no_grad():
+        for handle in _handles_under(model):
+            rank = handle.shard_group.rank
+            shard_start = rank * handle.shard_numel
+            shard_end = shard_start + handle.shard_numel
+            flat_state = optimizer.state.setdefault(id(handle.flat_param), {})
+
+            # Collect tensor keys and scalars from any of this unit's params.
+            tensor_keys: set[str] = set()
+            seen_offsets: set[int] = set()
+            for info in handle.param_infos:
+                if info.offset in seen_offsets:
+                    continue
+                seen_offsets.add(info.offset)
+                fqn = _join(fqns[id(info.module)], info.name)
+                if fqn not in state:
+                    raise KeyError(f"optimizer state dict is missing {fqn!r}")
+                for key, value in state[fqn].items():
+                    if isinstance(value, Tensor):
+                        tensor_keys.add(key)
+                    else:
+                        flat_state[key] = value
+
+            for key in tensor_keys:
+                shard = flat_state.get(key)
+                if shard is None or shard.numel != handle.shard_numel:
+                    shard = zeros_like(handle.flat_param.detach())
+                    flat_state[key] = shard
+                if not shard.is_materialized:
+                    raise FsdpError("load_full_optim_state_dict requires materialized tensors")
+                seen_offsets = set()
+                for info in handle.param_infos:
+                    if info.offset in seen_offsets:
+                        continue
+                    seen_offsets.add(info.offset)
+                    fqn = _join(fqns[id(info.module)], info.name)
+                    value = state[fqn][key]
+                    flat = value.numpy().reshape(-1)
+                    lo = max(info.offset, shard_start)
+                    hi = min(info.offset + info.numel, shard_end)
+                    if lo >= hi:
+                        continue
+                    shard._np[lo - shard_start : hi - shard_start] = flat[
+                        lo - info.offset : hi - info.offset
+                    ]

@@ -1,0 +1,385 @@
+"""FSDP runtime: unit lifecycle, overlap, prefetching, rate limiting.
+
+This module implements Sections 3.3 and 3.4:
+
+- every unit's AllGather is issued on a dedicated *unshard stream*
+  shared by all units of one FSDP root, bypassing the compute stream's
+  sequential ordering so communication overlaps computation (3.3.1);
+  ReduceScatters are issued on the same stream, reproducing the
+  ProcessGroupNCCL single-internal-stream serialization that motivates
+  backward prefetching (3.3.2);
+- *backward prefetching* issues the next AllGather (by reverse
+  pre-forward order, freshly observed each iteration) before the
+  current ReduceScatter (3.3.2); *forward prefetching* issues the next
+  forward AllGather using the previous iteration's order (3.3.3);
+- the *rate limiter* caps inflight AllGathers at two, blocking the CPU
+  thread on the oldest event so the caching allocator can reuse the
+  producer-stream blocks instead of over-allocating (3.4);
+- an end-of-backward callback waits for pending reductions so the
+  optimizer never consumes gradients early (4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Optional
+
+from repro.autograd.engine import queue_callback
+from repro.autograd.grad_mode import is_grad_enabled
+from repro.cuda.device import Device
+from repro.cuda.stream import Event, Stream
+from repro.errors import FsdpError
+from repro.fsdp.flat_param import FlatParamHandle
+from repro.fsdp.sharding import ShardingPlan, ShardingStrategy
+from repro.tensor import Tensor
+
+__all__ = ["BackwardPrefetch", "FsdpRuntime", "FsdpUnit", "RATE_LIMIT_INFLIGHT"]
+
+# "It allows at most two inflight AllGathers, which is the minimum
+# amount to still achieve communication and computation overlap."
+RATE_LIMIT_INFLIGHT = 2
+
+
+class BackwardPrefetch(enum.Enum):
+    """When to issue the next AllGather during backward."""
+
+    #: Issue the next AllGather before the current unit's gradient
+    #: computation (and hence before its ReduceScatter).
+    BACKWARD_PRE = "backward_pre"
+    #: Issue the next AllGather after the current unit's gradient
+    #: computation (it still queues behind the ReduceScatter but avoids
+    #: waiting for the next unit's pre-backward hook).
+    BACKWARD_POST = "backward_post"
+    #: No prefetching: the next AllGather queues behind the current
+    #: ReduceScatter on the single communication stream.
+    NONE = "none"
+
+
+class FsdpRuntime:
+    """State shared by every FSDP unit under one root."""
+
+    def __init__(
+        self,
+        device: Device,
+        *,
+        backward_prefetch: BackwardPrefetch = BackwardPrefetch.BACKWARD_PRE,
+        forward_prefetch: bool = False,
+        limit_all_gathers: bool = True,
+        rate_limit_inflight: int = RATE_LIMIT_INFLIGHT,
+    ):
+        self.device = device
+        self.unshard_stream: Stream = device.new_stream("fsdp-unshard")
+        self.backward_prefetch = backward_prefetch
+        self.forward_prefetch = forward_prefetch
+        self.limit_all_gathers = limit_all_gathers
+        self.rate_limit_inflight = rate_limit_inflight
+        self.units: list[FsdpUnit] = []
+        self.exec_order: list[FsdpUnit] = []
+        self.prev_exec_order: list[FsdpUnit] = []
+        self._inflight: deque[Event] = deque()
+        self._final_callback_queued = False
+        self.iteration = 0
+        self.in_backward = False
+
+    # ------------------------------------------------------------------
+    # Rate limiter (Section 3.4)
+    # ------------------------------------------------------------------
+    def admit_allgather(self) -> None:
+        """Block the CPU until at most ``limit - 1`` unsharded buffers
+        have unconfirmed consumers.
+
+        The queued events are recorded on the *compute* stream when a
+        unit reshards (frees its unsharded FlatParameter), so waiting
+        on one guarantees the freed block's cross-stream uses retired —
+        the caching allocator can then reuse it for the next AllGather
+        instead of growing the reserved pool.
+        """
+        if not self.limit_all_gathers:
+            return
+        while len(self._inflight) >= self.rate_limit_inflight:
+            oldest = self._inflight.popleft()
+            oldest.synchronize()
+
+    def note_reshard_free(self) -> None:
+        """Record a free event on the compute stream (called at reshard)."""
+        event = self.device.default_stream.record_event()
+        self._inflight.append(event)
+
+    # ------------------------------------------------------------------
+    # Iteration bookkeeping
+    # ------------------------------------------------------------------
+    def begin_iteration(self) -> None:
+        self.iteration += 1
+        self.prev_exec_order = self.exec_order
+        self.exec_order = []
+        self.in_backward = False
+        self._final_callback_queued = False
+        for unit in self.units:
+            unit.reset_iteration_state()
+        # Parameters may have just been updated by the optimizer on the
+        # compute stream; communication must observe those writes.
+        self.unshard_stream.wait_stream(self.device.default_stream)
+
+    def record_pre_forward(self, unit: "FsdpUnit") -> None:
+        if unit not in self.exec_order:
+            self.exec_order.append(unit)
+
+    def ensure_final_callback(self) -> None:
+        if self._final_callback_queued:
+            return
+        self._final_callback_queued = True
+        queue_callback(self._finalize_backward)
+
+    def _finalize_backward(self) -> None:
+        """Runs at GraphTask exit: wait reductions, tidy unit state."""
+        for unit in self.units:
+            if unit.handle is None:
+                continue
+            work = unit.pending_reduce_work
+            if work is not None:
+                work.wait()
+                unit.pending_reduce_work = None
+            unit.handle.restore_stashed_gradient()
+            if unit.handle.is_unsharded and unit.handle.needs_unshard:
+                # Units whose backward never ran (unused outputs) or
+                # strategies that keep parameters through backward are
+                # resharded here.
+                unit.handle.reshard()
+        self._final_callback_queued = False
+        self.in_backward = False
+
+    # ------------------------------------------------------------------
+    # Prefetch target selection
+    # ------------------------------------------------------------------
+    def next_backward_unit(self, unit: "FsdpUnit") -> Optional["FsdpUnit"]:
+        """The unit expected to run backward after ``unit``.
+
+        Uses the reverse of the current iteration's pre-forward order,
+        which approximates the pre-backward order (Section 3.3.2).
+        """
+        order = self.exec_order
+        try:
+            index = order.index(unit)
+        except ValueError:
+            return None
+        for candidate in reversed(order[:index]):
+            if (
+                candidate.handle is not None
+                and not candidate.pre_backward_ran
+                and not candidate.handle.is_unsharded
+            ):
+                return candidate
+        return None
+
+    def next_forward_unit(self, unit: "FsdpUnit") -> Optional["FsdpUnit"]:
+        """The unit expected to run forward after ``unit``.
+
+        Uses the previous iteration's order: forward prefetching
+        assumes a static graph across iterations (Section 3.3.3).
+        """
+        order = self.prev_exec_order
+        try:
+            index = order.index(unit)
+        except ValueError:
+            return None
+        for candidate in order[index + 1 :]:
+            if (
+                candidate.handle is not None
+                and not candidate.handle.is_unsharded
+                and not candidate.forward_ran
+            ):
+                return candidate
+        return None
+
+
+class FsdpUnit:
+    """Per-unit runtime logic driving one FlatParamHandle."""
+
+    def __init__(
+        self,
+        handle: Optional[FlatParamHandle],
+        plan: ShardingPlan,
+        *,
+        is_root: bool = False,
+        reshard_after_forward: Optional[bool] = None,
+        label: str = "",
+    ):
+        # ``handle`` is None for container-only units (all parameters
+        # already assigned to nested units); such a unit still does
+        # root bookkeeping but has nothing to shard.
+        self.handle = handle
+        self.plan = plan
+        self.is_root = is_root
+        self.label = label or (handle.label if handle else "container")
+        if reshard_after_forward is None:
+            reshard_after_forward = plan.strategy.reshard_after_forward
+        self.reshard_after_forward = reshard_after_forward
+        self.runtime: Optional[FsdpRuntime] = None
+        self._no_sync = False
+        self.pending_reduce_work = None
+        self._last_unshard_event: Optional[Event] = None
+        # Per-iteration flags
+        self.forward_ran = False
+        self.pre_backward_ran = False
+        self.post_backward_ran = False
+        self._post_backward_hook_handle = None
+
+    # ------------------------------------------------------------------
+    def attach_runtime(self, runtime: FsdpRuntime) -> None:
+        self.runtime = runtime
+        if self not in runtime.units:
+            runtime.units.append(self)
+        if (
+            self.handle is not None
+            and self._post_backward_hook_handle is None
+            and self.handle.flat_param.requires_grad
+        ):
+            self._post_backward_hook_handle = (
+                self.handle.flat_param.register_post_accumulate_grad_hook(
+                    self._post_backward_hook
+                )
+            )
+
+    def reset_iteration_state(self) -> None:
+        self.forward_ran = False
+        self.pre_backward_ran = False
+        self.post_backward_ran = False
+
+    @property
+    def no_sync(self) -> bool:
+        return self._no_sync
+
+    @no_sync.setter
+    def no_sync(self, value: bool) -> None:
+        self._no_sync = value
+
+    # ------------------------------------------------------------------
+    # Unshard with overlap + rate limiting
+    # ------------------------------------------------------------------
+    def _issue_unshard(self) -> None:
+        runtime = self._require_runtime()
+        if self.handle is None or self.handle.is_unsharded:
+            return
+        runtime.admit_allgather()
+        event = self.handle.unshard(runtime.unshard_stream)
+        self._last_unshard_event = event
+
+    def _wait_unshard_on_compute(self) -> None:
+        """Compute-stream kernels must not start before *this unit's*
+        AllGather (waiting on the whole unshard stream would serialize
+        against prefetched AllGathers for later units)."""
+        runtime = self._require_runtime()
+        event = getattr(self, "_last_unshard_event", None)
+        if event is not None:
+            runtime.device.default_stream.wait_event(event)
+
+    def _require_runtime(self) -> FsdpRuntime:
+        if self.runtime is None:
+            raise FsdpError(
+                f"FSDP unit {self.label!r} used before its root ran a forward pass"
+            )
+        return self.runtime
+
+    # ------------------------------------------------------------------
+    # Forward path
+    # ------------------------------------------------------------------
+    def pre_forward(self) -> None:
+        runtime = self._require_runtime()
+        if self.is_root:
+            runtime.begin_iteration()
+        runtime.record_pre_forward(self)
+        self.forward_ran = True
+        if self.handle is None:
+            return
+        self._issue_unshard()
+        if runtime.forward_prefetch:
+            target = runtime.next_forward_unit(self)
+            if target is not None:
+                target._issue_unshard()
+        self._wait_unshard_on_compute()
+        self.handle.use_unsharded_views()
+
+    def post_forward(self, output):
+        self._require_runtime()
+        if self.handle is None:
+            return output
+        runtime = self._require_runtime()
+        if self.reshard_after_forward and not self.is_root and is_grad_enabled():
+            if self.handle.reshard():
+                runtime.note_reshard_free()
+        if not is_grad_enabled():
+            # Inference: free everything, no backward hooks needed.
+            if self.handle.reshard():
+                runtime.note_reshard_free()
+            return output
+        self._register_pre_backward_hooks(output)
+        return output
+
+    def _register_pre_backward_hooks(self, output) -> None:
+        tensors = _flatten_tensors(output)
+        for tensor in tensors:
+            if tensor.requires_grad:
+                tensor.register_hook(self._pre_backward_hook)
+
+    # ------------------------------------------------------------------
+    # Backward path
+    # ------------------------------------------------------------------
+    def _pre_backward_hook(self, grad: Tensor):
+        runtime = self._require_runtime()
+        runtime.ensure_final_callback()
+        runtime.in_backward = True
+        if self.pre_backward_ran or self.handle is None:
+            return None
+        self.pre_backward_ran = True
+        self.handle.prepare_gradient_for_backward()
+        self._issue_unshard()
+        if runtime.backward_prefetch is BackwardPrefetch.BACKWARD_PRE:
+            # Issue the next unit's AllGather now, ahead of this unit's
+            # ReduceScatter on the shared communication stream.  The
+            # target's own pre-backward hook still runs later (it will
+            # find the handle already unsharded and only wait).
+            target = runtime.next_backward_unit(self)
+            if target is not None:
+                target._issue_unshard()
+        self._wait_unshard_on_compute()
+        return None
+
+    def _post_backward_hook(self, flat_param) -> None:
+        # May fire several times per backward: each checkpoint
+        # recompute is its own GraphTask and finalizes this unit's
+        # AccumulateGrad independently.  Every firing reduces its
+        # contribution; the shards accumulate in the handle's stash.
+        runtime = self._require_runtime()
+        self.post_backward_ran = True
+        runtime.ensure_final_callback()
+        # Free the unsharded parameters before reducing, shrinking the
+        # peak: gradient memory replaces parameter memory.
+        if self.handle.reshard():
+            runtime.note_reshard_free()
+        work = self.handle.reduce_grad(
+            runtime.unshard_stream,
+            replicate_group=self.plan.replicate_group,
+            no_sync=self._no_sync,
+        )
+        self.pending_reduce_work = work
+        if runtime.backward_prefetch is BackwardPrefetch.BACKWARD_POST:
+            target = runtime.next_backward_unit(self)
+            if target is not None:
+                target._issue_unshard()
+
+
+def _flatten_tensors(output) -> list[Tensor]:
+    if isinstance(output, Tensor):
+        return [output]
+    if isinstance(output, (list, tuple)):
+        tensors: list[Tensor] = []
+        for item in output:
+            tensors.extend(_flatten_tensors(item))
+        return tensors
+    if isinstance(output, dict):
+        tensors = []
+        for item in output.values():
+            tensors.extend(_flatten_tensors(item))
+        return tensors
+    return []

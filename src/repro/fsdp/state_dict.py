@@ -1,0 +1,159 @@
+"""State-dict collection for sharded models.
+
+Two flavours, mirroring ``torch.distributed.fsdp``:
+
+- :func:`full_state_dict` — every rank AllGathers full-precision
+  parameters one unit at a time (peak memory = one unsharded unit) and
+  returns original-FQN → tensor, identical to the unwrapped model's
+  ``state_dict()``;
+- :func:`sharded_state_dict` — each rank returns only its local shards
+  (cheap; pair with :func:`load_sharded_state_dict`).
+
+:func:`load_full_state_dict` scatters a full state dict back into the
+local shards.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.autograd.grad_mode import no_grad
+from repro.errors import FsdpError
+from repro.nn.module import Module
+from repro.tensor import Tensor, tensor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fsdp.flat_param import FlatParamHandle
+
+__all__ = [
+    "full_state_dict",
+    "load_full_state_dict",
+    "sharded_state_dict",
+    "load_sharded_state_dict",
+]
+
+
+def _module_fqns(root: Module) -> dict[int, str]:
+    """Map module ids to original-model FQNs, skipping FSDP wrappers."""
+    from repro.fsdp.api import FullyShardedDataParallel
+
+    mapping: dict[int, str] = {}
+
+    def walk(module: Module, prefix: str) -> None:
+        if isinstance(module, FullyShardedDataParallel):
+            walk(module.module, prefix)
+            return
+        mapping[id(module)] = prefix
+        for name, child in module._modules.items():
+            if child is None:
+                continue
+            walk(child, f"{prefix}.{name}" if prefix else name)
+
+    walk(root, "")
+    return mapping
+
+
+def _handles_under(root: Module) -> list["FlatParamHandle"]:
+    from repro.fsdp.api import _units_under
+
+    return [u.handle for u in _units_under(root) if u.handle is not None]
+
+
+def _join(prefix: str, name: str) -> str:
+    return f"{prefix}.{name}" if prefix else name
+
+
+def full_state_dict(root: Module) -> "OrderedDict[str, Tensor]":
+    """Collect the unsharded, full-precision state dict (Section 4).
+
+    Units are gathered one at a time so peak memory stays at one
+    unsharded FlatParameter.  Requires functional (materialized) mode.
+    """
+    fqns = _module_fqns(root)
+    result: "OrderedDict[str, Tensor]" = OrderedDict()
+    for handle in _handles_under(root):
+        full_flat = handle.gather_full_precision()
+        if not full_flat.is_materialized:
+            raise FsdpError("full_state_dict requires materialized tensors")
+        flat_np = full_flat._np
+        seen_offsets: set[int] = set()
+        for info in handle.param_infos:
+            fqn = _join(fqns[id(info.module)], info.name)
+            if info.offset in seen_offsets and fqn in result:
+                continue
+            seen_offsets.add(info.offset)
+            values = flat_np[info.offset : info.offset + info.numel].reshape(info.shape)
+            result[fqn] = tensor(
+                np.array(values), dtype=handle.full_precision_dtype
+            )
+        del full_flat
+    for name, buffer in _named_buffers_clean(root, fqns):
+        result[name] = tensor(buffer.numpy(), dtype=buffer.dtype)
+    return result
+
+
+def _named_buffers_clean(root: Module, fqns: dict[int, str]):
+    for module in root.modules():
+        if id(module) not in fqns:
+            continue
+        for name, buffer in module._buffers.items():
+            if buffer is None:
+                continue
+            yield _join(fqns[id(module)], name), buffer
+
+
+def load_full_state_dict(root: Module, state: dict) -> None:
+    """Scatter a full state dict into each rank's local shards."""
+    fqns = _module_fqns(root)
+    with no_grad():
+        for handle in _handles_under(root):
+            shard = handle._local_shard
+            if not shard.is_materialized:
+                raise FsdpError("load_full_state_dict requires materialized tensors")
+            rank = handle.shard_group.rank
+            shard_start = rank * handle.shard_numel
+            shard_end = shard_start + handle.shard_numel
+            loaded_offsets: set[int] = set()
+            for info in handle.param_infos:
+                if info.offset in loaded_offsets:
+                    continue
+                loaded_offsets.add(info.offset)
+                fqn = _join(fqns[id(info.module)], info.name)
+                if fqn not in state:
+                    raise KeyError(f"state dict is missing {fqn!r}")
+                value = state[fqn]
+                flat = value.numpy().reshape(-1) if isinstance(value, Tensor) else np.asarray(value).reshape(-1)
+                lo = max(info.offset, shard_start)
+                hi = min(info.offset + info.numel, shard_end)
+                if lo >= hi:
+                    continue
+                shard._np[lo - shard_start : hi - shard_start] = flat[
+                    lo - info.offset : hi - info.offset
+                ]
+        for name, buffer in _named_buffers_clean(root, fqns):
+            if name in state and buffer.is_materialized:
+                value = state[name]
+                src = value.numpy() if isinstance(value, Tensor) else np.asarray(value)
+                buffer._np[...] = src.reshape(buffer.shape)
+
+
+def sharded_state_dict(root: Module) -> "OrderedDict[str, Tensor]":
+    """Each rank's local shards, keyed by unit index."""
+    result: "OrderedDict[str, Tensor]" = OrderedDict()
+    for index, handle in enumerate(_handles_under(root)):
+        key = f"flat_param.{index:03d}.{handle.label}"
+        result[key] = handle._local_shard.detach()
+    return result
+
+
+def load_sharded_state_dict(root: Module, state: dict) -> None:
+    """Load shards saved by :func:`sharded_state_dict` (same layout)."""
+    with no_grad():
+        for index, handle in enumerate(_handles_under(root)):
+            key = f"flat_param.{index:03d}.{handle.label}"
+            if key not in state:
+                raise KeyError(f"sharded state dict is missing {key!r}")
+            handle._local_shard.copy_(state[key])

@@ -1,0 +1,52 @@
+"""Auto-wrap policies (Section 4.1).
+
+A policy decides which submodules become their own FSDP units — the
+knob controlling the FlatParameter granularity and hence the
+memory-throughput trade-off of Section 3.2.1 (finer units lower peak
+memory, more collectives).  Wrapping follows the paper's rule: all
+parameters of an annotated module go to one FlatParameter, excluding
+parameters already assigned to a nested unit; residual parameters go
+to the parent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Type
+
+from repro.nn.module import Module
+
+__all__ = [
+    "ModuleWrapPolicy",
+    "size_based_auto_wrap_policy",
+    "transformer_auto_wrap_policy",
+]
+
+Policy = Callable[[Module], bool]
+
+
+def ModuleWrapPolicy(module_classes: Iterable[Type[Module]]) -> Policy:
+    """Wrap every submodule that is an instance of the given classes.
+
+    The conventional choice for transformers: wrap each block class, so
+    FlatParameter boundaries align with execution order.
+    """
+    classes = tuple(module_classes)
+
+    def policy(module: Module) -> bool:
+        return isinstance(module, classes)
+
+    return policy
+
+
+def size_based_auto_wrap_policy(min_num_params: int = 100_000_000) -> Policy:
+    """Wrap any submodule whose (unassigned) parameters exceed a size."""
+
+    def policy(module: Module) -> bool:
+        return sum(p.numel for p in module.parameters()) >= min_num_params
+
+    return policy
+
+
+def transformer_auto_wrap_policy(block_classes: Iterable[Type[Module]]) -> Policy:
+    """Alias of :func:`ModuleWrapPolicy` matching the PyTorch name."""
+    return ModuleWrapPolicy(block_classes)

@@ -1,0 +1,36 @@
+"""Hardware specifications and analytic cost models.
+
+This package is the reproduction's stand-in for the paper's physical
+testbed (A100-80GB hosts on a 2 Tb/s RoCE fat-tree).  It provides:
+
+- :mod:`repro.hw.specs` — device, host and cluster descriptions;
+- :mod:`repro.hw.kernel_model` — GPU kernel duration estimates;
+- :mod:`repro.hw.comm_model` — NCCL-style collective cost model
+  (ring algorithm, launch overheads, list-output copy penalties and the
+  uneven-input broadcast fallback measured in Figure 2);
+- :mod:`repro.hw.traffic` — closed-form cross-host traffic counters from
+  Section 3.2.2.
+"""
+
+from repro.hw.specs import (
+    A100_40GB,
+    A100_80GB,
+    ClusterTopology,
+    GpuSpec,
+    HostSpec,
+    cluster_of,
+)
+from repro.hw.kernel_model import KernelCostModel
+from repro.hw.comm_model import CollectiveKind, CommModel
+
+__all__ = [
+    "GpuSpec",
+    "HostSpec",
+    "ClusterTopology",
+    "A100_80GB",
+    "A100_40GB",
+    "cluster_of",
+    "KernelCostModel",
+    "CommModel",
+    "CollectiveKind",
+]

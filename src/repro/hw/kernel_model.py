@@ -1,0 +1,65 @@
+"""Analytic GPU kernel duration model.
+
+Every tensor op in :mod:`repro.ops` reports its arithmetic cost (FLOPs)
+and its memory traffic (bytes moved through HBM).  The kernel model
+converts those into a simulated duration using a simple roofline:
+
+    duration = max(flops / sustained_flops, bytes / mem_bandwidth,
+                   kernel_min_duration)
+
+Matmuls use the tensor-core lane for their dtype; elementwise and
+reduction kernels are bandwidth-bound.  This level of fidelity is
+sufficient for the paper's evaluation, which reports TFLOPS-per-GPU
+ratios and scaling shapes rather than kernel-exact times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import dtypes
+from repro.hw.specs import GpuSpec
+
+__all__ = ["KernelCostModel", "KernelCost"]
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Cost declaration attached to a single kernel launch.
+
+    Attributes:
+        flops: floating point operations performed.
+        bytes_moved: HBM traffic in bytes (reads + writes).
+        is_matmul: route flops through the tensor-core lane.
+    """
+
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+    is_matmul: bool = False
+
+
+class KernelCostModel:
+    """Maps :class:`KernelCost` declarations to durations on a GPU."""
+
+    def __init__(self, gpu: GpuSpec):
+        self.gpu = gpu
+
+    def duration(self, cost: KernelCost, dtype: dtypes.DType) -> float:
+        """Simulated kernel duration in seconds."""
+        gpu = self.gpu
+        compute_time = 0.0
+        if cost.flops:
+            if cost.is_matmul:
+                rate = gpu.matmul_flops_per_s(dtype)
+            else:
+                # Non-matmul FLOPs run on the vector units; approximate
+                # them as bandwidth-limited alongside their traffic but
+                # keep a compute floor of 1/10th tensor-core rate.
+                rate = gpu.peak_for(dtype) * 0.1
+            compute_time = cost.flops / rate
+        memory_time = cost.bytes_moved / gpu.mem_bandwidth if cost.bytes_moved else 0.0
+        return max(compute_time, memory_time, gpu.kernel_min_duration)
+
+    def launch_overhead(self) -> float:
+        """CPU time consumed issuing one kernel."""
+        return self.gpu.kernel_launch_cpu

@@ -1,0 +1,76 @@
+"""Closed-form cross-host traffic counters from Section 3.2.2.
+
+For a model of ``M`` bytes trained on ``W`` GPUs grouped into hosts of
+``G`` GPUs, the paper derives the per-GPU cross-host traffic per
+iteration for the three sharding regimes:
+
+- full replication (DDP): an all-reduce of the full gradient,
+  ``2 M (W - 1) / W``;
+- full sharding: an all-gather in forward, an all-gather in backward
+  and a reduce-scatter, ``3 M (W - 1) / W``;
+- hybrid sharding with the shard group confined to a host: only the
+  replicate-group all-reduce of the ``M / G`` shard crosses hosts,
+  which the paper approximates as ``2 M (W - 1) / (G W)``.
+
+These formulas only count bytes that leave a host; intra-host NVLink
+traffic is excluded.  ``exact=True`` returns the un-approximated hybrid
+expression ``2 (M / G) (W/G - 1) / (W/G)`` (the paper rounds
+``W - G`` to ``W - 1``), which the tests cross-check against the
+simulator's byte counters.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "full_replication_cross_host_bytes",
+    "full_sharding_cross_host_bytes",
+    "hybrid_sharding_cross_host_bytes",
+]
+
+
+def _check(model_bytes: float, world_size: int) -> None:
+    if model_bytes < 0:
+        raise ValueError("model_bytes must be non-negative")
+    if world_size < 1:
+        raise ValueError("world_size must be >= 1")
+
+
+def full_replication_cross_host_bytes(model_bytes: float, world_size: int) -> float:
+    """Per-GPU cross-host bytes per iteration under full replication."""
+    _check(model_bytes, world_size)
+    return 2.0 * model_bytes * (world_size - 1) / world_size
+
+
+def full_sharding_cross_host_bytes(model_bytes: float, world_size: int) -> float:
+    """Per-GPU cross-host bytes per iteration under full sharding.
+
+    Two all-gathers (forward, backward) plus one reduce-scatter.
+    """
+    _check(model_bytes, world_size)
+    return 3.0 * model_bytes * (world_size - 1) / world_size
+
+
+def hybrid_sharding_cross_host_bytes(
+    model_bytes: float,
+    world_size: int,
+    gpus_per_host: int,
+    *,
+    exact: bool = False,
+) -> float:
+    """Per-GPU cross-host bytes per iteration under hybrid sharding.
+
+    Assumes the sharding group equals one host (sharding factor
+    ``F == gpus_per_host``), so all-gathers and reduce-scatters stay on
+    NVLink and only the replicate-group all-reduce crosses hosts.
+    """
+    _check(model_bytes, world_size)
+    if gpus_per_host < 1 or world_size % gpus_per_host:
+        raise ValueError("world_size must be a multiple of gpus_per_host")
+    num_replicas = world_size // gpus_per_host
+    if num_replicas == 1:
+        return 0.0
+    shard_bytes = model_bytes / gpus_per_host
+    if exact:
+        return 2.0 * shard_bytes * (num_replicas - 1) / num_replicas
+    # Paper's approximation: 2 M (W - 1) / (G W).
+    return 2.0 * model_bytes * (world_size - 1) / (gpus_per_host * world_size)

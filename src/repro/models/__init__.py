@@ -1,0 +1,37 @@
+"""Evaluation models: the workloads of the paper's Section 5."""
+
+from repro.models.deepvit import DEEPVIT_8B, DEEPVIT_TINY, DeepViT, DeepViTConfig
+from repro.models.dhen import DHEN, DHEN_PAPER, DHEN_TINY, DhenConfig
+from repro.models.mingpt import GPT3_175B, GPT_MEDIUM_SIM, GPT_TINY, GptConfig, MinGPT
+from repro.models.regnet import REGNET_9B, REGNET_TINY, RegNet, RegNetConfig
+from repro.models.t5 import T5_11B, T5_2B, T5_611M, T5_TINY, T5Config, T5Model
+from repro.models.transformer import FeedForward, MultiHeadAttention, TransformerBlock
+
+__all__ = [
+    "TransformerBlock",
+    "MultiHeadAttention",
+    "FeedForward",
+    "MinGPT",
+    "GptConfig",
+    "GPT_TINY",
+    "GPT3_175B",
+    "GPT_MEDIUM_SIM",
+    "T5Model",
+    "T5Config",
+    "T5_TINY",
+    "T5_611M",
+    "T5_2B",
+    "T5_11B",
+    "DHEN",
+    "DhenConfig",
+    "DHEN_TINY",
+    "DHEN_PAPER",
+    "RegNet",
+    "RegNetConfig",
+    "REGNET_TINY",
+    "REGNET_9B",
+    "DeepViT",
+    "DeepViTConfig",
+    "DEEPVIT_TINY",
+    "DEEPVIT_8B",
+]

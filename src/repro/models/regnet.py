@@ -1,0 +1,137 @@
+"""RegNet-style convolutional network (~9B parameters in Section 5.3).
+
+A stem plus four stages of bottleneck residual blocks; widths and
+depths are parameterized so the paper's 9B-parameter rate-limiter
+workload can be instantiated, alongside a tiny functional config.
+Convolutions dominate — few, large, compute-bound kernels, the regime
+where the rate limiter is expected to be neutral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import nn, ops
+from repro.nn import functional as F
+from repro.tensor import Tensor
+
+__all__ = ["RegNetConfig", "RegNet", "REGNET_TINY", "REGNET_9B"]
+
+
+@dataclass(frozen=True)
+class RegNetConfig:
+    stem_width: int
+    stage_widths: tuple[int, ...]
+    stage_depths: tuple[int, ...]
+    image_size: int = 224
+    in_channels: int = 3
+    num_classes: int = 1000
+    checkpoint_blocks: bool = False
+
+    @property
+    def approx_params(self) -> int:
+        total = self.stem_width * self.in_channels * 9
+        prev = self.stem_width
+        for width, depth in zip(self.stage_widths, self.stage_depths):
+            total += prev * width  # projection shortcut
+            total += depth * (2 * width * width + 9 * width * width)
+            prev = width
+        total += prev * self.num_classes
+        return total
+
+
+REGNET_TINY = RegNetConfig(
+    stem_width=8, stage_widths=(8, 16), stage_depths=(1, 1), image_size=16, num_classes=10
+)
+
+#: ~9B parameters: very wide stages, shallow depth (RegNet scaling).
+REGNET_9B = RegNetConfig(
+    stem_width=256,
+    stage_widths=(1024, 2048, 4096, 8192),
+    stage_depths=(2, 6, 14, 8),
+    image_size=224,
+    num_classes=1000,
+    checkpoint_blocks=True,
+)
+
+
+class Bottleneck(nn.Module):
+    """1x1 → 3x3 → 1x1 residual bottleneck with BatchNorm."""
+
+    def __init__(self, width: int, device=None, dtype=None):
+        super().__init__()
+        kwargs = {}
+        if device is not None:
+            kwargs["device"] = device
+        if dtype is not None:
+            kwargs["dtype"] = dtype
+        self.conv1 = nn.Conv2d(width, width, 1, bias=False, **kwargs)
+        self.bn1 = nn.BatchNorm2d(width, **kwargs)
+        self.conv2 = nn.Conv2d(width, width, 3, padding=1, bias=False, **kwargs)
+        self.bn2 = nn.BatchNorm2d(width, **kwargs)
+        self.conv3 = nn.Conv2d(width, width, 1, bias=False, **kwargs)
+        self.bn3 = nn.BatchNorm2d(width, **kwargs)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = F.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        return F.relu(out + x)
+
+
+class Stage(nn.Module):
+    """Width transition (stride-2) followed by bottleneck blocks."""
+
+    def __init__(self, in_width: int, width: int, depth: int, device=None, dtype=None):
+        super().__init__()
+        kwargs = {}
+        if device is not None:
+            kwargs["device"] = device
+        if dtype is not None:
+            kwargs["dtype"] = dtype
+        self.transition = nn.Conv2d(in_width, width, 1, stride=2, bias=False, **kwargs)
+        self.bn = nn.BatchNorm2d(width, **kwargs)
+        self.blocks = nn.ModuleList(
+            Bottleneck(width, device=device, dtype=dtype) for _ in range(depth)
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = F.relu(self.bn(self.transition(x)))
+        for block in self.blocks:
+            x = block(x)
+        return x
+
+
+class RegNet(nn.Module):
+    def __init__(self, config: RegNetConfig, device=None, dtype=None):
+        super().__init__()
+        self.config = config
+        kwargs = {}
+        if device is not None:
+            kwargs["device"] = device
+        if dtype is not None:
+            kwargs["dtype"] = dtype
+        self.stem = nn.Conv2d(
+            config.in_channels, config.stem_width, 3, stride=2, padding=1, bias=False, **kwargs
+        )
+        self.stem_bn = nn.BatchNorm2d(config.stem_width, **kwargs)
+        stages = []
+        prev = config.stem_width
+        for width, depth in zip(config.stage_widths, config.stage_depths):
+            stages.append(Stage(prev, width, depth, device=device, dtype=dtype))
+            prev = width
+        self.stages = nn.ModuleList(stages)
+        self.head = nn.Linear(prev, config.num_classes, **kwargs)
+
+    def forward(self, images: Tensor) -> Tensor:
+        x = F.relu(self.stem_bn(self.stem(images)))
+        for stage in self.stages:
+            if self.config.checkpoint_blocks:
+                x = nn.checkpoint(stage, x)
+            else:
+                x = stage(x)
+        pooled = ops.mean(x, (2, 3))  # global average pool -> (B, C)
+        return self.head(pooled)
+
+    def loss(self, images: Tensor, labels: Tensor) -> Tensor:
+        return F.cross_entropy(self.forward(images), labels)

@@ -1,0 +1,138 @@
+"""T5-style encoder-decoder transformers (Sections 5.2–5.4).
+
+Configurations match the parameter counts the paper evaluates:
+T5-611M, T5-2.28B and T5-11B.  Following the HuggingFace T5-11B
+geometry, the attention inner width is decoupled from the model width
+(128 heads × 128 dims over a 1024-wide stream, 65536-wide FFN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import nn
+from repro.nn import functional as F
+from repro.models.transformer import TransformerBlock
+from repro.tensor import Tensor
+
+__all__ = ["T5Config", "T5Model", "T5_TINY", "T5_611M", "T5_2B", "T5_11B"]
+
+
+@dataclass(frozen=True)
+class T5Config:
+    vocab_size: int
+    d_model: int
+    d_ff: int
+    num_heads: int
+    head_dim: int
+    num_layers: int  # per stack (encoder and decoder each)
+    dropout: float = 0.0
+    checkpoint_blocks: bool = False
+
+    @property
+    def approx_params(self) -> int:
+        inner = self.num_heads * self.head_dim
+        attn = 4 * self.d_model * inner
+        ff = 2 * self.d_model * self.d_ff
+        encoder = self.num_layers * (attn + ff)
+        decoder = self.num_layers * (2 * attn + ff)
+        embed = self.vocab_size * self.d_model
+        return encoder + decoder + 2 * embed
+
+
+T5_TINY = T5Config(
+    vocab_size=96, d_model=32, d_ff=64, num_heads=2, head_dim=16, num_layers=2
+)
+#: ~0.61B parameters (T5-Large-ish geometry).
+T5_611M = T5Config(
+    vocab_size=32128,
+    d_model=1024,
+    d_ff=4096,
+    num_heads=16,
+    head_dim=64,
+    num_layers=19,
+    checkpoint_blocks=True,
+)
+#: ~2.28B parameters (T5-XL-ish geometry).
+T5_2B = T5Config(
+    vocab_size=32128,
+    d_model=2048,
+    d_ff=8192,
+    num_heads=32,
+    head_dim=64,
+    num_layers=18,
+    checkpoint_blocks=True,
+)
+#: ~11.3B parameters, HuggingFace T5-11B geometry.
+T5_11B = T5Config(
+    vocab_size=32128,
+    d_model=1024,
+    d_ff=65536,
+    num_heads=128,
+    head_dim=128,
+    num_layers=24,
+    checkpoint_blocks=True,
+)
+
+
+class T5Model(nn.Module):
+    """Encoder-decoder transformer with a shared embedding."""
+
+    def __init__(self, config: T5Config, device=None, dtype=None):
+        super().__init__()
+        self.config = config
+        kwargs = {}
+        if device is not None:
+            kwargs["device"] = device
+        if dtype is not None:
+            kwargs["dtype"] = dtype
+        self.embedding = nn.Embedding(config.vocab_size, config.d_model, **kwargs)
+        self.encoder = nn.ModuleList(
+            TransformerBlock(
+                config.d_model,
+                config.num_heads,
+                config.d_ff,
+                head_dim=config.head_dim,
+                dropout=config.dropout,
+                device=device,
+                dtype=dtype,
+            )
+            for _ in range(config.num_layers)
+        )
+        self.decoder = nn.ModuleList(
+            TransformerBlock(
+                config.d_model,
+                config.num_heads,
+                config.d_ff,
+                head_dim=config.head_dim,
+                causal=True,
+                cross_attention=True,
+                dropout=config.dropout,
+                device=device,
+                dtype=dtype,
+            )
+            for _ in range(config.num_layers)
+        )
+        self.final_norm = nn.LayerNorm(config.d_model, **kwargs)
+        self.lm_head = nn.Linear(config.d_model, config.vocab_size, bias=False, **kwargs)
+
+    def _run_block(self, block, x, context=None):
+        if self.config.checkpoint_blocks:
+            if context is None:
+                return nn.checkpoint(block, x)
+            return nn.checkpoint(lambda a, c: block(a, context=c), x, context)
+        return block(x, context=context) if context is not None else block(x)
+
+    def forward(self, input_ids: Tensor, decoder_input_ids: Tensor) -> Tensor:
+        encoded = self.embedding(input_ids)
+        for block in self.encoder:
+            encoded = self._run_block(block, encoded)
+        decoded = self.embedding(decoder_input_ids)
+        for block in self.decoder:
+            decoded = self._run_block(block, decoded, encoded)
+        decoded = self.final_norm(decoded)
+        return self.lm_head(decoded)
+
+    def loss(self, input_ids: Tensor, decoder_input_ids: Tensor, labels: Tensor) -> Tensor:
+        logits = self.forward(input_ids, decoder_input_ids)
+        return F.cross_entropy(logits, labels)

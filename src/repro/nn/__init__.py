@@ -1,0 +1,45 @@
+"""Neural network modules and functional ops."""
+
+from repro.nn import functional
+from repro.nn import init
+from repro.nn.checkpoint import checkpoint
+from repro.nn.checkpoint_wrapper import CheckpointWrapper, apply_activation_checkpointing
+from repro.nn.conv import BatchNorm2d, Conv2d
+from repro.nn.layers import (
+    GELU,
+    Dropout,
+    Embedding,
+    Identity,
+    LayerNorm,
+    Linear,
+    ModuleList,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Conv2d",
+    "BatchNorm2d",
+    "Sequential",
+    "ModuleList",
+    "checkpoint",
+    "CheckpointWrapper",
+    "apply_activation_checkpointing",
+    "functional",
+    "init",
+]

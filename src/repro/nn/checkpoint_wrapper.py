@@ -1,0 +1,48 @@
+"""Declarative activation checkpointing (torch's ``CheckpointWrapper``).
+
+``CheckpointWrapper(module)`` reroutes the module's forward through
+:func:`repro.nn.checkpoint`.  ``apply_activation_checkpointing`` wraps
+every submodule matching a predicate — the usual companion of FSDP
+block wrapping in the paper's large-model runs (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nn.checkpoint import checkpoint
+from repro.nn.module import Module
+
+__all__ = ["CheckpointWrapper", "apply_activation_checkpointing"]
+
+
+class CheckpointWrapper(Module):
+    """Run the wrapped module under activation checkpointing."""
+
+    def __init__(self, module: Module):
+        super().__init__()
+        self.module = module
+
+    def forward(self, *args, **kwargs):
+        if kwargs:
+            # The reentrant checkpoint takes positional tensors; bind
+            # keyword arguments into the closure.
+            return checkpoint(lambda *a: self.module(*a, **kwargs), *args)
+        return checkpoint(self.module, *args)
+
+
+def apply_activation_checkpointing(
+    model: Module, check_fn: Callable[[Module], bool]
+) -> Module:
+    """Wrap every submodule for which ``check_fn`` is true.
+
+    Wraps bottom-up and skips modules already wrapped (or inside a
+    wrapped subtree would double-recompute).
+    """
+    for name, child in list(model._modules.items()):
+        if child is None or isinstance(child, CheckpointWrapper):
+            continue
+        apply_activation_checkpointing(child, check_fn)
+        if check_fn(child):
+            model._modules[name] = CheckpointWrapper(child)
+    return model

@@ -1,0 +1,76 @@
+"""Parameter initialization functions.
+
+All initializers are in-place ops that record themselves on meta
+tensors, so deferred initialization (Section 3.1) can replay them
+bit-identically on a real device.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.autograd.grad_mode import no_grad
+from repro.tensor import Tensor
+
+__all__ = [
+    "zeros_",
+    "ones_",
+    "constant_",
+    "normal_",
+    "uniform_",
+    "kaiming_uniform_",
+    "xavier_uniform_",
+    "trunc_normal_",
+]
+
+
+def zeros_(tensor: Tensor) -> Tensor:
+    with no_grad():
+        return tensor.zero_()
+
+
+def ones_(tensor: Tensor) -> Tensor:
+    with no_grad():
+        return tensor.fill_(1.0)
+
+
+def constant_(tensor: Tensor, value: float) -> Tensor:
+    with no_grad():
+        return tensor.fill_(value)
+
+
+def normal_(tensor: Tensor, mean: float = 0.0, std: float = 1.0) -> Tensor:
+    with no_grad():
+        return tensor.normal_(mean, std)
+
+
+def uniform_(tensor: Tensor, low: float = 0.0, high: float = 1.0) -> Tensor:
+    with no_grad():
+        return tensor.uniform_(low, high)
+
+
+def _fan_in_out(tensor: Tensor) -> tuple[int, int]:
+    if tensor.ndim < 2:
+        raise ValueError("fan in/out requires at least a 2-D tensor")
+    fan_out, fan_in = tensor.shape[0], tensor.shape[1]
+    receptive = math.prod(tensor.shape[2:]) if tensor.ndim > 2 else 1
+    return fan_in * receptive, fan_out * receptive
+
+
+def kaiming_uniform_(tensor: Tensor, a: float = math.sqrt(5)) -> Tensor:
+    """The ``nn.Linear`` default initializer."""
+    fan_in, _ = _fan_in_out(tensor)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return uniform_(tensor, -bound, bound)
+
+
+def xavier_uniform_(tensor: Tensor, gain: float = 1.0) -> Tensor:
+    fan_in, fan_out = _fan_in_out(tensor)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return uniform_(tensor, -bound, bound)
+
+
+def trunc_normal_(tensor: Tensor, mean: float = 0.0, std: float = 1.0) -> Tensor:
+    """Approximate truncated normal: plain normal is close enough here."""
+    return normal_(tensor, mean, std)

@@ -1,0 +1,211 @@
+"""Standard layers: Linear, Embedding, LayerNorm, Dropout, containers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from repro import dtypes
+from repro.cuda.device import Device, cpu_device
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.tensor import Tensor, empty
+
+__all__ = [
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Sequential",
+    "ModuleList",
+]
+
+
+class Linear(Module):
+    """``y = x W^T + b`` with the standard Kaiming-uniform init."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        *,
+        device: Optional[Device] = None,
+        dtype: dtypes.DType = dtypes.float32,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(empty(out_features, in_features, dtype=dtype, device=device))
+        if bias:
+            self.bias = Parameter(empty(out_features, dtype=dtype, device=device))
+        else:
+            self.register_parameter("bias", None)
+        self.reset_parameters()
+
+    def reset_parameters(self) -> None:
+        init.kaiming_uniform_(self.weight, a=math.sqrt(5))
+        if self.bias is not None:
+            bound = 1.0 / math.sqrt(self.in_features)
+            init.uniform_(self.bias, -bound, bound)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"in={self.in_features}, out={self.out_features}, bias={self.bias is not None}"
+
+
+class Embedding(Module):
+    """A lookup table of ``num_embeddings`` vectors of ``embedding_dim``."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        *,
+        device: Optional[Device] = None,
+        dtype: dtypes.DType = dtypes.float32,
+    ):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            empty(num_embeddings, embedding_dim, dtype=dtype, device=device)
+        )
+        self.reset_parameters()
+
+    def reset_parameters(self) -> None:
+        init.normal_(self.weight)
+
+    def forward(self, indices: Tensor) -> Tensor:
+        return F.embedding(self.weight, indices)
+
+    def extra_repr(self) -> str:
+        return f"num={self.num_embeddings}, dim={self.embedding_dim}"
+
+
+class LayerNorm(Module):
+    """Normalization over the trailing feature dimension."""
+
+    def __init__(
+        self,
+        normalized_shape: int,
+        eps: float = 1e-5,
+        elementwise_affine: bool = True,
+        *,
+        device: Optional[Device] = None,
+        dtype: dtypes.DType = dtypes.float32,
+    ):
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        if elementwise_affine:
+            self.weight = Parameter(empty(normalized_shape, dtype=dtype, device=device))
+            self.bias = Parameter(empty(normalized_shape, dtype=dtype, device=device))
+            self.reset_parameters()
+        else:
+            self.register_parameter("weight", None)
+            self.register_parameter("bias", None)
+
+    def reset_parameters(self) -> None:
+        init.ones_(self.weight)
+        init.zeros_(self.bias)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, self.eps)
+
+    def extra_repr(self) -> str:
+        return f"shape={self.normalized_shape}, eps={self.eps}"
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Sequential(Module):
+    """Chains modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        for i, module in enumerate(modules):
+            self.add_module(str(i), module)
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def forward(self, x):
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """Holds submodules in a list."""
+
+    def __init__(self, modules: Optional[Iterable[Module]] = None):
+        super().__init__()
+        if modules is not None:
+            for module in modules:
+                self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]

@@ -1,0 +1,32 @@
+"""``Parameter`` — a tensor registered as a module's trainable state."""
+
+from __future__ import annotations
+
+from repro.tensor import Tensor
+
+__all__ = ["Parameter"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that modules register as trainable.
+
+    Shares storage with the tensor it is built from.  FSDP's
+    ``FlatParameter`` subclasses this further (Section 4.2).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, data: Tensor, requires_grad: bool = True):
+        if not isinstance(data, Tensor):
+            raise TypeError("Parameter expects a Tensor")
+        super().__init__(
+            data._storage,
+            data.shape,
+            offset=data._offset,
+            dtype=data.dtype,
+            requires_grad=requires_grad,
+        )
+        self._init_records = data._init_records
+
+    def __repr__(self) -> str:
+        return "Parameter containing:\n" + super().__repr__()

@@ -1,0 +1,95 @@
+"""Shared machinery for op implementations.
+
+Each op builds its output through :func:`make_result`, which
+
+- allocates output storage on the right device (through the caching
+  allocator on simulated GPUs),
+- enqueues a kernel with an analytic :class:`KernelCost` so simulated
+  time advances,
+- runs the numpy computation only when every input is materialized
+  (functional mode); in abstract mode only shapes/costs flow.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro import dtypes
+from repro.cuda.device import Device, cpu_device
+from repro.hw.kernel_model import KernelCost
+from repro.storage import Storage
+from repro.tensor import Tensor
+
+__all__ = ["make_result", "elementwise_cost", "resolve_device", "sum_to_shape", "KernelCost"]
+
+
+def resolve_device(inputs: Sequence[Tensor]) -> Device:
+    """The common device of ``inputs`` (scalars ride along)."""
+    device = None
+    for t in inputs:
+        if t.device.is_sim_gpu or t.device.is_meta:
+            if device is not None and device is not t.device and t.numel > 1:
+                raise RuntimeError(
+                    f"tensors on different devices: {device} vs {t.device}"
+                )
+            if device is None or not device.is_sim_gpu:
+                device = t.device
+    return device or (inputs[0].device if inputs else cpu_device())
+
+
+def elementwise_cost(*tensors: Tensor, flops_per_element: float = 1.0) -> KernelCost:
+    """Bandwidth-bound cost of an elementwise kernel over ``tensors``."""
+    nbytes = sum(t.nbytes for t in tensors)
+    numel = max((t.numel for t in tensors), default=0)
+    return KernelCost(flops=numel * flops_per_element, bytes_moved=nbytes)
+
+
+def make_result(
+    compute: Optional[Callable[[], np.ndarray]],
+    shape: tuple[int, ...],
+    dtype: dtypes.DType,
+    inputs: Sequence[Tensor],
+    *,
+    cost: Optional[KernelCost] = None,
+    device: Optional[Device] = None,
+    stream=None,
+) -> Tensor:
+    """Allocate, cost and (when possible) compute an op's output."""
+    device = device or resolve_device(inputs)
+    materialize = (
+        compute is not None
+        and device.materialize_data
+        and all(t.is_materialized for t in inputs)
+    )
+    numel = math.prod(shape) if shape else 1
+    storage = Storage(device, dtype, numel, materialize=materialize)
+    out = Tensor(storage, tuple(shape))
+    if device.is_sim_gpu:
+        blocks = tuple(
+            t._storage.block for t in (*inputs, out) if t._storage.block is not None
+        )
+        launch_cost = cost or elementwise_cost(*inputs, out)
+        device.launch(launch_cost, dtype, stream=stream, blocks=blocks)
+    if materialize:
+        result = compute()
+        out._np[...] = dtypes.quantize(np.asarray(result), dtype).reshape(out.shape)
+    return out
+
+
+def sum_to_shape(grad: Tensor, shape: tuple[int, ...]) -> Tensor:
+    """Reduce a broadcasted gradient back to ``shape``."""
+    from repro import ops
+
+    if grad.shape == tuple(shape):
+        return grad
+    # Leading dims that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    reduce_dims = list(range(extra))
+    for i, target in enumerate(shape):
+        if target == 1 and grad.shape[extra + i] != 1:
+            reduce_dims.append(extra + i)
+    result = ops.sum(grad, tuple(reduce_dims), keepdim=False) if reduce_dims else grad
+    return result.view(*shape)

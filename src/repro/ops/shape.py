@@ -1,0 +1,344 @@
+"""Shape ops: views, split, narrow, cat, transpose, permute, expand.
+
+``view``/``split``/``narrow`` are true aliasing views (shared storage,
+no kernel), matching the autograd-visible ``torch.split()`` /
+``torch.view()`` calls FSDP uses to make original parameters views into
+their unsharded FlatParameter (Section 3.2.3).  Their backwards route
+gradients to the right offsets, which is how the unsharded
+FlatParameter gradient gets assembled by the engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.autograd.function import Function
+from repro.ops._helpers import KernelCost, make_result
+from repro.tensor import Tensor
+
+__all__ = [
+    "view",
+    "split",
+    "narrow",
+    "cat",
+    "transpose",
+    "permute",
+    "expand",
+    "getitem",
+    "pad_right",
+]
+
+
+def _alias(t: Tensor, shape: tuple[int, ...], offset: int) -> Tensor:
+    return Tensor(t._storage, shape, offset=offset, dtype=t.dtype, base=t if t._base is None else t._base)
+
+
+class _View(Function):
+    @staticmethod
+    def forward(ctx, a: Tensor, shape: tuple[int, ...]) -> Tensor:
+        shape = _resolve_shape(shape, a.numel)
+        if math.prod(shape) != a.numel:
+            raise ValueError(f"cannot view {a.shape} as {shape}")
+        ctx.src_shape = a.shape
+        return _alias(a, shape, a._offset)
+
+    @staticmethod
+    def backward(ctx, grad: Tensor):
+        return view(grad, ctx.src_shape), None
+
+
+class _Split(Function):
+    @staticmethod
+    def forward(ctx, a: Tensor, sections: tuple[int, ...]) -> tuple:
+        if a.ndim != 1:
+            raise ValueError("split views are supported on 1-D tensors only")
+        if sum(sections) != a.numel:
+            raise ValueError(
+                f"split sections {sections} do not cover {a.numel} elements"
+            )
+        ctx.sections = sections
+        ctx.dtype = a.dtype
+        ctx.device = a.device
+        outs = []
+        offset = a._offset
+        for length in sections:
+            outs.append(_alias(a, (length,), offset))
+            offset += length
+        return tuple(outs)
+
+    @staticmethod
+    def backward(ctx, *grads):
+        from repro.tensor import zeros
+
+        pieces = []
+        for grad, length in zip(grads, ctx.sections):
+            if grad is None:
+                pieces.append(zeros(length, dtype=ctx.dtype, device=ctx.device))
+            else:
+                pieces.append(grad)
+        return cat(pieces, 0), None
+
+
+class _Narrow(Function):
+    @staticmethod
+    def forward(ctx, a: Tensor, dim: int, start: int, length: int) -> Tensor:
+        if dim != 0:
+            raise ValueError("narrow views are supported on dim 0 only")
+        if not 0 <= start <= a.shape[0] - length:
+            raise ValueError(
+                f"narrow out of range: start={start} length={length} size={a.shape[0]}"
+            )
+        row = a.numel // a.shape[0] if a.shape[0] else 0
+        ctx.src_shape = a.shape
+        ctx.start = start
+        shape = (length,) + a.shape[1:]
+        return _alias(a, shape, a._offset + start * row)
+
+    @staticmethod
+    def backward(ctx, grad: Tensor):
+        from repro.tensor import zeros
+
+        src_shape = ctx.src_shape
+        before = ctx.start
+        after = src_shape[0] - before - grad.shape[0]
+        pieces = []
+        if before:
+            pieces.append(zeros(before, *src_shape[1:], dtype=grad.dtype, device=grad.device))
+        pieces.append(grad)
+        if after:
+            pieces.append(zeros(after, *src_shape[1:], dtype=grad.dtype, device=grad.device))
+        return cat(pieces, 0), None, None, None
+
+
+class _Cat(Function):
+    @staticmethod
+    def forward(ctx, *args) -> Tensor:
+        *tensors, dim = args
+        if not tensors:
+            raise ValueError("cat requires at least one tensor")
+        first = tensors[0]
+        ctx.dim = dim
+        ctx.sizes = tuple(t.shape[dim] for t in tensors)
+        shape = list(first.shape)
+        shape[dim] = sum(ctx.sizes)
+        nbytes = sum(t.nbytes for t in tensors)
+        cost = KernelCost(bytes_moved=2 * nbytes)
+        return make_result(
+            lambda: np.concatenate([t._np for t in tensors], axis=dim),
+            tuple(shape),
+            first.dtype,
+            tuple(tensors),
+            cost=cost,
+        )
+
+    @staticmethod
+    def backward(ctx, grad: Tensor):
+        grads = []
+        offset = 0
+        for size in ctx.sizes:
+            grads.append(narrow_along(grad, ctx.dim, offset, size))
+            offset += size
+        return (*grads, None)
+
+
+def narrow_along(t: Tensor, dim: int, start: int, length: int) -> Tensor:
+    """Copy-based narrow along any dim (used by cat's backward)."""
+    if dim == 0:
+        return narrow(t, 0, start, length)
+    return _NarrowCopy.apply(t, dim, start, length)
+
+
+class _NarrowCopy(Function):
+    @staticmethod
+    def forward(ctx, a: Tensor, dim: int, start: int, length: int) -> Tensor:
+        ctx.src_shape, ctx.dim, ctx.start = a.shape, dim, start
+        shape = list(a.shape)
+        shape[dim] = length
+        index = [slice(None)] * a.ndim
+        index[dim] = slice(start, start + length)
+        return make_result(
+            lambda: a._np[tuple(index)].copy(), tuple(shape), a.dtype, (a,)
+        )
+
+    @staticmethod
+    def backward(ctx, grad: Tensor):
+        from repro.tensor import zeros
+
+        dim, start = ctx.dim, ctx.start
+
+        def compute():
+            out = np.zeros(ctx.src_shape, dtype=grad.dtype.np_dtype)
+            index = [slice(None)] * len(ctx.src_shape)
+            index[dim] = slice(start, start + grad.shape[dim])
+            out[tuple(index)] = grad._np
+            return out
+
+        return (
+            make_result(compute, ctx.src_shape, grad.dtype, (grad,)),
+            None,
+            None,
+            None,
+        )
+
+
+class _Transpose(Function):
+    @staticmethod
+    def forward(ctx, a: Tensor, dim0: int, dim1: int) -> Tensor:
+        ctx.dims = (dim0, dim1)
+        shape = list(a.shape)
+        shape[dim0], shape[dim1] = shape[dim1], shape[dim0]
+        cost = KernelCost(bytes_moved=2 * a.nbytes)
+        return make_result(
+            lambda: np.swapaxes(a._np, dim0, dim1).copy(),
+            tuple(shape),
+            a.dtype,
+            (a,),
+            cost=cost,
+        )
+
+    @staticmethod
+    def backward(ctx, grad: Tensor):
+        dim0, dim1 = ctx.dims
+        return transpose(grad, dim0, dim1), None, None
+
+
+class _Permute(Function):
+    @staticmethod
+    def forward(ctx, a: Tensor, dims: tuple[int, ...]) -> Tensor:
+        if sorted(dims) != list(range(a.ndim)):
+            raise ValueError(f"invalid permutation {dims} for {a.ndim}-D tensor")
+        ctx.dims = dims
+        shape = tuple(a.shape[d] for d in dims)
+        cost = KernelCost(bytes_moved=2 * a.nbytes)
+        return make_result(
+            lambda: np.transpose(a._np, dims).copy(), shape, a.dtype, (a,), cost=cost
+        )
+
+    @staticmethod
+    def backward(ctx, grad: Tensor):
+        inverse = [0] * len(ctx.dims)
+        for i, d in enumerate(ctx.dims):
+            inverse[d] = i
+        return permute(grad, tuple(inverse)), None
+
+
+class _Expand(Function):
+    @staticmethod
+    def forward(ctx, a: Tensor, shape: tuple[int, ...]) -> Tensor:
+        ctx.src_shape = a.shape
+        cost = KernelCost(bytes_moved=a.nbytes + math.prod(shape) * a.dtype.itemsize)
+        return make_result(
+            lambda: np.broadcast_to(a._np, shape).copy(), shape, a.dtype, (a,), cost=cost
+        )
+
+    @staticmethod
+    def backward(ctx, grad: Tensor):
+        from repro.ops._helpers import sum_to_shape
+
+        return sum_to_shape(grad, ctx.src_shape), None
+
+
+class _GetItemCopy(Function):
+    """Fancy-indexed gather (functional mode only)."""
+
+    @staticmethod
+    def forward(ctx, a: Tensor, index) -> Tensor:
+        ctx.src_shape = a.shape
+        ctx.index = index
+        result = a._np[index]
+        return make_result(lambda: result, result.shape, a.dtype, (a,))
+
+    @staticmethod
+    def backward(ctx, grad: Tensor):
+        index = ctx.index
+
+        def compute():
+            out = np.zeros(ctx.src_shape, dtype=grad.dtype.np_dtype)
+            np.add.at(out, index, grad._np)
+            return out
+
+        return make_result(compute, ctx.src_shape, grad.dtype, (grad,)), None
+
+
+def _resolve_shape(shape: tuple[int, ...], numel: int) -> tuple[int, ...]:
+    shape = tuple(int(s) for s in shape)
+    if shape.count(-1) > 1:
+        raise ValueError("only one dimension may be -1")
+    if -1 in shape:
+        known = -math.prod(shape)
+        if known == 0 or numel % known:
+            raise ValueError(f"cannot infer -1 for numel {numel} in shape {shape}")
+        shape = tuple(numel // known if s == -1 else s for s in shape)
+    return shape
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def view(a: Tensor, shape: tuple[int, ...]) -> Tensor:
+    return _View.apply(a, tuple(shape))
+
+
+def split(a: Tensor, split_size_or_sections, dim: int = 0):
+    if dim != 0:
+        raise ValueError("split is supported on dim 0 only")
+    if isinstance(split_size_or_sections, int):
+        size = split_size_or_sections
+        total = a.shape[0]
+        sections = [size] * (total // size)
+        if total % size:
+            sections.append(total % size)
+        sections = tuple(sections)
+    else:
+        sections = tuple(int(s) for s in split_size_or_sections)
+    return _Split.apply(a, sections)
+
+
+def narrow(a: Tensor, dim: int, start: int, length: int) -> Tensor:
+    return _Narrow.apply(a, dim, start, length)
+
+
+def cat(tensors: Sequence[Tensor], dim: int = 0) -> Tensor:
+    return _Cat.apply(*tensors, dim)
+
+
+def transpose(a: Tensor, dim0: int, dim1: int) -> Tensor:
+    dim0 = dim0 % a.ndim
+    dim1 = dim1 % a.ndim
+    return _Transpose.apply(a, dim0, dim1)
+
+
+def permute(a: Tensor, dims: tuple[int, ...]) -> Tensor:
+    return _Permute.apply(a, tuple(d % a.ndim for d in dims))
+
+
+def expand(a: Tensor, shape: tuple[int, ...]) -> Tensor:
+    return _Expand.apply(a, tuple(shape))
+
+
+def getitem(a: Tensor, index):
+    if isinstance(index, int):
+        if index < 0:
+            index += a.shape[0]
+        return narrow(a, 0, index, 1).view(*a.shape[1:])
+    if isinstance(index, slice):
+        start, stop, step = index.indices(a.shape[0])
+        if step == 1:
+            return narrow(a, 0, start, stop - start)
+    return _GetItemCopy.apply(a, index)
+
+
+def pad_right(a: Tensor, padding: int) -> Tensor:
+    """Right-pad a 1-D tensor with zeros (FlatParameter padding)."""
+    if a.ndim != 1:
+        raise ValueError("pad_right expects a 1-D tensor")
+    if padding < 0:
+        raise ValueError("padding must be non-negative")
+    if padding == 0:
+        return a
+    from repro.tensor import zeros
+
+    return cat([a, zeros(padding, dtype=a.dtype, device=a.device)], 0)

@@ -1,0 +1,28 @@
+"""Optimizers, gradient clipping and mixed-precision scalers."""
+
+from repro.optim.adam import Adam, AdamW
+from repro.optim.clip import clip_grad_norm_, local_grad_norm_sq
+from repro.optim.grad_scaler import GradScaler, ShardedGradScaler
+from repro.optim.lr_scheduler import (
+    CosineAnnealingLR,
+    LinearWarmup,
+    LRScheduler,
+    StepLR,
+)
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "GradScaler",
+    "LRScheduler",
+    "StepLR",
+    "CosineAnnealingLR",
+    "LinearWarmup",
+    "ShardedGradScaler",
+    "clip_grad_norm_",
+    "local_grad_norm_sq",
+]

@@ -1,0 +1,42 @@
+"""Gradient clipping utilities."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.autograd.grad_mode import no_grad
+from repro.tensor import Tensor
+
+__all__ = ["clip_grad_norm_", "local_grad_norm_sq"]
+
+
+def local_grad_norm_sq(parameters: Iterable[Tensor]) -> float:
+    """Sum of squared gradient elements over local (possibly sharded) params."""
+    total = 0.0
+    for param in parameters:
+        if param.grad is None:
+            continue
+        if param.grad.is_materialized:
+            g = param.grad._np
+            total += float(np.sum(np.square(g, dtype=np.float64)))
+    return total
+
+
+def clip_grad_norm_(parameters: Iterable[Tensor], max_norm: float) -> float:
+    """Clip local gradients to a total 2-norm of ``max_norm``.
+
+    Note Section 7.2.1: under FSDP this *local* norm is wrong because
+    every rank only holds a shard; use ``FullyShardedDataParallel
+    .clip_grad_norm_`` which all-reduces the squared norms first.
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    total_norm = math.sqrt(local_grad_norm_sq(parameters))
+    if total_norm > max_norm and total_norm > 0.0:
+        scale = max_norm / (total_norm + 1e-6)
+        with no_grad():
+            for param in parameters:
+                param.grad.mul_(scale)
+    return total_norm

@@ -1,0 +1,126 @@
+"""Gradient scalers for FP16 mixed precision.
+
+Section 4.4: FP16's small dynamic range risks under/overflow, so
+gradients are scaled to a safe magnitude before backward and unscaled
+before the optimizer step; steps are skipped when non-finite gradients
+are found and the scale is backed off.
+
+Because FSDP shards gradients, the found-inf check is a *local* check
+on each rank's shard — a normal local scaler breaks mathematical
+equivalence (rank A could step while rank B skips).  The
+:class:`ShardedGradScaler` all-reduces the found-inf flag over the
+process group so every rank takes the same decision.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.grad_mode import no_grad
+from repro.optim.optimizer import Optimizer
+from repro.tensor import Tensor
+
+__all__ = ["GradScaler", "ShardedGradScaler"]
+
+
+class GradScaler:
+    """Loss scaling with dynamic scale adjustment."""
+
+    def __init__(
+        self,
+        init_scale: float = 2.0**16,
+        growth_factor: float = 2.0,
+        backoff_factor: float = 0.5,
+        growth_interval: int = 2000,
+        enabled: bool = True,
+    ):
+        self._scale = init_scale
+        self.growth_factor = growth_factor
+        self.backoff_factor = backoff_factor
+        self.growth_interval = growth_interval
+        self.enabled = enabled
+        self._growth_tracker = 0
+        self._found_inf: Optional[bool] = None
+
+    def get_scale(self) -> float:
+        return self._scale
+
+    def scale(self, loss: Tensor) -> Tensor:
+        if not self.enabled:
+            return loss
+        return loss * self._scale
+
+    def _check_local_inf(self, optimizer: Optimizer) -> bool:
+        for group in optimizer.param_groups:
+            for param in group["params"]:
+                grad = param.grad
+                if grad is None or not grad.is_materialized:
+                    continue
+                if not np.all(np.isfinite(grad._np)):
+                    return True
+        return False
+
+    def _sync_found_inf(self, found_inf: bool) -> bool:
+        """Hook for sharded variants to agree across ranks."""
+        return found_inf
+
+    def unscale_(self, optimizer: Optimizer) -> None:
+        if not self.enabled:
+            return
+        found_inf = self._check_local_inf(optimizer)
+        self._found_inf = self._sync_found_inf(found_inf)
+        inv = 1.0 / self._scale
+        with no_grad():
+            for group in optimizer.param_groups:
+                for param in group["params"]:
+                    if param.grad is not None:
+                        param.grad.mul_(inv)
+
+    def step(self, optimizer: Optimizer) -> bool:
+        """Run ``optimizer.step()`` unless non-finite grads were found.
+
+        Returns True when the step was taken.
+        """
+        if not self.enabled:
+            optimizer.step()
+            return True
+        if self._found_inf is None:
+            self.unscale_(optimizer)
+        if self._found_inf:
+            return False
+        optimizer.step()
+        return True
+
+    def update(self) -> None:
+        if not self.enabled:
+            return
+        if self._found_inf:
+            self._scale *= self.backoff_factor
+            self._growth_tracker = 0
+        else:
+            self._growth_tracker += 1
+            if self._growth_tracker >= self.growth_interval:
+                self._scale *= self.growth_factor
+                self._growth_tracker = 0
+        self._found_inf = None
+
+
+class ShardedGradScaler(GradScaler):
+    """FSDP's scaler: the found-inf decision is agreed across ranks."""
+
+    def __init__(self, process_group=None, **kwargs):
+        super().__init__(**kwargs)
+        self.process_group = process_group
+
+    def _sync_found_inf(self, found_inf: bool) -> bool:
+        group = self.process_group
+        if group is None:
+            from repro import distributed as dist
+
+            if dist.is_initialized():
+                group = dist.default_group()
+        if group is None:
+            return found_inf
+        return bool(group.all_reduce_scalar(1.0 if found_inf else 0.0, op="max") > 0.0)

@@ -1,0 +1,77 @@
+"""Learning-rate schedulers (the usual training-loop companions)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "LinearWarmup"]
+
+
+class LRScheduler:
+    """Base scheduler: rescales each param group's ``lr`` per step."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lrs = [group["lr"] for group in optimizer.param_groups]
+        self.last_epoch = 0
+
+    def get_lr(self) -> list[float]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> None:
+        self.last_epoch += 1
+        for group, lr in zip(self.optimizer.param_groups, self.get_lr()):
+            group["lr"] = lr
+
+    @property
+    def current_lrs(self) -> list[float]:
+        return [group["lr"] for group in self.optimizer.param_groups]
+
+
+class StepLR(LRScheduler):
+    """Decay by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> list[float]:
+        factor = self.gamma ** (self.last_epoch // self.step_size)
+        return [base * factor for base in self.base_lrs]
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` steps."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> list[float]:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        scale = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return [self.eta_min + (base - self.eta_min) * scale for base in self.base_lrs]
+
+
+class LinearWarmup(LRScheduler):
+    """Linear ramp from ``start_factor``·lr to lr over ``warmup_steps``."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, start_factor: float = 0.0):
+        if warmup_steps <= 0:
+            raise ValueError("warmup_steps must be positive")
+        super().__init__(optimizer)
+        self.warmup_steps = warmup_steps
+        self.start_factor = start_factor
+
+    def get_lr(self) -> list[float]:
+        progress = min(self.last_epoch, self.warmup_steps) / self.warmup_steps
+        factor = self.start_factor + (1.0 - self.start_factor) * progress
+        return [base * factor for base in self.base_lrs]

@@ -1,0 +1,68 @@
+"""Optimizer base class with parameter groups."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.autograd.grad_mode import no_grad
+from repro.tensor import Tensor
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base optimizer: holds parameter groups and per-parameter state.
+
+    Note the FSDP caveat from Section 4.1: with sharded training the
+    optimizer must be constructed *after* FSDP wraps the model, so that
+    it holds the sharded FlatParameters and its state is sharded too —
+    that is where ZeRO's optimizer-state memory saving comes from.
+    """
+
+    def __init__(self, params: Iterable[Tensor], defaults: dict):
+        self.defaults = dict(defaults)
+        self.state: dict[int, dict] = {}
+        self.param_groups: list[dict] = []
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer got an empty parameter list")
+        if isinstance(params[0], dict):
+            for group in params:
+                self.add_param_group(group)
+        else:
+            self.add_param_group({"params": params})
+
+    def add_param_group(self, group: dict) -> None:
+        group = dict(group)
+        group["params"] = list(group["params"])
+        for key, value in self.defaults.items():
+            group.setdefault(key, value)
+        self.param_groups.append(group)
+
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        for group in self.param_groups:
+            for param in group["params"]:
+                if set_to_none:
+                    param.grad = None
+                elif param.grad is not None:
+                    with no_grad():
+                        param.grad.zero_()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _state_for(self, param: Tensor) -> dict:
+        state = self.state.get(id(param))
+        if state is None:
+            state = {}
+            self.state[id(param)] = state
+        return state
+
+    def state_bytes(self) -> int:
+        """Total bytes of optimizer state (for memory accounting)."""
+        total = 0
+        for state in self.state.values():
+            for value in state.values():
+                if isinstance(value, Tensor):
+                    total += value.nbytes
+        return total

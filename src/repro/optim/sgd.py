@@ -1,0 +1,47 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.autograd.grad_mode import no_grad
+from repro.optim.optimizer import Optimizer
+from repro.tensor import Tensor, zeros_like
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        if lr < 0.0:
+            raise ValueError(f"invalid learning rate: {lr}")
+        super().__init__(params, dict(lr=lr, momentum=momentum, weight_decay=weight_decay))
+
+    def step(self) -> None:
+        with no_grad():
+            for group in self.param_groups:
+                lr = group["lr"]
+                momentum = group["momentum"]
+                weight_decay = group["weight_decay"]
+                for param in group["params"]:
+                    if param.grad is None:
+                        continue
+                    grad = param.grad
+                    if weight_decay:
+                        grad = grad + weight_decay * param.detach()
+                    if momentum:
+                        state = self._state_for(param)
+                        buf = state.get("momentum_buffer")
+                        if buf is None:
+                            buf = zeros_like(param)
+                            state["momentum_buffer"] = buf
+                        buf.mul_(momentum)
+                        buf.add_(grad)
+                        grad = buf
+                    param.data.add_(grad, alpha=-lr)

@@ -1,0 +1,8 @@
+"""Performance simulation: drivers, metrics, workload factories."""
+
+from repro.perf.metrics import GiB, PerfResult
+from repro.perf.timeline import Tracer, overlap_fraction, trace_device
+from repro.perf.trainer import SimConfig, simulate_training, sweep
+from repro.perf import workloads
+
+__all__ = ["PerfResult", "GiB", "SimConfig", "simulate_training", "sweep", "workloads", "Tracer", "trace_device", "overlap_fraction"]

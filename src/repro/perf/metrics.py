@@ -1,0 +1,51 @@
+"""Performance metrics collected by the simulation driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["PerfResult", "GiB"]
+
+GiB = float(2**30)
+
+
+@dataclass
+class PerfResult:
+    """Outcome of one simulated training configuration.
+
+    All of the paper's reported metrics (Section 5.1): TFLOPS per GPU,
+    latency per batch, QPS, and the three peak-memory series of
+    Figure 8 — plus the allocator's retry counter, the paper's
+    suggested defragmentation indicator (``num_alloc_retries`` from
+    ``torch.cuda.memory_stats()``).
+    """
+
+    name: str
+    world_size: int
+    batch_size: int
+    oom: bool = False
+    iteration_latency: float = 0.0
+    tflops_per_gpu: float = 0.0
+    qps_per_gpu: float = 0.0
+    peak_allocated_gib: float = 0.0
+    peak_active_gib: float = 0.0
+    peak_reserved_gib: float = 0.0
+    num_alloc_retries: int = 0
+    cross_host_gib: float = 0.0
+    comm_gib: float = 0.0
+    collectives: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def row(self) -> str:
+        if self.oom:
+            return f"{self.name:<42} W={self.world_size:<4} bs={self.batch_size:<5} OOM"
+        return (
+            f"{self.name:<42} W={self.world_size:<4} bs={self.batch_size:<5} "
+            f"lat={self.iteration_latency * 1e3:9.1f}ms  "
+            f"TFLOPS/GPU={self.tflops_per_gpu:7.1f}  "
+            f"QPS/GPU={self.qps_per_gpu:9.1f}  "
+            f"mem(GiB) alloc={self.peak_allocated_gib:6.1f} "
+            f"active={self.peak_active_gib:6.1f} reserved={self.peak_reserved_gib:6.1f}  "
+            f"retries={self.num_alloc_retries}"
+        )

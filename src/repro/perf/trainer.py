@@ -1,0 +1,227 @@
+"""Training-loop simulation driver.
+
+Runs paper-scale models in *abstract* mode (shapes, kernel costs and
+allocator traffic flow; no real data) on the symmetric single-rank
+backend, producing the metrics of Section 5: TFLOPS per GPU, latency
+per batch, QPS, peak allocated/active/reserved memory and the
+cudaMalloc-retry count.
+
+The same driver runs DDP (model fully replicated — expected to OOM for
+large models, Figure 6(a)) and FSDP in any sharding configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro import distributed as dist
+from repro.cuda.device import Device
+from repro.ddp import DistributedDataParallel
+from repro.errors import OutOfMemoryError
+from repro.fsdp import (
+    BackwardPrefetch,
+    FullyShardedDataParallel,
+    MixedPrecision,
+    ShardingStrategy,
+)
+from repro.fsdp.deferred_init import deferred_init
+from repro.hw.specs import ClusterTopology
+from repro.nn.module import Module
+from repro.optim import Adam, SGD
+from repro.perf.metrics import GiB, PerfResult
+
+__all__ = ["SimConfig", "simulate_training"]
+
+LossFn = Callable[[Module, Device], "object"]
+
+
+@dataclass
+class SimConfig:
+    """One simulated training configuration."""
+
+    name: str
+    build_model: Callable[[], Module]
+    make_loss: LossFn
+    batch_size: int
+    world_size: int
+    parallelism: str = "fsdp"  # "fsdp" | "ddp"
+    sharding_strategy: ShardingStrategy = ShardingStrategy.FULL_SHARD
+    sharding_factor: Optional[int] = None
+    auto_wrap_policy: Optional[Callable[[Module], bool]] = None
+    mixed_precision: Optional[MixedPrecision] = None
+    backward_prefetch: BackwardPrefetch = BackwardPrefetch.BACKWARD_PRE
+    forward_prefetch: bool = False
+    limit_all_gathers: bool = True
+    rate_limit_inflight: int = 2
+    reshard_after_forward: Optional[bool] = None
+    optimizer: str = "adam"
+    iterations: int = 2
+    warmup: int = 1
+    topology: Optional[ClusterTopology] = None
+    capacity: Optional[int] = None
+    model_flops_per_iteration: Optional[float] = None
+    #: Given the built model, return modules FSDP must not shard
+    #: (e.g. DHEN's model-parallel sparse tables).
+    ignored_modules_of: Optional[Callable[[Module], list]] = None
+    #: Keep parameter shards in host memory (CPUOffload).
+    cpu_offload: bool = False
+    #: Gradient-accumulation microbatches per optimizer step (1 = off).
+    accumulate_steps: int = 1
+    #: Accumulate under no_sync (skip communication; unsharded grads).
+    accumulate_no_sync: bool = False
+
+
+def _wrap_model(config: SimConfig, device: Device) -> Module:
+    if config.parallelism == "ddp":
+        # DDP fully materializes the replica on the device: this is
+        # where >2.28B models hit out-of-memory (Figure 6(a)).
+        from repro.fsdp.deferred_init import materialize_module
+
+        model = deferred_init(config.build_model)
+        materialize_module(model, device)
+        return DistributedDataParallel(model, broadcast_parameters=False)
+    model = deferred_init(config.build_model)
+    ignored = config.ignored_modules_of(model) if config.ignored_modules_of else None
+    from repro.fsdp import CPUOffload
+
+    wrapped = FullyShardedDataParallel(
+        model,
+        ignored_modules=ignored,
+        cpu_offload=CPUOffload(offload_params=True) if config.cpu_offload else None,
+        sharding_strategy=config.sharding_strategy,
+        sharding_factor=config.sharding_factor,
+        auto_wrap_policy=config.auto_wrap_policy,
+        mixed_precision=config.mixed_precision,
+        backward_prefetch=config.backward_prefetch,
+        forward_prefetch=config.forward_prefetch,
+        limit_all_gathers=config.limit_all_gathers,
+        rate_limit_inflight=config.rate_limit_inflight,
+        device=device,
+    )
+    if config.reshard_after_forward is not None:
+        for unit in _all_units(wrapped):
+            unit.reshard_after_forward = config.reshard_after_forward
+    return wrapped
+
+
+def _all_units(wrapped: Module):
+    from repro.fsdp.api import _units_under
+
+    return _units_under(wrapped)
+
+
+def simulate_training(config: SimConfig) -> PerfResult:
+    """Simulate a few training iterations; returns steady-state metrics."""
+    dist.shutdown()
+    ctx = dist.init_single_process(
+        config.world_size,
+        topology=config.topology,
+        materialize=False,
+        capacity=config.capacity,
+    )
+    device = ctx.device
+    result = PerfResult(
+        name=config.name, world_size=config.world_size, batch_size=config.batch_size
+    )
+    try:
+        wrapped = _wrap_model(config, device)
+        params = list(wrapped.parameters())
+        if config.ignored_modules_of is not None and config.parallelism == "fsdp":
+            # Ignored (model-parallel sparse) parameters use their own
+            # streaming optimizer in production whose cost scales with
+            # touched rows, not table size; exclude them from the dense
+            # optimizer here.
+            from repro.fsdp.flat_param import FlatParameter
+
+            params = [p for p in params if isinstance(p, FlatParameter)]
+        if config.optimizer == "adam":
+            optimizer = Adam(params, lr=1e-4)
+        else:
+            optimizer = SGD(params, lr=1e-2)
+
+        latency = 0.0
+        flops = 0.0
+        comm_before = cross_before = coll_before = 0
+        for iteration in range(config.warmup + config.iterations):
+            if iteration == config.warmup:
+                device.reset_peak_memory_stats()
+                groups = _groups_of(wrapped)
+                comm_before = sum(g.bytes_sent for g in groups)
+                cross_before = sum(g.cross_host_bytes for g in groups)
+                coll_before = sum(g.collective_count for g in groups)
+                device.synchronize()
+                start_time = device.now()
+                start_flops = device.flops_total
+            if config.accumulate_steps > 1 and config.parallelism == "fsdp":
+                # Gradient accumulation (Section 3.3.4): the first
+                # accumulate_steps-1 microbatches either still reduce
+                # (with communication) or run under no_sync (without).
+                import contextlib
+
+                for micro in range(config.accumulate_steps - 1):
+                    scope = (
+                        wrapped.no_sync()
+                        if config.accumulate_no_sync
+                        else contextlib.nullcontext()
+                    )
+                    with scope:
+                        config.make_loss(wrapped, device).backward()
+            loss = config.make_loss(wrapped, device)
+            loss.backward()
+            optimizer.step()
+            optimizer.zero_grad()
+        device.synchronize()
+        latency = (device.now() - start_time) / config.iterations
+        flops = (device.flops_total - start_flops) / config.iterations
+
+        stats = device.memory_stats()
+        groups = _groups_of(wrapped)
+        result.iteration_latency = latency
+        measured_flops = config.model_flops_per_iteration or flops
+        result.tflops_per_gpu = measured_flops / latency / 1e12 if latency else 0.0
+        result.qps_per_gpu = config.batch_size / latency if latency else 0.0
+        result.peak_allocated_gib = stats["allocated_bytes.all.peak"] / GiB
+        result.peak_active_gib = stats["active_bytes.all.peak"] / GiB
+        result.peak_reserved_gib = stats["reserved_bytes.all.peak"] / GiB
+        result.num_alloc_retries = stats["num_alloc_retries"]
+        result.comm_gib = (sum(g.bytes_sent for g in groups) - comm_before) / GiB / config.iterations
+        result.cross_host_gib = (
+            (sum(g.cross_host_bytes for g in groups) - cross_before) / GiB / config.iterations
+        )
+        result.collectives = (
+            sum(g.collective_count for g in groups) - coll_before
+        ) // config.iterations
+    except OutOfMemoryError:
+        result.oom = True
+    finally:
+        dist.shutdown()
+    return result
+
+
+def _groups_of(wrapped: Module) -> list:
+    groups = []
+    seen: set[int] = set()
+    if isinstance(wrapped, DistributedDataParallel):
+        candidates = [wrapped.process_group]
+    else:
+        candidates = []
+        for unit in _all_units(wrapped):
+            candidates.append(unit.plan.shard_group)
+            if unit.plan.replicate_group is not None:
+                candidates.append(unit.plan.replicate_group)
+    for group in candidates:
+        if group is not None and id(group) not in seen:
+            seen.add(id(group))
+            groups.append(group)
+    return groups
+
+
+def sweep(configs: list[SimConfig]) -> list[PerfResult]:
+    """Run a list of configurations, printing each row as it lands."""
+    results = []
+    for config in configs:
+        result = simulate_training(config)
+        print(result.row())
+        results.append(result)
+    return results

@@ -1,0 +1,149 @@
+"""Workload factories: abstract-mode inputs and losses for each model.
+
+Inputs are shape-only tensors (no data) — the simulator only needs
+their shapes, dtypes and the kernel/communication costs they induce.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro import dtypes
+from repro.cuda.device import Device
+from repro.models import (
+    DHEN,
+    DeepViT,
+    DeepViTConfig,
+    DhenConfig,
+    GptConfig,
+    MinGPT,
+    RegNet,
+    RegNetConfig,
+    T5Config,
+    T5Model,
+)
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.tensor import empty
+
+__all__ = [
+    "gpt_builder",
+    "gpt_loss_fn",
+    "t5_builder",
+    "t5_loss_fn",
+    "dhen_builder",
+    "dhen_loss_fn",
+    "dhen_ignored_modules",
+    "regnet_builder",
+    "regnet_loss_fn",
+    "deepvit_builder",
+    "deepvit_loss_fn",
+    "transformer_flops",
+]
+
+
+def transformer_flops(params: float, tokens: float, checkpointing: bool) -> float:
+    """Hardware FLOPs per iteration: 6·N·T, plus 2·N·T of recompute."""
+    factor = 8.0 if checkpointing else 6.0
+    return factor * params * tokens
+
+
+# ----------------------------------------------------------------------
+# minGPT
+# ----------------------------------------------------------------------
+def gpt_builder(config: GptConfig) -> Callable[[], Module]:
+    return lambda: MinGPT(config)
+
+
+def gpt_loss_fn(config: GptConfig, batch: int, seq: int):
+    def make_loss(model: Module, device: Device):
+        ids = empty(batch, seq, dtype=dtypes.int64, device=device)
+        labels = empty(batch, seq, dtype=dtypes.int64, device=device)
+        logits = model(ids)
+        return F.cross_entropy(logits, labels)
+
+    return make_loss
+
+
+# ----------------------------------------------------------------------
+# T5
+# ----------------------------------------------------------------------
+def t5_builder(config: T5Config) -> Callable[[], Module]:
+    return lambda: T5Model(config)
+
+
+def t5_loss_fn(config: T5Config, batch: int, seq: int):
+    def make_loss(model: Module, device: Device):
+        src = empty(batch, seq, dtype=dtypes.int64, device=device)
+        tgt = empty(batch, seq, dtype=dtypes.int64, device=device)
+        labels = empty(batch, seq, dtype=dtypes.int64, device=device)
+        logits = model(src, tgt)
+        return F.cross_entropy(logits, labels)
+
+    return make_loss
+
+
+# ----------------------------------------------------------------------
+# DHEN
+# ----------------------------------------------------------------------
+# Per-GPU resident sparse rows: models the managed embedding cache that
+# production recommendation systems use (the raw 768B-parameter tables
+# exceed any single host; see DESIGN.md substitutions).
+DHEN_LOCAL_ROWS = 16_000_000
+
+
+def dhen_builder(config: DhenConfig) -> Callable[[], Module]:
+    def build() -> Module:
+        from repro import distributed as dist
+
+        group = dist.default_group() if dist.is_initialized() else None
+        world = group.world_size if group is not None else 1
+        rows = min(DHEN_LOCAL_ROWS, max(1, config.sparse_rows_total // world))
+        return DHEN(config, sparse_group=group, local_sparse_rows=rows)
+
+    return build
+
+
+def dhen_ignored_modules(model: Module) -> list:
+    return [model.sparse_table]
+
+
+def dhen_loss_fn(config: DhenConfig, batch: int):
+    def make_loss(model: Module, device: Device):
+        sparse_ids = empty(batch, config.num_features, dtype=dtypes.int64, device=device)
+        dense = empty(batch, config.num_dense_features, device=device)
+        labels = empty(batch, device=device)
+        logits = model(sparse_ids, dense)
+        probs = F.sigmoid(logits)
+        return F.mse_loss(probs, labels)
+
+    return make_loss
+
+
+# ----------------------------------------------------------------------
+# Vision models
+# ----------------------------------------------------------------------
+def regnet_builder(config: RegNetConfig) -> Callable[[], Module]:
+    return lambda: RegNet(config)
+
+
+def regnet_loss_fn(config: RegNetConfig, batch: int):
+    def make_loss(model: Module, device: Device):
+        images = empty(batch, config.in_channels, config.image_size, config.image_size, device=device)
+        labels = empty(batch, dtype=dtypes.int64, device=device)
+        return F.cross_entropy(model(images), labels)
+
+    return make_loss
+
+
+def deepvit_builder(config: DeepViTConfig) -> Callable[[], Module]:
+    return lambda: DeepViT(config)
+
+
+def deepvit_loss_fn(config: DeepViTConfig, batch: int):
+    def make_loss(model: Module, device: Device):
+        images = empty(batch, config.in_channels, config.image_size, config.image_size, device=device)
+        labels = empty(batch, dtype=dtypes.int64, device=device)
+        return F.cross_entropy(model(images), labels)
+
+    return make_loss

@@ -1,0 +1,81 @@
+"""Seeded random number generation for the tensor library.
+
+A process-global generator provides reproducible initialization.  Each
+random op draws a fresh child seed from its generator; deferred
+initialization (Section 3.1) records that child seed so that replaying
+the op on a real device yields bit-identical values.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["manual_seed", "default_generator", "Generator", "fork_seed"]
+
+_lock = threading.Lock()
+
+
+class Generator:
+    """A seedable source of child seeds and numpy generators."""
+
+    def __init__(self, seed: int = 0):
+        self._seed_seq = np.random.SeedSequence(seed)
+
+    def manual_seed(self, seed: int) -> "Generator":
+        self._seed_seq = np.random.SeedSequence(seed)
+        return self
+
+    def spawn_seed(self) -> int:
+        """Draw the next child seed (deterministic given the seed)."""
+        with _lock:
+            child = self._seed_seq.spawn(1)[0]
+        return int(child.generate_state(1)[0])
+
+    @staticmethod
+    def numpy_rng(child_seed: int) -> np.random.Generator:
+        """Build the numpy generator for a previously drawn child seed."""
+        return np.random.default_rng(child_seed)
+
+
+    def get_state(self):
+        """Snapshot of the generator state (for checkpoint replay)."""
+        import copy
+
+        with _lock:
+            return copy.deepcopy(self._seed_seq)
+
+    def set_state(self, state) -> None:
+        """Restore a snapshot taken by :meth:`get_state`."""
+        import copy
+
+        with _lock:
+            self._seed_seq = copy.deepcopy(state)
+
+
+_default = Generator(0)
+
+
+def default_generator() -> Generator:
+    return _default
+
+
+def manual_seed(seed: int) -> None:
+    """Seed the process-global generator (like ``torch.manual_seed``)."""
+    _default.manual_seed(seed)
+
+
+def fork_seed(generator: Generator | None = None) -> int:
+    """Draw a child seed from ``generator`` (default: the global one)."""
+    return (generator or _default).spawn_seed()
+
+
+def get_state():
+    """Snapshot the global generator (activation-checkpoint replay)."""
+    return _default.get_state()
+
+
+def set_state(state) -> None:
+    """Restore a snapshot of the global generator."""
+    _default.set_state(state)

@@ -1,0 +1,111 @@
+"""Property-based tests of caching-allocator invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cuda.allocator import _round_size
+from repro.cuda.device import Device
+
+MiB = 2**20
+
+
+def make_device(capacity=512 * MiB):
+    dev = Device("sim_gpu", capacity=capacity)
+    dev.materialize_data = False
+    return dev
+
+
+@st.composite
+def alloc_free_script(draw):
+    """A random sequence of allocate/free operations."""
+    ops = []
+    live = 0
+    for _ in range(draw(st.integers(1, 40))):
+        if live and draw(st.booleans()):
+            ops.append(("free", draw(st.integers(0, live - 1))))
+            live -= 1
+        else:
+            ops.append(("alloc", draw(st.integers(1, 8 * MiB))))
+            live += 1
+    return ops
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(script=alloc_free_script())
+    def test_no_overlapping_live_blocks(self, script):
+        dev = make_device()
+        alloc = dev.allocator
+        live = []
+        for op, arg in script:
+            if op == "alloc":
+                live.append(alloc.allocate(arg, dev.default_stream))
+            else:
+                alloc.free(live.pop(arg))
+        # No two live blocks in the same segment may overlap.
+        by_segment = {}
+        for block in live:
+            by_segment.setdefault(block.segment.segment_id, []).append(block)
+        for blocks in by_segment.values():
+            blocks.sort(key=lambda b: b.offset)
+            for a, b in zip(blocks, blocks[1:]):
+                assert a.offset + a.size <= b.offset, "live blocks overlap"
+
+    @settings(max_examples=40, deadline=None)
+    @given(script=alloc_free_script())
+    def test_accounting_conservation(self, script):
+        dev = make_device()
+        alloc = dev.allocator
+        live = []
+        requested = 0
+        for op, arg in script:
+            if op == "alloc":
+                live.append(alloc.allocate(arg, dev.default_stream))
+                requested += arg
+            else:
+                block = live.pop(arg)
+                requested -= block.requested
+                alloc.free(block)
+            stats = alloc.stats
+            assert stats.allocated_bytes == requested
+            assert stats.reserved_bytes >= sum(b.size for b in live)
+            assert stats.allocated_peak >= stats.allocated_bytes
+            assert stats.reserved_peak >= stats.reserved_bytes
+
+    @settings(max_examples=40, deadline=None)
+    @given(script=alloc_free_script())
+    def test_full_free_then_empty_cache_releases_everything(self, script):
+        dev = make_device()
+        alloc = dev.allocator
+        live = []
+        for op, arg in script:
+            if op == "alloc":
+                live.append(alloc.allocate(arg, dev.default_stream))
+            else:
+                alloc.free(live.pop(arg))
+        for block in live:
+            alloc.free(block)
+        alloc.empty_cache()
+        assert alloc.stats.allocated_bytes == 0
+        assert alloc.stats.reserved_bytes == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(sizes=st.lists(st.integers(1, 4 * MiB), min_size=1, max_size=20))
+    def test_alloc_free_alloc_reuses(self, sizes):
+        """Same-stream realloc of identical sizes never grows reserved."""
+        dev = make_device()
+        alloc = dev.allocator
+        blocks = [alloc.allocate(s, dev.default_stream) for s in sizes]
+        reserved = alloc.stats.reserved_bytes
+        for b in blocks:
+            alloc.free(b)
+        blocks = [alloc.allocate(s, dev.default_stream) for s in sizes]
+        assert alloc.stats.reserved_bytes == reserved
+
+    @given(nbytes=st.integers(0, 10 * MiB))
+    def test_round_size(self, nbytes):
+        rounded = _round_size(nbytes)
+        assert rounded >= max(nbytes, 512)
+        assert rounded % 512 == 0
+        assert rounded - nbytes < 512 or nbytes == 0

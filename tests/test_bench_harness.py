@@ -1,0 +1,73 @@
+"""Unit tests for the figure harnesses themselves (fast paths only)."""
+
+import numpy as np
+
+from repro.bench.fig2 import fig2a_rows, fig2b_knee, fig2b_rows
+from repro.bench.report import fmt_bytes, fmt_seconds, print_table
+from repro.bench.scale import DHEN_STRATEGIES
+
+
+class TestFig2Harness:
+    def test_fig2a_row_fields(self):
+        rows = fig2a_rows(world_size=8, sizes=[2**20, 2**24])
+        assert len(rows) == 2
+        for row in rows:
+            assert row.bw_all_gather_base > 0
+            assert row.bw_uneven_small > 0
+
+    def test_fig2a_bandwidth_monotone_in_size(self):
+        rows = fig2a_rows(world_size=8, sizes=[2**16, 2**20, 2**24, 2**28])
+        bws = [r.bw_all_gather_base for r in rows]
+        assert all(a < b for a, b in zip(bws, bws[1:]))
+
+    def test_fig2b_respects_total(self):
+        rows = fig2b_rows(world_size=8, total_elements=2**24, per_collective=[2**20, 2**24])
+        assert len(rows) == 2
+        assert rows[0][1] > rows[1][1]
+
+    def test_knee_threshold_sensitivity(self):
+        rows = fig2b_rows(world_size=8)
+        strict = fig2b_knee(rows, threshold=1.1)
+        loose = fig2b_knee(rows, threshold=2.0)
+        assert strict >= loose
+
+    def test_world_size_dependence(self):
+        small = fig2a_rows(world_size=2, sizes=[2**24])[0]
+        large = fig2a_rows(world_size=8, sizes=[2**24])[0]
+        # Bus bandwidth is normalized; both should be same order.
+        assert 0.1 < small.bw_all_gather_base / large.bw_all_gather_base < 10
+
+
+class TestReportHelpers:
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512.0B"
+        assert fmt_bytes(2048) == "2.0KiB"
+        assert fmt_bytes(3 * 2**30) == "3.0GiB"
+
+    def test_fmt_seconds(self):
+        assert fmt_seconds(5e-6) == "5.0us"
+        assert fmt_seconds(0.5) == "500.00ms"
+        assert fmt_seconds(2.0) == "2.000s"
+
+    def test_print_table_smoke(self, capsys):
+        print_table("t", ["a", "bb"], [(1, 2), ("x", "yyyy")])
+        out = capsys.readouterr().out
+        assert "t" in out and "yyyy" in out
+
+
+class TestScaleDefinitions:
+    def test_dhen_strategies_cover_paper_grid(self):
+        labels = [label for label, _ in DHEN_STRATEGIES]
+        assert labels == [
+            "FullShard RAF",
+            "FullShard NRAF",
+            "HybridShard RAF",
+            "HybridShard NRAF",
+        ]
+        from repro.fsdp import ShardingStrategy
+
+        strategies = [s for _, s in DHEN_STRATEGIES]
+        raf = [s.reshard_after_forward for s in strategies]
+        assert raf == [True, False, True, False]
+        hybrid = [s.is_hybrid for s in strategies]
+        assert hybrid == [False, False, True, True]

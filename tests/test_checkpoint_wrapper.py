@@ -1,0 +1,79 @@
+"""CheckpointWrapper / apply_activation_checkpointing tests."""
+
+import numpy as np
+
+import repro
+from repro import distributed as dist, nn
+
+
+def build():
+    return nn.Sequential(
+        nn.Sequential(nn.Linear(4, 8), nn.GELU(), nn.Linear(8, 4)),
+        nn.Sequential(nn.Linear(4, 8), nn.GELU(), nn.Linear(8, 4)),
+    )
+
+
+class TestWrapper:
+    def test_same_numerics_as_plain(self):
+        repro.manual_seed(5)
+        model = build()
+        x = repro.randn(2, 4, requires_grad=True)
+        model(x).sum().backward()
+        plain = model[0][0].weight.grad.numpy().copy()
+        model.zero_grad()
+        x.grad = None
+        wrapped = nn.apply_activation_checkpointing(
+            model, lambda m: isinstance(m, nn.Sequential) and len(m) == 3
+        )
+        wrapped(x).sum().backward()
+        inner = wrapped._modules["0"].module
+        np.testing.assert_allclose(inner[0].weight.grad.numpy(), plain, atol=1e-6)
+
+    def test_wraps_only_matching(self):
+        model = build()
+        nn.apply_activation_checkpointing(
+            model, lambda m: isinstance(m, nn.Sequential) and len(m) == 3
+        )
+        assert isinstance(model._modules["0"], nn.CheckpointWrapper)
+        assert not isinstance(model, nn.CheckpointWrapper)
+
+    def test_no_double_wrapping(self):
+        model = build()
+        nn.apply_activation_checkpointing(model, lambda m: isinstance(m, nn.GELU))
+        nn.apply_activation_checkpointing(model, lambda m: isinstance(m, nn.GELU))
+        wrapper = model._modules["0"]._modules["1"]
+        assert isinstance(wrapper, nn.CheckpointWrapper)
+        assert not isinstance(wrapper.module, nn.CheckpointWrapper)
+
+    def test_with_fsdp(self):
+        def fn(rank):
+            from repro.fsdp import FullyShardedDataParallel as FSDP, ModuleWrapPolicy
+
+            model = build()
+            nn.apply_activation_checkpointing(
+                model, lambda m: isinstance(m, nn.Sequential) and len(m) == 3
+            )
+            device = dist.get_device()
+            wrapped = FSDP(
+                model, device=device, auto_wrap_policy=ModuleWrapPolicy({nn.Linear})
+            )
+            x = repro.randn(2, 4, device=device).requires_grad_()
+            wrapped(x).sum().backward()
+            assert all(h.flat_param.grad is not None for h in wrapped.flat_handles)
+
+        dist.spawn(fn, 2)
+
+    def test_kwargs_forwarding(self):
+        class TakesKw(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.layer = nn.Linear(4, 4)
+
+            def forward(self, x, scale=1.0):
+                return self.layer(x) * scale
+
+        wrapper = nn.CheckpointWrapper(TakesKw())
+        x = repro.randn(2, 4, requires_grad=True)
+        out = wrapper(x, scale=2.0)
+        out.sum().backward()
+        assert x.grad is not None

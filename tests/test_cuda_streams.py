@@ -1,0 +1,157 @@
+"""Stream/event timeline semantics (the substrate of Section 3.3)."""
+
+import pytest
+
+from repro.cuda.device import Device, cpu_device, meta_device
+from repro.errors import DeviceError
+from repro.hw.kernel_model import KernelCost
+from repro import dtypes
+
+
+def make_device():
+    dev = Device("sim_gpu")
+    dev.materialize_data = False
+    return dev
+
+
+class TestStreams:
+    def test_sequential_ordering_within_stream(self):
+        dev = make_device()
+        s = dev.default_stream
+        start1, end1 = s.enqueue(1.0, issue_time=0.0)
+        start2, end2 = s.enqueue(1.0, issue_time=0.0)
+        assert start2 == end1
+        assert end2 == 2.0
+
+    def test_kernel_cannot_start_before_issue(self):
+        dev = make_device()
+        s = dev.default_stream
+        start, end = s.enqueue(1.0, issue_time=5.0)
+        assert start == 5.0
+
+    def test_two_streams_overlap(self):
+        dev = make_device()
+        a = dev.default_stream
+        b = dev.new_stream("comm")
+        a.enqueue(1.0, issue_time=0.0)
+        start_b, end_b = b.enqueue(1.0, issue_time=0.0)
+        assert start_b == 0.0, "separate streams must run concurrently"
+
+    def test_wait_event_orders_across_streams(self):
+        dev = make_device()
+        a = dev.default_stream
+        b = dev.new_stream("comm")
+        a.enqueue(2.0, issue_time=0.0)
+        event = a.record_event()
+        b.wait_event(event)
+        start, _ = b.enqueue(0.5, issue_time=0.0)
+        assert start == 2.0
+
+    def test_wait_stream(self):
+        dev = make_device()
+        a = dev.default_stream
+        b = dev.new_stream("comm")
+        a.enqueue(3.0, issue_time=0.0)
+        b.wait_stream(a)
+        start, _ = b.enqueue(1.0, issue_time=0.0)
+        assert start == 3.0
+
+    def test_wait_unrecorded_event_raises(self):
+        dev = make_device()
+        event = dev.new_event()
+        with pytest.raises(RuntimeError):
+            dev.default_stream.wait_event(event)
+
+    def test_negative_duration_rejected(self):
+        dev = make_device()
+        with pytest.raises(ValueError):
+            dev.default_stream.enqueue(-1.0)
+
+    def test_stream_synchronize_blocks_cpu(self):
+        dev = make_device()
+        dev.default_stream.enqueue(2.5, issue_time=0.0)
+        dev.default_stream.synchronize()
+        assert dev.cpu_time() == 2.5
+
+
+class TestEvents:
+    def test_query_tracks_cpu_clock(self):
+        dev = make_device()
+        dev.default_stream.enqueue(1.0, issue_time=0.0)
+        event = dev.default_stream.record_event()
+        assert not event.query()
+        dev.advance_cpu_to(1.5)
+        assert event.query()
+
+    def test_event_synchronize(self):
+        dev = make_device()
+        dev.default_stream.enqueue(1.0, issue_time=0.0)
+        event = dev.default_stream.record_event()
+        event.synchronize()
+        assert dev.cpu_time() == 1.0
+
+    def test_elapsed_time(self):
+        dev = make_device()
+        e1 = dev.default_stream.record_event()
+        dev.default_stream.enqueue(2.0, issue_time=0.0)
+        e2 = dev.default_stream.record_event()
+        assert e1.elapsed_time(e2) == 2.0
+
+
+class TestDeviceClocks:
+    def test_launch_consumes_cpu_and_counts_flops(self):
+        dev = make_device()
+        before = dev.cpu_time()
+        dev.launch(KernelCost(flops=1e12, bytes_moved=1e6), dtypes.float32)
+        assert dev.cpu_time() > before
+        assert dev.flops_total == 1e12
+        assert dev.kernels_launched == 1
+
+    def test_synchronize_joins_all_streams(self):
+        dev = make_device()
+        other = dev.new_stream("x")
+        dev.default_stream.enqueue(1.0, issue_time=0.0)
+        other.enqueue(4.0, issue_time=0.0)
+        dev.synchronize()
+        assert dev.cpu_time() == 4.0
+
+    def test_now_is_max_frontier(self):
+        dev = make_device()
+        dev.default_stream.enqueue(7.0, issue_time=0.0)
+        assert dev.now() == 7.0
+
+    def test_cpu_monotonicity(self):
+        dev = make_device()
+        dev.consume_cpu(1.0)
+        dev.advance_cpu_to(0.5)  # no-op backwards
+        assert dev.cpu_time() == 1.0
+        with pytest.raises(ValueError):
+            dev.consume_cpu(-1.0)
+
+    def test_stream_context_manager(self):
+        dev = make_device()
+        comm = dev.new_stream("comm")
+        assert dev.current_stream is dev.default_stream
+        with dev.stream(comm):
+            assert dev.current_stream is comm
+        assert dev.current_stream is dev.default_stream
+
+    def test_cpu_and_meta_devices_reject_streams(self):
+        with pytest.raises(DeviceError):
+            cpu_device().new_stream()
+        with pytest.raises(DeviceError):
+            meta_device().memory_stats()
+
+    def test_kernel_duration_roofline(self):
+        dev = make_device()
+        model = dev.kernel_model
+        # Compute-bound matmul
+        d1 = model.duration(KernelCost(flops=1e13, bytes_moved=1e6, is_matmul=True), dtypes.bfloat16)
+        expected = 1e13 / (312e12 * 0.62)
+        assert abs(d1 - expected) / expected < 1e-6
+        # Bandwidth-bound elementwise
+        d2 = model.duration(KernelCost(flops=10, bytes_moved=2e9), dtypes.float32)
+        assert abs(d2 - 2e9 / 2e12) / (2e9 / 2e12) < 1e-6
+        # Floor
+        d3 = model.duration(KernelCost(flops=1, bytes_moved=1), dtypes.float32)
+        assert d3 == dev.spec.kernel_min_duration

@@ -1,0 +1,190 @@
+"""DistributedDataParallel baseline tests (Section 2.1)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import distributed as dist, nn
+from repro.ddp import DistributedDataParallel as DDP
+from repro.optim import SGD
+from tests.conftest import copy_weights, grads_of, snapshot_weights
+
+WORLD = 4
+BATCH = 8
+
+
+def build():
+    return nn.Sequential(nn.Linear(6, 12), nn.ReLU(), nn.Linear(12, 3))
+
+
+def make_data():
+    repro.manual_seed(55)
+    return repro.randn(BATCH, 6).numpy(), repro.randn(BATCH, 3).numpy()
+
+
+class TestGradientSync:
+    def test_ddp_matches_local_full_batch(self):
+        xs, ys = make_data()
+        repro.manual_seed(5)
+        local = build()
+        state0 = snapshot_weights(local)
+        out = local(repro.tensor(xs))
+        nn.functional.mse_loss(out, repro.tensor(ys)).backward()
+        local_grads = grads_of(local)
+
+        def fn(rank):
+            model = build()
+            copy_weights(model, state0)
+            device = dist.get_device()
+            ddp = DDP(model, broadcast_parameters=False)
+            n = BATCH // WORLD
+            x = repro.tensor(xs[rank * n : (rank + 1) * n], device=device)
+            y = repro.tensor(ys[rank * n : (rank + 1) * n], device=device)
+            out = ddp(x)
+            nn.functional.mse_loss(out, y).backward()
+            return grads_of(model)
+
+        for grads in dist.spawn(fn, WORLD):
+            for name, g in grads.items():
+                np.testing.assert_allclose(
+                    g, local_grads[name], atol=1e-5, err_msg=f"grad {name}"
+                )
+
+    def test_grads_identical_across_ranks(self):
+        xs, ys = make_data()
+        repro.manual_seed(5)
+        state0 = snapshot_weights(build())
+
+        def fn(rank):
+            model = build()
+            copy_weights(model, state0)
+            ddp = DDP(model, broadcast_parameters=False)
+            n = BATCH // WORLD
+            x = repro.tensor(xs[rank * n : (rank + 1) * n], device=dist.get_device())
+            ddp(x).sum().backward()
+            return grads_of(model)
+
+        results = dist.spawn(fn, WORLD)
+        for name in results[0]:
+            for other in results[1:]:
+                np.testing.assert_allclose(results[0][name], other[name], atol=1e-6)
+
+    def test_broadcast_parameters_synchronizes_init(self):
+        def fn(rank):
+            repro.manual_seed(1000 + rank)  # deliberately different
+            model = build()
+            DDP(model, broadcast_parameters=True)
+            return snapshot_weights(model)
+
+        results = dist.spawn(fn, 2)
+        for name in results[0]:
+            np.testing.assert_array_equal(results[0][name], results[1][name])
+
+    def test_no_sync_skips_communication(self):
+        xs, _ = make_data()
+
+        def fn(rank):
+            repro.manual_seed(5)
+            model = build()
+            ddp = DDP(model, broadcast_parameters=False)
+            group = ddp.process_group
+            x = repro.tensor(
+                xs[rank * 2 : rank * 2 + 2] * (rank + 1), device=dist.get_device()
+            )
+            with ddp.no_sync():
+                ddp(x).sum().backward()
+            skipped = group.collective_count
+            ddp(x).sum().backward()
+            synced = group.collective_count
+            return skipped, synced
+
+        for skipped, synced in dist.spawn(fn, WORLD):
+            assert skipped == 0
+            assert synced > 0
+
+
+class TestBucketing:
+    def test_bucket_count_respects_cap(self):
+        def fn(rank):
+            model = nn.Sequential(*[nn.Linear(64, 64) for _ in range(4)])
+            fine = DDP(model, bucket_cap_bytes=64 * 64 * 4, broadcast_parameters=False)
+            model2 = nn.Sequential(*[nn.Linear(64, 64) for _ in range(4)])
+            coarse = DDP(model2, bucket_cap_bytes=1 << 30, broadcast_parameters=False)
+            return len(fine._buckets), len(coarse._buckets)
+
+        for fine_count, coarse_count in dist.spawn(fn, 2):
+            assert fine_count > coarse_count
+            assert coarse_count == 1
+
+    def test_bucket_order_reversed(self):
+        def fn(rank):
+            model = nn.Sequential(nn.Linear(4, 4), nn.Linear(4, 4))
+            ddp = DDP(model, bucket_cap_bytes=1, broadcast_parameters=False)
+            first_bucket_param = ddp._buckets[0].params[0]
+            last_layer_params = list(model._modules["1"].parameters())
+            return any(first_bucket_param is p for p in last_layer_params)
+
+        assert all(dist.spawn(fn, 2))
+
+    def test_fewer_collectives_with_bucketing(self):
+        def fn(rank):
+            device = dist.get_device()
+            results = {}
+            for label, cap in (("fine", 1), ("coarse", 1 << 30)):
+                model = nn.Sequential(*[nn.Linear(16, 16) for _ in range(4)])
+                ddp = DDP(model, bucket_cap_bytes=cap, broadcast_parameters=False)
+                before = ddp.process_group.collective_count
+                x = repro.randn(2, 16, device=device)
+                ddp(x).sum().backward()
+                results[label] = ddp.process_group.collective_count - before
+            return results
+
+        for counts in dist.spawn(fn, 2):
+            assert counts["coarse"] < counts["fine"]
+
+
+class TestTrainingParity:
+    def test_multi_step_sgd_matches_local(self):
+        xs, ys = make_data()
+        repro.manual_seed(5)
+        local = build()
+        state0 = snapshot_weights(local)
+        opt = SGD(local.parameters(), lr=0.1)
+        for _ in range(3):
+            opt.zero_grad()
+            out = local(repro.tensor(xs))
+            nn.functional.mse_loss(out, repro.tensor(ys)).backward()
+            opt.step()
+        expected = snapshot_weights(local)
+
+        def fn(rank):
+            model = build()
+            copy_weights(model, state0)
+            device = dist.get_device()
+            ddp = DDP(model, broadcast_parameters=False)
+            opt = SGD(model.parameters(), lr=0.1)
+            n = BATCH // WORLD
+            x = repro.tensor(xs[rank * n : (rank + 1) * n], device=device)
+            y = repro.tensor(ys[rank * n : (rank + 1) * n], device=device)
+            for _ in range(3):
+                opt.zero_grad()
+                out = ddp(x)
+                nn.functional.mse_loss(out, y).backward()
+                opt.step()
+            return snapshot_weights(model)
+
+        for final in dist.spawn(fn, WORLD):
+            for name, value in expected.items():
+                np.testing.assert_allclose(final[name], value, atol=1e-4)
+
+    def test_memory_is_replicated(self):
+        """DDP keeps the full model per rank (what OOMs in Figure 6a)."""
+
+        def fn(rank):
+            device = dist.get_device()
+            model = nn.Linear(256, 256, bias=False, device=device)
+            DDP(model, broadcast_parameters=False)
+            stats = device.memory_stats()
+            return stats["allocated_bytes.all.current"] >= 256 * 256 * 4
+
+        assert all(dist.spawn(fn, 2))

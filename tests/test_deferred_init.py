@@ -1,0 +1,179 @@
+"""Deferred initialization (Section 3.1): record on fake device, replay."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import distributed as dist, nn
+from repro.cuda.device import cpu_device, meta_device
+from repro.errors import DeferredInitError
+from repro.fsdp import (
+    FullyShardedDataParallel as FSDP,
+    ModuleWrapPolicy,
+    deferred_init,
+    is_deferred,
+    materialize_module,
+)
+from repro.fsdp.state_dict import full_state_dict
+
+
+def build():
+    return nn.Sequential(nn.Linear(6, 12), nn.GELU(), nn.Linear(12, 3))
+
+
+class TestFakeDevice:
+    def test_deferred_params_on_meta(self):
+        model = deferred_init(build)
+        assert is_deferred(model)
+        for param in model.parameters():
+            assert param.device.is_meta
+            assert not param.is_materialized
+
+    def test_no_host_memory_consumed(self):
+        # A model far larger than host memory can be described on meta.
+        model = deferred_init(lambda: nn.Linear(100_000, 100_000))  # 40 GB in fp32
+        assert model.weight.numel == 10_000_000_000
+
+    def test_init_ops_recorded(self):
+        model = deferred_init(build)
+        records = model._modules["0"].weight._init_records
+        assert records, "kaiming init must be recorded"
+        ops_used = [r[0] for r in records]
+        assert "uniform_" in ops_used
+
+    def test_factory_must_return_module(self):
+        with pytest.raises(DeferredInitError):
+            deferred_init(lambda: 42)
+
+    def test_forward_on_meta_propagates_meta(self):
+        # Running a fake-device model produces fake outputs: shapes
+        # flow, no data exists (reading it raises).
+        model = deferred_init(build)
+        out = model(repro.randn(2, 6))
+        assert out.shape == (2, 3)
+        assert not out.is_materialized
+        with pytest.raises(RuntimeError):
+            out.numpy()
+
+
+class TestReplay:
+    def test_replay_matches_direct_init(self):
+        repro.manual_seed(11)
+        direct = build()
+        direct_state = {n: p.numpy().copy() for n, p in direct.named_parameters()}
+
+        repro.manual_seed(11)
+        model = deferred_init(build)
+        materialize_module(model, cpu_device())
+        assert not is_deferred(model)
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(
+                param.numpy(), direct_state[name], err_msg=f"replay mismatch {name}"
+            )
+
+    def test_replay_is_deterministic_per_recording(self):
+        repro.manual_seed(4)
+        model = deferred_init(build)
+        clone_records = [
+            (n, p._init_records) for n, p in model.named_parameters()
+        ]
+        materialize_module(model, cpu_device())
+        state1 = {n: p.numpy().copy() for n, p in model.named_parameters()}
+        # Replaying the same records again gives identical values,
+        # regardless of the global RNG state at replay time.
+        repro.manual_seed(999)
+        model2 = deferred_init(build)
+        # fresh recording differs, but replay of *its* records is stable
+        materialize_module(model2, cpu_device())
+        state2a = {n: p.numpy().copy() for n, p in model2.named_parameters()}
+        assert any(
+            not np.array_equal(state1[n], state2a[n]) for n in state1
+        ), "different seeds should give different inits"
+
+    def test_buffers_replayed(self):
+        class WithBuffer(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.layer = nn.Linear(3, 3)
+                self.register_buffer("offset", repro.zeros(3))
+
+        model = deferred_init(WithBuffer)
+        materialize_module(model, cpu_device())
+        np.testing.assert_array_equal(model.offset.numpy(), np.zeros(3))
+
+
+class TestFsdpIntegration:
+    def test_fsdp_materializes_deferred_unit_by_unit(self):
+        repro.manual_seed(21)
+        reference = build()
+        ref_state = {n: p.numpy().copy() for n, p in reference.named_parameters()}
+
+        def fn(rank):
+            repro.manual_seed(21)
+            model = deferred_init(build)
+            wrapped = FSDP(
+                model,
+                device=dist.get_device(),
+                auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+            )
+            return {k: v.numpy() for k, v in full_state_dict(wrapped).items()}
+
+        # Single rank avoids the shared-RNG thread race for recording.
+        (state,) = dist.spawn(fn, 1)
+        for name, value in ref_state.items():
+            np.testing.assert_allclose(state[name], value, atol=1e-6)
+
+    def test_fsdp_deferred_peak_is_sharded(self):
+        """Materializing unit by unit never holds the whole model."""
+
+        def fn(rank):
+            device = dist.get_device()
+            model = deferred_init(
+                lambda: nn.Sequential(*[nn.Linear(128, 128, bias=False) for _ in range(8)])
+            )
+            device.reset_peak_memory_stats()
+            wrapped = FSDP(
+                model, device=device, auto_wrap_policy=ModuleWrapPolicy({nn.Linear})
+            )
+            peak = device.memory_stats()["allocated_bytes.all.peak"]
+            full_model_bytes = 8 * 128 * 128 * 4
+            # Peak during init stays near one unsharded unit + shards,
+            # far below the full model (Section 3.1's goal).
+            assert peak < full_model_bytes * 0.75
+            return peak
+
+        dist.spawn(fn, 4)
+
+    def test_deferred_training_runs(self):
+        def fn(rank):
+            model = deferred_init(build)
+            wrapped = FSDP(
+                model,
+                device=dist.get_device(),
+                auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+            )
+            x = repro.randn(2, 6, device=dist.get_device())
+            wrapped(x).sum().backward()
+            assert all(h.flat_param.grad is not None for h in wrapped.flat_handles)
+
+        dist.spawn(fn, 2)
+
+    def test_init_on_cpu_streaming_path(self):
+        """§4.1's fallback: build on CPU, stream unit by unit to device."""
+
+        def fn(rank):
+            model = build()  # materialized on CPU
+            for param in model.parameters():
+                assert param.device.is_cpu
+            wrapped = FSDP(
+                model,
+                device=dist.get_device(),
+                auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+            )
+            # After wrapping, shards live on the simulated GPU.
+            for handle in wrapped.flat_handles:
+                assert handle.flat_param.device.is_sim_gpu
+            x = repro.randn(2, 6, device=dist.get_device())
+            wrapped(x).sum().backward()
+
+        dist.spawn(fn, 2)

@@ -1,0 +1,102 @@
+"""Unit tests for dtype machinery, including bfloat16 emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import dtypes
+
+
+class TestDtypeBasics:
+    def test_itemsizes(self):
+        assert dtypes.float32.itemsize == 4
+        assert dtypes.float16.itemsize == 2
+        assert dtypes.bfloat16.itemsize == 2
+        assert dtypes.int64.itemsize == 8
+        assert dtypes.bool_.itemsize == 1
+
+    def test_bfloat16_stored_as_float32(self):
+        assert dtypes.bfloat16.np_dtype == np.dtype(np.float32)
+
+    def test_floating_flags(self):
+        assert dtypes.float32.is_floating
+        assert dtypes.bfloat16.is_floating
+        assert not dtypes.int64.is_floating
+        assert not dtypes.bool_.is_floating
+
+    def test_lookup_by_name(self):
+        assert dtypes.get("bfloat16") is dtypes.bfloat16
+        with pytest.raises(ValueError):
+            dtypes.get("float8")
+
+    def test_from_numpy(self):
+        assert dtypes.from_numpy_dtype(np.float32) is dtypes.float32
+        assert dtypes.from_numpy_dtype(np.int64) is dtypes.int64
+        with pytest.raises(ValueError):
+            dtypes.from_numpy_dtype(np.complex64)
+
+
+class TestPromotion:
+    def test_same_dtype(self):
+        assert dtypes.result_type(dtypes.float32, dtypes.float32) is dtypes.float32
+
+    def test_float_beats_int(self):
+        assert dtypes.result_type(dtypes.float16, dtypes.int64) is dtypes.float16
+        assert dtypes.result_type(dtypes.int32, dtypes.bfloat16) is dtypes.bfloat16
+
+    def test_float_ranks(self):
+        assert dtypes.result_type(dtypes.bfloat16, dtypes.float32) is dtypes.float32
+        assert dtypes.result_type(dtypes.float16, dtypes.bfloat16) is dtypes.bfloat16
+        assert dtypes.result_type(dtypes.float64, dtypes.float32) is dtypes.float64
+
+    def test_int_widths(self):
+        assert dtypes.result_type(dtypes.int32, dtypes.int64) is dtypes.int64
+
+
+class TestBfloat16Quantization:
+    def test_exactly_representable(self):
+        # Powers of two and small integers are exact in bfloat16.
+        values = np.array([0.0, 1.0, -2.0, 0.5, 256.0], dtype=np.float32)
+        out = dtypes.quantize(values, dtypes.bfloat16)
+        np.testing.assert_array_equal(out, values)
+
+    def test_rounding_error_bound(self):
+        # bf16 has 8 mantissa bits: relative error <= 2^-8.
+        values = np.linspace(0.1, 10.0, 1000).astype(np.float32)
+        out = dtypes.quantize(values, dtypes.bfloat16)
+        rel = np.abs(out - values) / np.abs(values)
+        assert rel.max() <= 2.0**-8
+
+    def test_nan_preserved(self):
+        values = np.array([np.nan, 1.0], dtype=np.float32)
+        out = dtypes.quantize(values, dtypes.bfloat16)
+        assert np.isnan(out[0]) and out[1] == 1.0
+
+    def test_inf_preserved(self):
+        values = np.array([np.inf, -np.inf], dtype=np.float32)
+        out = dtypes.quantize(values, dtypes.bfloat16)
+        assert np.isinf(out).all()
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_idempotent(self, value):
+        once = dtypes.quantize(np.array([value], dtype=np.float32), dtypes.bfloat16)
+        twice = dtypes.quantize(once, dtypes.bfloat16)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(st.floats(min_value=1.000000045813705e-18, max_value=9.999999843067494e+17, allow_nan=False, width=32))
+    def test_sign_and_magnitude(self, value):
+        out = dtypes.quantize(np.array([value], dtype=np.float32), dtypes.bfloat16)[0]
+        assert out >= 0
+        # within half a ulp of bf16
+        assert abs(out - value) <= max(abs(value) * 2.0**-8, 1e-38)
+
+    def test_low_16_bits_cleared(self):
+        values = np.random.default_rng(0).normal(size=100).astype(np.float32)
+        out = dtypes.quantize(values, dtypes.bfloat16)
+        bits = out.view(np.uint32)
+        assert (bits & 0xFFFF == 0).all()
+
+    def test_float16_quantize(self):
+        values = np.array([1.0, 2.5, 65504.0], dtype=np.float32)
+        out = dtypes.quantize(values, dtypes.float16)
+        assert out.dtype == np.float16

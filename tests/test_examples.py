@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example must run end to end."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart")
+        assert "quickstart OK" in capsys.readouterr().out
+
+    def test_t5_finetune(self, capsys):
+        run_example("t5_finetune")
+        assert "checkpoint round trip OK" in capsys.readouterr().out
+
+    def test_hybrid_sharding_dhen(self, capsys):
+        run_example("hybrid_sharding_dhen")
+        assert "example OK" in capsys.readouterr().out
+
+    def test_deferred_init_demo(self, capsys):
+        run_example("deferred_init_demo")
+        assert "demo OK" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_paper_scale_simulation(self, capsys):
+        run_example("paper_scale_simulation")
+        assert "paper-scale simulation OK" in capsys.readouterr().out

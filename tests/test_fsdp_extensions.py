@@ -1,0 +1,281 @@
+"""Extension features: summon_full_params, CPU offload, BACKWARD_POST."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import distributed as dist, nn
+from repro.autograd import no_grad
+from repro.fsdp import (
+    BackwardPrefetch,
+    CPUOffload,
+    FullyShardedDataParallel as FSDP,
+    ModuleWrapPolicy,
+)
+from repro.optim import SGD
+from tests.conftest import copy_weights, grads_of, snapshot_weights, unflatten_handle_grads
+
+
+def build():
+    return nn.Sequential(nn.Linear(6, 10), nn.GELU(), nn.Linear(10, 4))
+
+
+def reference():
+    repro.manual_seed(41)
+    model = build()
+    return snapshot_weights(model)
+
+
+class TestSummonFullParams:
+    def test_views_valid_inside_context(self):
+        state0 = reference()
+
+        def fn(rank):
+            model = build()
+            copy_weights(model, state0)
+            wrapped = FSDP(
+                model,
+                device=dist.get_device(),
+                auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+            )
+            first = model._modules["0"].module  # inside the nested wrapper
+            with wrapped.summon_full_params():
+                got = first.weight.numpy().copy()
+            np.testing.assert_allclose(got, state0["0.weight"], atol=1e-6)
+            # Resharded again outside.
+            assert all(
+                not h.is_unsharded for h in wrapped.flat_handles if h.needs_unshard
+            )
+
+        dist.spawn(fn, 4)
+
+    def test_writeback_persists_edits(self):
+        state0 = reference()
+
+        def fn(rank):
+            model = build()
+            copy_weights(model, state0)
+            wrapped = FSDP(
+                model,
+                device=dist.get_device(),
+                auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+            )
+            first = model._modules["0"].module  # inside the nested wrapper
+            with wrapped.summon_full_params(writeback=True), no_grad():
+                first.weight.fill_(3.5)
+            from repro.fsdp.state_dict import full_state_dict
+
+            sd = full_state_dict(wrapped)
+            return sd["0.weight"].numpy()
+
+        for weight in dist.spawn(fn, 4):
+            np.testing.assert_allclose(weight, np.full((10, 6), 3.5), atol=1e-6)
+
+    def test_no_writeback_discards_edits(self):
+        state0 = reference()
+
+        def fn(rank):
+            model = build()
+            copy_weights(model, state0)
+            wrapped = FSDP(
+                model,
+                device=dist.get_device(),
+                auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+            )
+            first = model._modules["0"].module  # inside the nested wrapper
+            with wrapped.summon_full_params(writeback=False), no_grad():
+                first.weight.fill_(3.5)
+            from repro.fsdp.state_dict import full_state_dict
+
+            return full_state_dict(wrapped)["0.weight"].numpy()
+
+        for weight in dist.spawn(fn, 4):
+            np.testing.assert_allclose(weight, state0["0.weight"], atol=1e-6)
+
+    def test_summon_before_first_forward(self):
+        state0 = reference()
+
+        def fn(rank):
+            model = build()
+            copy_weights(model, state0)
+            wrapped = FSDP(
+                model,
+                device=dist.get_device(),
+                auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+            )
+            with wrapped.summon_full_params():
+                pass  # must not require lazy root init
+
+        dist.spawn(fn, 2)
+
+
+class TestCpuOffload:
+    def test_shard_lives_on_host(self):
+        state0 = reference()
+
+        def fn(rank):
+            model = build()
+            copy_weights(model, state0)
+            wrapped = FSDP(
+                model,
+                device=dist.get_device(),
+                auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+                cpu_offload=CPUOffload(offload_params=True),
+            )
+            for handle in wrapped.flat_handles:
+                assert handle.flat_param.device.is_cpu
+                assert handle._local_shard.device.is_cpu
+
+        dist.spawn(fn, 2)
+
+    def test_gradients_match_non_offloaded(self):
+        state0 = reference()
+        repro.manual_seed(77)
+        xs = repro.randn(4, 6).numpy()
+        ys = repro.randn(4, 4).numpy()
+
+        def worker_factory(offload):
+            def fn(rank):
+                model = build()
+                copy_weights(model, state0)
+                device = dist.get_device()
+                wrapped = FSDP(
+                    model,
+                    device=device,
+                    auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+                    cpu_offload=CPUOffload(offload_params=True) if offload else None,
+                )
+                n = 2
+                x = repro.tensor(xs[rank * n : (rank + 1) * n], device=device)
+                y = repro.tensor(ys[rank * n : (rank + 1) * n], device=device)
+                out = wrapped(x)
+                nn.functional.mse_loss(out, y).backward()
+                return {
+                    k: g for k, g in unflatten_handle_grads(wrapped).items()
+                }
+
+            return fn
+
+        plain = dist.spawn(worker_factory(False), 2)
+        offloaded = dist.spawn(worker_factory(True), 2)
+        for p, o in zip(plain, offloaded):
+            for key in p:
+                np.testing.assert_allclose(p[key], o[key], atol=1e-5)
+
+    def test_training_step_on_host_shards(self):
+        state0 = reference()
+
+        def fn(rank):
+            model = build()
+            copy_weights(model, state0)
+            device = dist.get_device()
+            wrapped = FSDP(
+                model,
+                device=device,
+                auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+                cpu_offload=CPUOffload(offload_params=True),
+            )
+            opt = SGD(wrapped.parameters(), lr=0.1)
+            x = repro.randn(2, 6, device=device)
+            wrapped(x).sum().backward()
+            before = wrapped.flat_handles[0]._local_shard.numpy().copy()
+            opt.step()
+            after = wrapped.flat_handles[0]._local_shard.numpy()
+            assert not np.allclose(before, after), "host shard must be updated"
+            # Next forward gathers the updated values without error.
+            wrapped.zero_grad()
+            wrapped(x).sum().backward()
+
+        dist.spawn(fn, 2)
+
+    def test_offload_reduces_device_memory_at_rest(self):
+        def fn(rank):
+            import gc
+
+            device = dist.get_device()
+            results = {}
+            for offload in (False, True):
+                model = nn.Linear(128, 128, bias=False)
+                wrapped = FSDP(
+                    model,
+                    device=device,
+                    cpu_offload=CPUOffload(offload_params=True) if offload else None,
+                )
+                gc.collect()
+                results[offload] = device.memory_stats()[
+                    "allocated_bytes.all.current"
+                ]
+                del wrapped, model
+                gc.collect()
+            return results
+
+        for results in dist.spawn(fn, 2):
+            assert results[True] < results[False]
+
+    def test_offload_with_mixed_precision(self):
+        from repro.fsdp import BF16_MIXED
+
+        def fn(rank):
+            model = build()
+            device = dist.get_device()
+            wrapped = FSDP(
+                model,
+                device=device,
+                auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+                mixed_precision=BF16_MIXED,
+                cpu_offload=CPUOffload(offload_params=True),
+            )
+            x = repro.randn(2, 6, device=device)
+            wrapped(x).sum().backward()
+            for handle in wrapped.flat_handles:
+                assert handle.flat_param.grad is not None
+                assert handle.flat_param.grad.device.is_cpu
+
+        dist.spawn(fn, 2)
+
+
+class TestBackwardPostPrefetch:
+    def test_numerics_unchanged(self):
+        state0 = reference()
+        repro.manual_seed(88)
+        xs = repro.randn(4, 6).numpy()
+
+        def worker_factory(prefetch):
+            def fn(rank):
+                model = build()
+                copy_weights(model, state0)
+                device = dist.get_device()
+                wrapped = FSDP(
+                    model,
+                    device=device,
+                    auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+                    backward_prefetch=prefetch,
+                )
+                x = repro.tensor(xs[rank * 2 : rank * 2 + 2], device=device)
+                wrapped(x).sum().backward()
+                return unflatten_handle_grads(wrapped)
+
+            return fn
+
+        pre = dist.spawn(worker_factory(BackwardPrefetch.BACKWARD_PRE), 2)
+        post = dist.spawn(worker_factory(BackwardPrefetch.BACKWARD_POST), 2)
+        for a, b in zip(pre, post):
+            for key in a:
+                np.testing.assert_allclose(a[key], b[key], atol=1e-6)
+
+    def test_post_issues_after_reduce(self):
+        def fn(rank):
+            model = nn.Sequential(*[nn.Linear(8, 8) for _ in range(3)])
+            wrapped = FSDP(
+                model,
+                device=dist.get_device(),
+                auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+                backward_prefetch=BackwardPrefetch.BACKWARD_POST,
+            )
+            x = repro.randn(2, 8, device=dist.get_device())
+            wrapped(x).sum().backward()
+            for handle in wrapped.flat_handles:
+                assert handle._saved_grad_shard is None  # restored
+                assert handle.flat_param.grad is not None
+
+        dist.spawn(fn, 2)

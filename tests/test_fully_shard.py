@@ -1,0 +1,137 @@
+"""The functional ``fully_shard`` annotator (Section 4)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import distributed as dist, nn
+from repro.errors import FsdpError
+from repro.fsdp import fully_shard
+from repro.fsdp.flat_param import FlatParameter
+from tests.conftest import copy_weights, snapshot_weights
+
+
+def build():
+    return nn.Sequential(nn.Linear(6, 10), nn.GELU(), nn.Linear(10, 2))
+
+
+class TestAnnotation:
+    def test_returns_same_module(self):
+        def fn(rank):
+            model = build()
+            assert fully_shard(model) is model
+
+        dist.spawn(fn, 2)
+
+    def test_preserves_structure_and_fqns(self):
+        """The paper's selling point for fully_shard vs the wrapper."""
+
+        def fn(rank):
+            model = build()
+            names_before = {type(m).__name__ for m in model.modules()}
+            fully_shard(model)
+            names_after = {type(m).__name__ for m in model.modules()}
+            assert names_before == names_after  # no wrapper modules
+            # The FlatParameter is registered on the annotated module.
+            params = dict(model.named_parameters())
+            assert list(params) == ["_flat_param"]
+            assert isinstance(params["_flat_param"], FlatParameter)
+
+        dist.spawn(fn, 2)
+
+    def test_double_annotation_rejected(self):
+        def fn(rank):
+            model = build()
+            fully_shard(model)
+            with pytest.raises(FsdpError):
+                fully_shard(model)
+
+        dist.spawn(fn, 1)
+
+    def test_nested_annotation_blocks_then_root(self):
+        def fn(rank):
+            model = build()
+            for child in list(model.children()):
+                if isinstance(child, nn.Linear):
+                    fully_shard(child)
+            fully_shard(model)
+            flat_params = [
+                p for _, p in model.named_parameters() if isinstance(p, FlatParameter)
+            ]
+            # Two Linear units; the root has no residual parameters.
+            assert len(flat_params) == 2
+
+        dist.spawn(fn, 2)
+
+
+class TestExecution:
+    def test_training_step_and_grads(self):
+        repro.manual_seed(17)
+        reference = build()
+        state0 = snapshot_weights(reference)
+        xs = repro.randn(4, 6).numpy()
+        reference(repro.tensor(xs)).mean().backward()
+        local_grads = {
+            n: p.grad.numpy().copy() for n, p in reference.named_parameters()
+        }
+
+        def fn(rank):
+            model = build()
+            copy_weights(model, state0)
+            device = dist.get_device()
+            for child in list(model.children()):
+                if isinstance(child, nn.Linear):
+                    fully_shard(child, device=device)
+            fully_shard(model, device=device)
+            n = 4 // 2
+            x = repro.tensor(xs[rank * n : (rank + 1) * n], device=device)
+            model(x).mean().backward()
+            grads = []
+            for mod in model.modules():
+                unit = getattr(mod, "_fsdp_unit", None)
+                if unit is None or unit.handle is None:
+                    continue
+                h = unit.handle
+                full = repro.empty(h.padded_numel, device=device)
+                h.shard_group.all_gather_into_tensor(full, h.flat_param.grad).wait()
+                flat = full.numpy()
+                for info in h.param_infos:
+                    grads.append(
+                        flat[info.offset : info.offset + info.numel].reshape(info.shape)
+                    )
+            return grads
+
+        for grads in dist.spawn(fn, 2):
+            for g in grads:
+                # mean-loss per half-batch, averaged across ranks,
+                # equals the full-batch mean-loss gradient.
+                assert any(
+                    lg.shape == g.shape and np.allclose(lg, g, atol=1e-5)
+                    for lg in local_grads.values()
+                )
+
+    def test_root_lazy_init_on_first_forward(self):
+        def fn(rank):
+            model = build()
+            device = dist.get_device()
+            fully_shard(model, device=device)
+            unit = model._fsdp_unit
+            assert unit.runtime is None
+            model(repro.randn(2, 6, device=device))
+            assert unit.runtime is not None
+            assert unit.is_root
+
+        dist.spawn(fn, 2)
+
+    def test_mixed_precision_input_cast(self):
+        from repro import dtypes
+        from repro.fsdp import BF16_MIXED
+
+        def fn(rank):
+            model = build()
+            device = dist.get_device()
+            fully_shard(model, device=device, mixed_precision=BF16_MIXED)
+            out = model(repro.randn(2, 6, device=device))
+            assert out.dtype is dtypes.bfloat16
+
+        dist.spawn(fn, 2)

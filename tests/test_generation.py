@@ -1,0 +1,88 @@
+"""Autoregressive generation and argmax."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import distributed as dist, nn, ops
+from repro.models import GPT_TINY, MinGPT
+from repro.models.mingpt import GptConfig
+
+
+class TestArgmax:
+    def test_values(self):
+        t = repro.tensor(np.array([[1.0, 5.0, 2.0], [9.0, 0.0, 1.0]]))
+        np.testing.assert_array_equal(ops.argmax(t, -1).numpy(), [1, 0])
+
+    def test_dim_zero(self):
+        t = repro.tensor(np.array([[1.0, 5.0], [9.0, 0.0]]))
+        np.testing.assert_array_equal(ops.argmax(t, 0).numpy(), [1, 0])
+
+    def test_dtype(self):
+        from repro import dtypes
+
+        assert ops.argmax(repro.randn(3, 4)).dtype is dtypes.int64
+
+
+class TestGenerate:
+    def test_greedy_extends_sequence(self):
+        repro.manual_seed(0)
+        model = MinGPT(GPT_TINY)
+        idx = repro.tensor(np.array([[1, 2, 3]]))
+        out = model.generate(idx, 5, temperature=0)
+        assert out.shape == (1, 8)
+        np.testing.assert_array_equal(out.numpy()[:, :3], [[1, 2, 3]])
+
+    def test_greedy_is_deterministic(self):
+        repro.manual_seed(0)
+        model = MinGPT(GPT_TINY)
+        idx = repro.tensor(np.array([[7, 8]]))
+        a = model.generate(idx, 4, temperature=0).numpy()
+        b = model.generate(idx, 4, temperature=0).numpy()
+        np.testing.assert_array_equal(a, b)
+
+    def test_sampling_respects_seed(self):
+        repro.manual_seed(0)
+        model = MinGPT(GPT_TINY)
+        idx = repro.tensor(np.array([[7, 8]]))
+        repro.manual_seed(123)
+        a = model.generate(idx, 4, temperature=1.0).numpy()
+        repro.manual_seed(123)
+        b = model.generate(idx, 4, temperature=1.0).numpy()
+        np.testing.assert_array_equal(a, b)
+
+    def test_window_clipping(self):
+        config = GptConfig(vocab_size=32, block_size=4, n_layer=1, n_head=1, n_embd=8)
+        repro.manual_seed(0)
+        model = MinGPT(config)
+        idx = repro.tensor(np.array([[1, 2, 3, 4]]))
+        out = model.generate(idx, 3, temperature=0)
+        assert out.shape == (1, 7)  # grew past block_size via the window
+
+    def test_batched_generation(self):
+        repro.manual_seed(0)
+        model = MinGPT(GPT_TINY)
+        idx = repro.tensor(np.array([[1, 2], [3, 4], [5, 6]]))
+        out = model.generate(idx, 2, temperature=0)
+        assert out.shape == (3, 4)
+
+    def test_generation_under_fsdp_summon(self):
+        def fn(rank):
+            from repro.fsdp import FullyShardedDataParallel as FSDP, ModuleWrapPolicy
+            from repro.models.transformer import TransformerBlock
+
+            repro.manual_seed(0)
+            model = MinGPT(GPT_TINY)
+            device = dist.get_device()
+            wrapped = FSDP(
+                model,
+                device=device,
+                auto_wrap_policy=ModuleWrapPolicy({TransformerBlock}),
+            )
+            idx = repro.tensor(np.array([[1, 2, 3]]), device=device)
+            with wrapped.summon_full_params(writeback=False):
+                out = model.generate(idx, 3, temperature=0)
+            return out.numpy()
+
+        results = dist.spawn(fn, 2)
+        np.testing.assert_array_equal(results[0], results[1])

@@ -1,0 +1,85 @@
+"""LR scheduler tests."""
+
+import math
+
+import pytest
+
+import repro
+from repro import nn
+from repro.optim import (
+    SGD,
+    CosineAnnealingLR,
+    LinearWarmup,
+    StepLR,
+)
+
+
+def make_opt(lr=1.0):
+    return SGD(nn.Linear(2, 2).parameters(), lr=lr)
+
+
+class TestStepLR:
+    def test_decay_schedule(self):
+        opt = make_opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.param_groups[0]["lr"])
+        assert lrs == [1.0, 0.1, 0.1, pytest.approx(0.01), pytest.approx(0.01)]
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=0)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt = make_opt()
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.1)
+
+    def test_midpoint(self):
+        opt = make_opt()
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(5):
+            sched.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.5)
+
+    def test_clamps_after_t_max(self):
+        opt = make_opt()
+        sched = CosineAnnealingLR(opt, t_max=4)
+        for _ in range(10):
+            sched.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestWarmup:
+    def test_linear_ramp(self):
+        opt = make_opt()
+        sched = LinearWarmup(opt, warmup_steps=4)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.param_groups[0]["lr"])
+        assert lrs == [0.25, 0.5, 0.75, 1.0, 1.0]
+
+    def test_start_factor(self):
+        opt = make_opt()
+        sched = LinearWarmup(opt, warmup_steps=2, start_factor=0.5)
+        sched.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.75)
+
+    def test_multiple_groups(self):
+        p1 = nn.Linear(2, 2)
+        p2 = nn.Linear(2, 2)
+        opt = SGD(
+            [{"params": list(p1.parameters()), "lr": 1.0},
+             {"params": list(p2.parameters()), "lr": 2.0}],
+            lr=1.0,
+        )
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert [g["lr"] for g in opt.param_groups] == [0.5, 1.0]

@@ -1,0 +1,251 @@
+"""Native mixed precision (Section 4.4) and the sharded grad scaler."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import distributed as dist, dtypes, nn
+from repro.fsdp import (
+    BF16_MIXED,
+    FP16_MIXED,
+    FullyShardedDataParallel as FSDP,
+    MixedPrecision,
+    ModuleWrapPolicy,
+    ShardedGradScaler,
+)
+from repro.optim import SGD
+from tests.conftest import copy_weights, snapshot_weights
+
+
+def build():
+    return nn.Sequential(nn.Linear(8, 16), nn.GELU(), nn.Linear(16, 4))
+
+
+class TestConfig:
+    def test_defaults_resolve(self):
+        mp = MixedPrecision(param_dtype=dtypes.bfloat16)
+        assert mp.resolved_reduce_dtype() is dtypes.bfloat16
+        assert mp.resolved_buffer_dtype() is dtypes.bfloat16
+
+    def test_independent_dtypes(self):
+        mp = MixedPrecision(
+            param_dtype=dtypes.bfloat16,
+            reduce_dtype=dtypes.float32,
+            buffer_dtype=dtypes.float16,
+        )
+        assert mp.resolved_reduce_dtype() is dtypes.float32
+        assert mp.resolved_buffer_dtype() is dtypes.float16
+
+    def test_presets(self):
+        assert BF16_MIXED.param_dtype is dtypes.bfloat16
+        assert FP16_MIXED.param_dtype is dtypes.float16
+
+
+class TestComputeDtype:
+    def test_views_are_low_precision_params_full(self):
+        def fn(rank):
+            model = build()
+            wrapped = FSDP(
+                model,
+                device=dist.get_device(),
+                auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+                mixed_precision=BF16_MIXED,
+            )
+            x = repro.randn(2, 8, device=dist.get_device())
+            out = wrapped(x)
+            assert out.dtype is dtypes.bfloat16
+            out.sum().backward()
+            for handle in wrapped.flat_handles:
+                # Optimizer-facing FlatParameter stays full precision.
+                assert handle.flat_param.dtype is dtypes.float32
+                assert handle.flat_param.grad.dtype is dtypes.float32
+                assert handle.compute_dtype is dtypes.bfloat16
+
+        dist.spawn(fn, 2)
+
+    def test_keep_low_precision_grads(self):
+        def fn(rank):
+            mp = MixedPrecision(param_dtype=dtypes.bfloat16, keep_low_precision_grads=True)
+            wrapped = FSDP(
+                build(),
+                device=dist.get_device(),
+                auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+                mixed_precision=mp,
+            )
+            x = repro.randn(2, 8, device=dist.get_device())
+            wrapped(x).sum().backward()
+            for handle in wrapped.flat_handles:
+                assert handle.flat_param.grad.dtype is dtypes.bfloat16
+
+        dist.spawn(fn, 2)
+
+    def test_bf16_grads_close_to_fp32(self):
+        repro.manual_seed(3)
+        reference = build()
+        state0 = snapshot_weights(reference)
+        xs = repro.randn(4, 8).numpy()
+        out = reference(repro.tensor(xs))
+        out.sum().backward()
+        fp32_grads = {
+            n: p.grad.numpy().copy() for n, p in reference.named_parameters()
+        }
+
+        def fn(rank):
+            model = build()
+            copy_weights(model, state0)
+            wrapped = FSDP(
+                model,
+                device=dist.get_device(),
+                auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+                mixed_precision=BF16_MIXED,
+            )
+            x = repro.tensor(xs, device=dist.get_device())
+            wrapped(x).sum().backward()
+            from tests.conftest import unflatten_handle_grads
+
+            return unflatten_handle_grads(wrapped)
+
+        for grads in dist.spawn(fn, 2):
+            for key, g in grads.items():
+                close = any(
+                    lg.shape == g.shape
+                    and np.allclose(lg, g, rtol=0.1, atol=0.05)
+                    for lg in fp32_grads.values()
+                )
+                assert close, f"bf16 gradient {key} too far from fp32"
+
+    def test_buffers_cast(self):
+        class WithBuffer(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.layer = nn.Linear(4, 4)
+                self.register_buffer("scale", repro.ones(4))
+
+            def forward(self, x):
+                return self.layer(x) * self.scale
+
+        def fn(rank):
+            wrapped = FSDP(
+                WithBuffer(), device=dist.get_device(), mixed_precision=BF16_MIXED
+            )
+            assert wrapped.module.scale.dtype is dtypes.bfloat16
+
+        dist.spawn(fn, 2)
+
+
+class TestMemoryFormula:
+    def test_peak_param_memory_drops_with_mixed_precision(self):
+        """§4.4: K_full·ψ/F + K_low·ψ < K_full·ψ/F + K_full·ψ."""
+
+        def fn(rank):
+            results = {}
+            for label, mp in (("fp32", None), ("bf16", BF16_MIXED)):
+                model = nn.Linear(64, 64, bias=False)
+                wrapped = FSDP(model, device=dist.get_device(), mixed_precision=mp)
+                handle = wrapped.flat_handles[0]
+                results[label] = handle.sharded_nbytes + handle.unsharded_nbytes
+            return results
+
+        for results in dist.spawn(fn, 2):
+            psi = 64 * 64 * 4  # bytes at full precision
+            assert results["fp32"] == psi // 2 + psi
+            assert results["bf16"] == psi // 2 + psi // 2
+            assert results["bf16"] < results["fp32"]
+
+    def test_collectives_run_in_low_precision(self):
+        def fn(rank):
+            model = nn.Linear(32, 32, bias=False)
+            wrapped = FSDP(model, device=dist.get_device(), mixed_precision=BF16_MIXED)
+            group = wrapped.flat_handles[0].shard_group
+            x = repro.randn(2, 32, device=dist.get_device())
+            wrapped(x).sum().backward()
+            # Volume: AllGather + ReduceScatter of the bf16 flat param.
+            handle = wrapped.flat_handles[0]
+            padded_bytes = handle.padded_numel * 2
+            expected = 2 * int(padded_bytes * (group.world_size - 1) / group.world_size)
+            return group.bytes_sent, expected
+
+        for sent, expected in dist.spawn(fn, 2):
+            assert sent == expected
+
+    def test_fp16_numerics_emulated(self):
+        def fn(rank):
+            wrapped = FSDP(
+                nn.Linear(4, 4),
+                device=dist.get_device(),
+                mixed_precision=FP16_MIXED,
+            )
+            x = repro.randn(2, 4, device=dist.get_device())
+            out = wrapped(x)
+            assert out.dtype is dtypes.float16
+
+        dist.spawn(fn, 2)
+
+
+class TestShardedGradScaler:
+    def _train_step(self, wrapped, scaler, x, y):
+        out = wrapped(x)
+        loss = nn.functional.mse_loss(out, y)
+        scaler.scale(loss).backward()
+        return loss
+
+    def test_all_ranks_agree_on_skip(self):
+        """One rank's inf grad must skip the step on every rank (§4.4)."""
+
+        def fn(rank):
+            model = build()
+            wrapped = FSDP(
+                model,
+                device=dist.get_device(),
+                auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+            )
+            opt = SGD(wrapped.parameters(), lr=0.1)
+            scaler = ShardedGradScaler(init_scale=4.0)
+            x = repro.randn(2, 8, device=dist.get_device())
+            y = repro.randn(2, 4, device=dist.get_device())
+            self._train_step(wrapped, scaler, x, y)
+            # Poison rank 1's sharded gradient.
+            if rank == 1:
+                from repro.autograd import no_grad
+
+                with no_grad():
+                    wrapped.flat_handles[0].flat_param.grad.fill_(float("nan"))
+            scaler.unscale_(opt)
+            stepped = scaler.step(opt)
+            scaler.update()
+            return stepped, scaler.get_scale()
+
+        results = dist.spawn(fn, 2)
+        assert [s for s, _ in results] == [False, False]
+        assert all(scale == 2.0 for _, scale in results)  # backed off
+
+    def test_scale_grows_after_interval(self):
+        scaler = ShardedGradScaler(init_scale=2.0, growth_interval=2)
+        model = nn.Linear(2, 2)
+        opt = SGD(model.parameters(), lr=0.1)
+        for _ in range(2):
+            model.zero_grad()
+            (model(repro.randn(1, 2)).sum() * scaler.get_scale()).backward()
+            scaler.unscale_(opt)
+            assert scaler.step(opt)
+            scaler.update()
+        assert scaler.get_scale() == 4.0
+
+    def test_unscale_restores_magnitude(self):
+        scaler = ShardedGradScaler(init_scale=8.0)
+        model = nn.Linear(2, 2, bias=False)
+        opt = SGD(model.parameters(), lr=0.1)
+        out = scaler.scale(model(repro.ones(1, 2)).sum())
+        out.backward()
+        scaled = model.weight.grad.numpy().copy()
+        scaler.unscale_(opt)
+        np.testing.assert_allclose(model.weight.grad.numpy(), scaled / 8.0, rtol=1e-6)
+
+    def test_disabled_scaler_passthrough(self):
+        scaler = ShardedGradScaler(enabled=False)
+        model = nn.Linear(2, 2)
+        opt = SGD(model.parameters(), lr=0.1)
+        loss = model(repro.ones(1, 2)).sum()
+        assert scaler.scale(loss) is loss
+        loss.backward()
+        assert scaler.step(opt)

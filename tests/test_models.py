@@ -1,0 +1,191 @@
+"""Model zoo tests: functional training and paper-scale configs."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import nn
+from repro.models import (
+    DEEPVIT_8B,
+    DEEPVIT_TINY,
+    DHEN,
+    DHEN_PAPER,
+    DHEN_TINY,
+    GPT3_175B,
+    GPT_TINY,
+    MinGPT,
+    REGNET_9B,
+    REGNET_TINY,
+    RegNet,
+    DeepViT,
+    T5_11B,
+    T5_2B,
+    T5_611M,
+    T5_TINY,
+    T5Model,
+)
+from repro.models.transformer import MultiHeadAttention, TransformerBlock
+
+
+def int_tensor(shape, high):
+    return repro.tensor(np.random.randint(0, high, shape))
+
+
+class TestConfigs:
+    def test_t5_param_targets(self):
+        assert abs(T5_611M.approx_params - 0.611e9) / 0.611e9 < 0.05
+        assert abs(T5_2B.approx_params - 2.28e9) / 2.28e9 < 0.05
+        assert abs(T5_11B.approx_params - 11e9) / 11e9 < 0.06
+
+    def test_gpt_param_target(self):
+        assert abs(GPT3_175B.approx_params - 175e9) / 175e9 < 0.02
+
+    def test_vision_param_targets(self):
+        assert abs(REGNET_9B.approx_params - 9e9) / 9e9 < 0.1
+        assert abs(DEEPVIT_8B.approx_params - 8e9) / 8e9 < 0.05
+
+    def test_dhen_param_targets(self):
+        assert DHEN_PAPER.sparse_params == 768_000_000_000
+        assert abs(DHEN_PAPER.dense_params_approx - 550e6) / 550e6 < 0.05
+
+    def test_tiny_configs_actually_build(self):
+        # Verify approx formulas track real construction within 25%.
+        model = T5Model(T5_TINY)
+        actual = model.num_parameters()
+        assert abs(actual - T5_TINY.approx_params) / actual < 0.25
+
+
+class TestAttention:
+    def test_wide_inner_dimension(self):
+        attn = MultiHeadAttention(d_model=16, num_heads=4, head_dim=8)
+        x = repro.randn(2, 5, 16)
+        assert attn(x).shape == (2, 5, 16)
+        assert attn.q_proj.out_features == 32  # heads * head_dim
+
+    def test_causal_masking_blocks_future(self):
+        attn = MultiHeadAttention(d_model=8, num_heads=2, causal=True)
+        x = repro.randn(1, 4, 8)
+        out1 = attn(x).numpy()
+        # Changing the last position must not affect the first output.
+        x2 = x.numpy().copy()
+        x2[0, -1] += 10.0
+        out2 = attn(repro.tensor(x2)).numpy()
+        np.testing.assert_allclose(out1[0, 0], out2[0, 0], atol=1e-5)
+
+    def test_cross_attention(self):
+        block = TransformerBlock(8, 2, 16, cross_attention=True)
+        x = repro.randn(1, 3, 8)
+        ctx = repro.randn(1, 6, 8)
+        assert block(x, context=ctx).shape == (1, 3, 8)
+
+    def test_reattention_mixes_heads(self):
+        attn = MultiHeadAttention(d_model=8, num_heads=2, reattention=True)
+        assert attn.reattn is not None
+        x = repro.randn(1, 4, 8)
+        out = attn(x)
+        out.sum().backward()
+        assert attn.reattn.weight.grad is not None
+
+
+class TestTrainability:
+    """Each model must run a full forward/backward at tiny scale."""
+
+    def test_mingpt(self):
+        model = MinGPT(GPT_TINY)
+        loss = model.loss(int_tensor((2, 16), 128), int_tensor((2, 16), 128))
+        loss.backward()
+        assert all(
+            p.grad is not None for p in model.parameters()
+        ), "all GPT params must receive gradients"
+
+    def test_mingpt_rejects_long_sequence(self):
+        model = MinGPT(GPT_TINY)
+        with pytest.raises(ValueError):
+            model(int_tensor((1, GPT_TINY.block_size + 1), 10))
+
+    def test_t5(self):
+        model = T5Model(T5_TINY)
+        loss = model.loss(
+            int_tensor((2, 8), 96), int_tensor((2, 6), 96), int_tensor((2, 6), 96)
+        )
+        loss.backward()
+        grads = [p.grad is not None for p in model.parameters()]
+        assert all(grads)
+
+    def test_t5_decoder_is_causal(self):
+        model = T5Model(T5_TINY)
+        model.eval()
+        src = int_tensor((1, 4), 96)
+        tgt = int_tensor((1, 5), 96)
+        from repro.autograd import no_grad
+
+        with no_grad():
+            out1 = model(src, tgt).numpy()
+            tgt2 = tgt.numpy().copy()
+            tgt2[0, -1] = (tgt2[0, -1] + 1) % 96
+            out2 = model(src, repro.tensor(tgt2)).numpy()
+        np.testing.assert_allclose(out1[0, 0], out2[0, 0], atol=1e-5)
+
+    def test_dhen(self):
+        model = DHEN(DHEN_TINY)
+        sparse = int_tensor((4, DHEN_TINY.num_features), 1024)
+        dense = repro.randn(4, DHEN_TINY.num_dense_features)
+        labels = repro.tensor(np.random.randint(0, 2, 4).astype(np.float32))
+        loss = model.loss(sparse, dense, labels)
+        assert 0.0 < loss.item() < 10.0
+        loss.backward()
+        assert model.sparse_table.weight.grad is not None
+
+    def test_dhen_loss_is_bce(self):
+        model = DHEN(DHEN_TINY)
+        sparse = int_tensor((2, DHEN_TINY.num_features), 1024)
+        dense = repro.zeros(2, DHEN_TINY.num_dense_features)
+        # With any logits, BCE >= 0.
+        loss = model.loss(sparse, dense, repro.tensor(np.array([1.0, 0.0], dtype=np.float32)))
+        assert loss.item() >= 0.0
+
+    def test_regnet(self):
+        model = RegNet(REGNET_TINY)
+        images = repro.randn(2, 3, 16, 16)
+        loss = model.loss(images, int_tensor((2,), 10))
+        loss.backward()
+        assert model.stem.weight.grad is not None
+
+    def test_deepvit(self):
+        model = DeepViT(DEEPVIT_TINY)
+        images = repro.randn(2, 3, 16, 16)
+        loss = model.loss(images, int_tensor((2,), 10))
+        loss.backward()
+        assert model.patch_embed.weight.grad is not None
+
+    def test_checkpointed_variant_same_loss(self):
+        import dataclasses
+
+        repro.manual_seed(10)
+        plain = MinGPT(GPT_TINY)
+        repro.manual_seed(10)
+        ckpt_config = dataclasses.replace(GPT_TINY, checkpoint_blocks=True)
+        ckpt = MinGPT(ckpt_config)
+        idx = int_tensor((2, 8), 128)
+        tgt = int_tensor((2, 8), 128)
+        l1 = plain.loss(idx, tgt)
+        l2 = ckpt.loss(idx, tgt)
+        np.testing.assert_allclose(l1.item(), l2.item(), rtol=1e-5)
+
+    def test_training_reduces_loss(self):
+        from repro.optim import Adam
+
+        repro.manual_seed(1)
+        model = MinGPT(GPT_TINY)
+        opt = Adam(model.parameters(), lr=1e-3)
+        idx = int_tensor((4, 16), 128)
+        tgt = int_tensor((4, 16), 128)
+        first = None
+        for step in range(12):
+            opt.zero_grad()
+            loss = model.loss(idx, tgt)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first, "overfitting a fixed batch must reduce loss"

@@ -1,0 +1,99 @@
+"""Module-system edge cases and miscellaneous coverage."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import nn
+from repro.autograd import no_grad
+
+
+class TestModuleApply:
+    def test_apply_visits_children_first(self):
+        order = []
+        model = nn.Sequential(nn.Linear(2, 2), nn.ReLU())
+        model.apply(lambda m: order.append(type(m).__name__))
+        assert order == ["Linear", "ReLU", "Sequential"]
+
+    def test_to_moves_params_and_buffers(self):
+        from repro.cuda.device import Device
+
+        device = Device("sim_gpu")
+        model = nn.Linear(3, 3)
+        model.register_buffer("scale", repro.ones(3))
+        model.to(device=device)
+        assert model.weight.device is device
+        assert model.scale.device is device
+
+    def test_to_moves_grads(self):
+        from repro.cuda.device import Device
+
+        model = nn.Linear(3, 3)
+        model(repro.ones(1, 3)).sum().backward()
+        device = Device("sim_gpu")
+        model.to(device=device)
+        assert model.weight.grad.device is device
+
+    def test_dtype_cast_via_to(self):
+        from repro import dtypes
+
+        model = nn.Linear(3, 3)
+        model.to(dtype=dtypes.bfloat16)
+        assert model.weight.dtype is dtypes.bfloat16
+
+
+class TestSequentialContainers:
+    def test_sequential_iteration_and_len(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.ReLU(), nn.Linear(2, 2))
+        assert len(model) == 3
+        assert isinstance(model[1], nn.ReLU)
+        assert len(list(iter(model))) == 3
+
+    def test_modulelist_append(self):
+        blocks = nn.ModuleList()
+        blocks.append(nn.Linear(2, 2))
+        blocks.append(nn.Linear(2, 2))
+        assert len(blocks) == 2
+        assert len(list(blocks[0].parameters())) == 2
+
+    def test_modulelist_registers_parameters(self):
+        class Holder(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.blocks = nn.ModuleList([nn.Linear(2, 2)])
+
+        names = [n for n, _ in Holder().named_parameters()]
+        assert "blocks.0.weight" in names
+
+
+class TestParameterSemantics:
+    def test_parameter_requires_grad_default(self):
+        p = nn.Parameter(repro.randn(3))
+        assert p.requires_grad
+
+    def test_frozen_parameter_excluded_from_grads(self):
+        layer = nn.Linear(3, 3)
+        layer.bias.requires_grad = False
+        layer(repro.ones(1, 3)).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is None
+
+    def test_parameter_shares_storage_with_source(self):
+        src = repro.randn(4)
+        p = nn.Parameter(src)
+        with no_grad():
+            p.fill_(2.0)
+        assert (src.numpy() == 2.0).all()
+
+    def test_parameter_repr(self):
+        assert "Parameter" in repr(nn.Parameter(repro.randn(2)))
+
+
+class TestExtraRepr:
+    def test_linear_repr(self):
+        text = repr(nn.Linear(3, 4))
+        assert "in=3" in text and "out=4" in text
+
+    def test_nested_repr(self):
+        text = repr(nn.Sequential(nn.Linear(2, 2)))
+        assert "Sequential" in text and "Linear" in text

@@ -1,0 +1,158 @@
+"""Optimizer tests: SGD, Adam/AdamW, clipping, grad scaler basics."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import nn
+from repro.optim import SGD, Adam, AdamW, GradScaler, clip_grad_norm_
+
+
+def quadratic_param(value=np.array([2.0, -3.0], dtype=np.float32)):
+    p = nn.Parameter(repro.tensor(value.copy()))
+    return p
+
+
+class TestSGD:
+    def test_basic_step(self):
+        p = quadratic_param()
+        (p * p).sum().backward()
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.detach().numpy(), [2.0 - 0.4, -3.0 + 0.6], rtol=1e-6)
+
+    def test_momentum_accumulates(self):
+        p = quadratic_param(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(2):
+            opt.zero_grad()
+            (p * 1.0).sum().backward()
+            opt.step()
+        # v1 = 1, p=0.9; v2 = 0.9+1=1.9, p=0.9-0.19=0.71
+        np.testing.assert_allclose(p.detach().numpy(), [0.71], rtol=1e-5)
+
+    def test_weight_decay(self):
+        p = quadratic_param(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(p.detach().numpy(), [1.0 - 0.1 * 0.5], rtol=1e-5)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=-1.0)
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        SGD([p], lr=0.1).step()  # no grad: no crash, no change
+        np.testing.assert_allclose(p.detach().numpy(), [2.0, -3.0])
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_direction(self):
+        p = quadratic_param(np.array([1.0], dtype=np.float32))
+        opt = Adam([p], lr=0.01)
+        (p * 2.0).sum().backward()
+        opt.step()
+        # First Adam step moves by ~lr regardless of grad magnitude.
+        np.testing.assert_allclose(p.detach().numpy(), [1.0 - 0.01], atol=1e-5)
+
+    def test_matches_reference_trajectory(self):
+        # Reference computed with the standard Adam recurrences.
+        def reference(steps, lr=0.1, b1=0.9, b2=0.999, eps=1e-8):
+            x = 1.0
+            m = v = 0.0
+            for t in range(1, steps + 1):
+                g = 2 * x
+                m = b1 * m + (1 - b1) * g
+                v = b2 * v + (1 - b2) * g * g
+                mh = m / (1 - b1**t)
+                vh = v / (1 - b2**t)
+                x -= lr * mh / (np.sqrt(vh) + eps)
+            return x
+
+        p = quadratic_param(np.array([1.0], dtype=np.float32))
+        opt = Adam([p], lr=0.1)
+        for _ in range(5):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.detach().numpy(), [reference(5)], rtol=1e-4)
+
+    def test_state_allocation(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.1)
+        (p * p).sum().backward()
+        opt.step()
+        assert opt.state_bytes() == 2 * p.nbytes
+
+    def test_adamw_decoupled_decay(self):
+        p = quadratic_param(np.array([1.0], dtype=np.float32))
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        # Zero grad: pure decay p *= (1 - lr*wd) = 0.95; Adam part ~0.
+        np.testing.assert_allclose(p.detach().numpy(), [0.95], atol=1e-3)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], betas=(1.5, 0.9))
+
+    def test_param_groups(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        opt = Adam([{"params": [p1], "lr": 0.1}, {"params": [p2], "lr": 0.0}])
+        for p in (p1, p2):
+            (p * p).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(p2.detach().numpy(), [2.0, -3.0])
+        assert not np.allclose(p1.detach().numpy(), [2.0, -3.0])
+
+
+class TestClipping:
+    def test_clip_reduces_norm(self):
+        p = quadratic_param(np.array([3.0, 4.0], dtype=np.float32))
+        (p * p).sum().backward()  # grad [6, 8], norm 10
+        total = clip_grad_norm_([p], max_norm=1.0)
+        assert abs(total - 10.0) < 1e-4
+        np.testing.assert_allclose(
+            np.linalg.norm(p.grad.numpy()), 1.0, rtol=1e-3
+        )
+
+    def test_no_clip_below_threshold(self):
+        p = quadratic_param(np.array([0.1], dtype=np.float32))
+        (p * p).sum().backward()
+        grad_before = p.grad.numpy().copy()
+        clip_grad_norm_([p], max_norm=100.0)
+        np.testing.assert_array_equal(p.grad.numpy(), grad_before)
+
+
+class TestGradScaler:
+    def test_skip_on_inf(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        scaler = GradScaler(init_scale=2.0)
+        (p * p).sum().backward()
+        from repro.autograd import no_grad
+
+        with no_grad():
+            p.grad.fill_(float("inf"))
+        scaler.unscale_(opt)
+        assert not scaler.step(opt)
+        scaler.update()
+        assert scaler.get_scale() == 1.0  # backed off
+        np.testing.assert_allclose(p.detach().numpy(), [2.0, -3.0])
+
+    def test_zero_grad_variants(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        (p * p).sum().backward()
+        opt.zero_grad(set_to_none=False)
+        assert p.grad is not None
+        assert (p.grad.numpy() == 0).all()
+        opt.zero_grad()
+        assert p.grad is None

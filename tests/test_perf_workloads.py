@@ -1,0 +1,102 @@
+"""Workload factory unit tests."""
+
+import pytest
+
+import repro
+from repro import distributed as dist
+from repro.models import (
+    DEEPVIT_TINY,
+    DHEN_TINY,
+    GPT_TINY,
+    REGNET_TINY,
+    T5_TINY,
+)
+from repro.perf.workloads import (
+    deepvit_builder,
+    deepvit_loss_fn,
+    dhen_builder,
+    dhen_ignored_modules,
+    dhen_loss_fn,
+    gpt_builder,
+    gpt_loss_fn,
+    regnet_builder,
+    regnet_loss_fn,
+    t5_builder,
+    t5_loss_fn,
+    transformer_flops,
+)
+
+
+@pytest.fixture()
+def abstract_world():
+    dist.shutdown()
+    ctx = dist.init_single_process(4, materialize=False)
+    yield ctx
+    dist.shutdown()
+
+
+class TestFlopsFormula:
+    def test_without_checkpointing(self):
+        # fwd+bwd = 6 N T
+        assert transformer_flops(1e9, 1e3, checkpointing=False) == 6e12
+
+    def test_with_checkpointing(self):
+        # + one recompute forward = 8 N T
+        assert transformer_flops(1e9, 1e3, checkpointing=True) == 8e12
+
+
+class TestLossFactories:
+    def test_gpt_loss_scalar(self, abstract_world):
+        model = gpt_builder(GPT_TINY)()
+        from repro.fsdp.deferred_init import materialize_module
+
+        materialize_module(model, abstract_world.device)
+        loss = gpt_loss_fn(GPT_TINY, 2, 16)(model, abstract_world.device)
+        assert loss.numel == 1
+        assert not loss.is_materialized  # abstract mode
+
+    def test_t5_loss_scalar(self, abstract_world):
+        from repro.fsdp.deferred_init import materialize_module
+
+        model = t5_builder(T5_TINY)()
+        materialize_module(model, abstract_world.device)
+        loss = t5_loss_fn(T5_TINY, 2, 8)(model, abstract_world.device)
+        assert loss.numel == 1
+
+    def test_dhen_builder_scales_rows_with_world(self, abstract_world):
+        model = dhen_builder(DHEN_TINY)()
+        # sparse_rows_total=1024 over world 4 => 256 local rows
+        assert model.local_rows == 256
+        assert dhen_ignored_modules(model) == [model.sparse_table]
+
+    def test_dhen_loss_runs(self, abstract_world):
+        from repro.fsdp.deferred_init import materialize_module
+
+        model = dhen_builder(DHEN_TINY)()
+        materialize_module(model, abstract_world.device)
+        loss = dhen_loss_fn(DHEN_TINY, 4)(model, abstract_world.device)
+        assert loss.numel == 1
+
+    def test_vision_losses_run(self, abstract_world):
+        from repro.fsdp.deferred_init import materialize_module
+
+        regnet = regnet_builder(REGNET_TINY)()
+        materialize_module(regnet, abstract_world.device)
+        loss = regnet_loss_fn(REGNET_TINY, 2)(regnet, abstract_world.device)
+        assert loss.numel == 1
+
+        deepvit = deepvit_builder(DEEPVIT_TINY)()
+        materialize_module(deepvit, abstract_world.device)
+        loss = deepvit_loss_fn(DEEPVIT_TINY, 2)(deepvit, abstract_world.device)
+        assert loss.numel == 1
+
+    def test_losses_backward_in_abstract_mode(self, abstract_world):
+        from repro.fsdp.deferred_init import materialize_module
+
+        model = gpt_builder(GPT_TINY)()
+        materialize_module(model, abstract_world.device)
+        loss = gpt_loss_fn(GPT_TINY, 2, 16)(model, abstract_world.device)
+        loss.backward()
+        grads = [p.grad for p in model.parameters()]
+        assert all(g is not None for g in grads)
+        assert all(not g.is_materialized for g in grads)

@@ -1,0 +1,143 @@
+"""Storage lifecycle: allocation, views, release/reallocate, GC frees."""
+
+import gc
+
+import numpy as np
+import pytest
+
+import repro
+from repro import dtypes
+from repro.cuda.device import Device, cpu_device, meta_device
+from repro.storage import Storage
+
+
+def sim_device():
+    dev = Device("sim_gpu")
+    dev.materialize_data = True
+    return dev
+
+
+class TestLifecycle:
+    def test_allocates_through_allocator(self):
+        dev = sim_device()
+        storage = Storage(dev, dtypes.float32, 1000)
+        assert storage.block is not None
+        assert dev.allocator.stats.allocated_bytes == 4000
+
+    def test_gc_frees_block(self):
+        dev = sim_device()
+        storage = Storage(dev, dtypes.float32, 1000)
+        del storage
+        gc.collect()
+        assert dev.allocator.stats.allocated_bytes == 0
+
+    def test_tensor_death_frees(self):
+        dev = sim_device()
+        t = repro.randn(256, device=dev)
+        assert dev.allocator.stats.allocated_bytes >= 1024
+        del t
+        gc.collect()
+        assert dev.allocator.stats.allocated_bytes == 0
+
+    def test_views_keep_storage_alive(self):
+        dev = sim_device()
+        t = repro.randn(256, device=dev)
+        view = t.view(16, 16)
+        del t
+        gc.collect()
+        assert dev.allocator.stats.allocated_bytes >= 1024
+        del view
+        gc.collect()
+        assert dev.allocator.stats.allocated_bytes == 0
+
+    def test_activation_memory_freed_during_backward(self):
+        """Saved tensors release as nodes execute, like the real engine."""
+        from repro import nn
+
+        dev = sim_device()
+        model = nn.Sequential(*[nn.Linear(64, 64, device=dev) for _ in range(4)])
+        x = repro.randn(8, 64, device=dev)
+        out = model(x)
+        during = dev.allocator.stats.allocated_bytes
+        out.sum().backward()
+        model.zero_grad()
+        del out, x
+        gc.collect()
+        after = dev.allocator.stats.allocated_bytes
+        assert after < during
+
+
+class TestReleaseReallocate:
+    def test_release_keeps_object_alive(self):
+        dev = sim_device()
+        storage = Storage(dev, dtypes.float32, 100)
+        storage.release()
+        assert storage.block is None
+        assert storage.data is None
+        assert not storage.freed
+
+    def test_reallocate_restores(self):
+        dev = sim_device()
+        storage = Storage(dev, dtypes.float32, 100)
+        storage.release()
+        storage.reallocate()
+        assert storage.block is not None
+        assert storage.data is not None
+
+    def test_reallocate_idempotent(self):
+        dev = sim_device()
+        storage = Storage(dev, dtypes.float32, 100)
+        block = storage.block
+        storage.reallocate()  # no-op while attached
+        assert storage.block is block
+
+    def test_reallocate_after_free_raises(self):
+        dev = sim_device()
+        storage = Storage(dev, dtypes.float32, 100)
+        storage.free()
+        with pytest.raises(RuntimeError):
+            storage.reallocate()
+
+    def test_views_survive_cycle(self):
+        dev = sim_device()
+        storage = Storage(dev, dtypes.float32, 10)
+        t = repro.Tensor(storage, (10,))
+        storage.release()
+        with pytest.raises(RuntimeError):
+            t.numpy()
+        storage.reallocate()
+        assert t.numpy().shape == (10,)
+
+    def test_double_free_safe(self):
+        dev = sim_device()
+        storage = Storage(dev, dtypes.float32, 100)
+        storage.free()
+        storage.free()
+        assert dev.allocator.stats.allocated_bytes == 0
+
+
+class TestDevices:
+    def test_cpu_storage_has_no_block(self):
+        storage = Storage(cpu_device(), dtypes.float32, 10)
+        assert storage.block is None
+        assert storage.data is not None
+
+    def test_meta_storage_has_nothing(self):
+        storage = Storage(meta_device(), dtypes.float32, 10)
+        assert storage.block is None
+        assert storage.data is None
+
+    def test_abstract_mode(self):
+        dev = sim_device()
+        dev.materialize_data = False
+        storage = Storage(dev, dtypes.float32, 10)
+        assert storage.block is not None  # memory accounted
+        assert storage.data is None  # no real data
+
+    def test_explicit_data(self):
+        storage = Storage(cpu_device(), dtypes.float32, 4, data=np.arange(4, dtype=np.float32))
+        np.testing.assert_array_equal(storage.data, [0, 1, 2, 3])
+
+    def test_data_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Storage(cpu_device(), dtypes.float32, 5, data=np.zeros(4, dtype=np.float32))

@@ -1,0 +1,134 @@
+"""Symmetric (single-rank, perf) process-group backend."""
+
+import pytest
+
+import repro
+from repro import distributed as dist, dtypes
+from repro.errors import DistributedError
+
+
+@pytest.fixture()
+def world():
+    dist.shutdown()
+    ctx = dist.init_single_process(16, materialize=False)
+    yield ctx
+    dist.shutdown()
+
+
+class TestSetup:
+    def test_context(self, world):
+        assert dist.get_rank() == 0
+        assert dist.get_world_size() == 16
+        assert dist.get_device().is_sim_gpu
+        assert not dist.get_device().materialize_data
+
+    def test_default_group_cached(self, world):
+        assert dist.default_group() is dist.default_group()
+
+    def test_topology_must_fit(self):
+        dist.shutdown()
+        from repro.hw.specs import cluster_of
+
+        with pytest.raises(DistributedError):
+            dist.init_single_process(64, topology=cluster_of(8))
+        dist.shutdown()
+
+
+class TestCollectives:
+    def test_all_gather_advances_stream(self, world):
+        g = dist.default_group()
+        dev = world.device
+        shard = repro.empty(1_000_000, device=dev)
+        out = repro.empty(16_000_000, device=dev)
+        before = g.comm_stream.ready_time
+        work = g.all_gather_into_tensor(out, shard)
+        assert g.comm_stream.ready_time > before
+        assert not work.query()  # CPU has not caught up yet
+        work.wait()
+        assert work.query()
+
+    def test_all_gather_rejects_materialized(self, world):
+        g = dist.default_group()
+        out = repro.zeros(32)  # cpu, materialized
+        shard = repro.zeros(2)
+        with pytest.raises(DistributedError):
+            g.all_gather_into_tensor(out, shard)
+
+    def test_reduce_scatter_and_all_reduce_cost_ordering(self, world):
+        g = dist.default_group()
+        dev = world.device
+        full = repro.empty(16_000_000, device=dev)
+        shard = repro.empty(1_000_000, device=dev)
+        # Prime the stream so subsequent durations are gap-free (the
+        # first collective's start would otherwise wait for the CPU
+        # clock that advanced during the big allocations above).
+        g.all_reduce(shard)
+        t0 = g.comm_stream.ready_time
+        g.reduce_scatter_tensor(shard, full)
+        rs_time = g.comm_stream.ready_time - t0
+        t0 = g.comm_stream.ready_time
+        g.all_reduce(full)
+        ar_time = g.comm_stream.ready_time - t0
+        assert ar_time > rs_time  # all-reduce moves ~2x the data
+
+    def test_collectives_serialize_on_one_stream(self, world):
+        """The ProcessGroupNCCL single-stream behaviour (§3.3.2)."""
+        g = dist.default_group()
+        dev = world.device
+        a = repro.empty(4_000_000, device=dev)
+        out = repro.empty(64_000_000, device=dev)
+        end_first = None
+        g.all_gather_into_tensor(out, a)
+        end_first = g.comm_stream.ready_time
+        g.reduce_scatter_tensor(a, out)
+        # The second collective starts after the first finished.
+        assert g.comm_stream.ready_time > end_first
+
+    def test_scalar_ops(self, world):
+        g = dist.default_group()
+        assert g.all_reduce_scalar(2.0, op="sum") == 32.0
+        assert g.all_reduce_scalar(2.0, op="max") == 2.0
+        assert g.all_reduce_scalar(2.0, op="avg") == 2.0
+
+    def test_all_to_all_bytes(self, world):
+        g = dist.default_group()
+        before = g.comm_stream.ready_time
+        g.all_to_all_bytes(1_000_000_000)
+        assert g.comm_stream.ready_time > before
+
+    def test_traffic_counters(self, world):
+        g = dist.default_group()
+        dev = world.device
+        shard = repro.empty(1_000_000, device=dev)
+        out = repro.empty(16_000_000, device=dev)
+        g.all_gather_into_tensor(out, shard)
+        expected = int(out.nbytes * 15 / 16)
+        assert g.bytes_sent == expected
+        assert g.cross_host_bytes == expected  # 16 GPUs span 2 hosts
+
+
+class TestSubgroups:
+    def test_intra_host_group_is_faster(self, world):
+        dev = world.device
+        host_group = dist.new_group(range(8))
+        global_group = dist.default_group()
+        payload_out = repro.empty(80_000_000, device=dev)
+        payload_shard = repro.empty(10_000_000, device=dev)
+        t0 = host_group.comm_stream.ready_time
+        host_group.all_gather_into_tensor(payload_out, payload_shard)
+        host_time = host_group.comm_stream.ready_time - t0
+
+        out2 = repro.empty(160_000_000, device=dev)
+        t0 = global_group.comm_stream.ready_time
+        global_group.all_gather_into_tensor(out2, payload_shard)
+        global_time = global_group.comm_stream.ready_time - t0
+        assert host_time < global_time
+
+    def test_host_group_no_cross_host_traffic(self, world):
+        dev = world.device
+        g = dist.new_group(range(8))
+        shard = repro.empty(1_000_000, device=dev)
+        out = repro.empty(8_000_000, device=dev)
+        g.all_gather_into_tensor(out, shard)
+        assert g.cross_host_bytes == 0
+        assert g.bytes_sent > 0

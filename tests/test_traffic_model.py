@@ -1,0 +1,113 @@
+"""Section 3.2.2 cross-host traffic formulas vs simulated counters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro import distributed as dist, nn
+from repro.fsdp import FullyShardedDataParallel as FSDP, ShardingStrategy
+from repro.hw.traffic import (
+    full_replication_cross_host_bytes,
+    full_sharding_cross_host_bytes,
+    hybrid_sharding_cross_host_bytes,
+)
+
+
+class TestClosedForms:
+    def test_full_replication(self):
+        # 2 M (W-1)/W
+        assert full_replication_cross_host_bytes(100.0, 4) == pytest.approx(150.0)
+
+    def test_full_sharding(self):
+        # 3 M (W-1)/W
+        assert full_sharding_cross_host_bytes(100.0, 4) == pytest.approx(225.0)
+
+    def test_hybrid_formula(self):
+        # paper approximation: 2 M (W-1)/(G W)
+        got = hybrid_sharding_cross_host_bytes(100.0, 16, 8)
+        assert got == pytest.approx(2 * 100 * 15 / (8 * 16))
+
+    def test_hybrid_exact_form(self):
+        exact = hybrid_sharding_cross_host_bytes(100.0, 16, 8, exact=True)
+        # 2 (M/G) (R-1)/R with R = 2 replicas
+        assert exact == pytest.approx(2 * (100 / 8) * 0.5)
+
+    def test_hybrid_single_replica_is_zero(self):
+        assert hybrid_sharding_cross_host_bytes(100.0, 8, 8) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            full_replication_cross_host_bytes(-1.0, 4)
+        with pytest.raises(ValueError):
+            hybrid_sharding_cross_host_bytes(1.0, 10, 4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        model_mb=st.floats(1.0, 1e4),
+        hosts=st.integers(2, 64),
+        gpus=st.sampled_from([2, 4, 8]),
+    )
+    def test_hybrid_always_cheapest_cross_host(self, model_mb, hosts, gpus):
+        """The paper's headline: hybrid < replication < full sharding."""
+        world = hosts * gpus
+        m = model_mb * 2**20
+        hybrid = hybrid_sharding_cross_host_bytes(m, world, gpus)
+        replication = full_replication_cross_host_bytes(m, world)
+        full = full_sharding_cross_host_bytes(m, world)
+        assert hybrid < replication < full
+
+
+class TestSimulatedCounters:
+    def _run(self, strategy, sharding_factor=None, world=4, topology=None):
+        from repro.hw.specs import HostSpec, ClusterTopology
+
+        # 4 "hosts" of 2 GPUs each so cross-host traffic exists.
+        topology = ClusterTopology(num_hosts=2, host=HostSpec(gpus_per_host=2))
+
+        def fn(rank):
+            device = dist.get_device()
+            model = nn.Linear(16, 16, bias=False, device=device)
+            wrapped = FSDP(
+                model,
+                device=device,
+                sharding_strategy=strategy,
+                sharding_factor=sharding_factor,
+            )
+            x = repro.randn(2, 16, device=device)
+            wrapped(x).sum().backward()
+            groups = [wrapped._fsdp_unit.plan.shard_group]
+            if wrapped._fsdp_unit.plan.replicate_group is not None:
+                groups.append(wrapped._fsdp_unit.plan.replicate_group)
+            cross = sum(g.cross_host_bytes for g in groups)
+            model_bytes = 16 * 16 * 4
+            return cross, model_bytes
+
+        return dist.spawn(fn, world, topology=topology)
+
+    def test_full_shard_counter_matches_formula(self):
+        for cross, model_bytes in self._run(ShardingStrategy.FULL_SHARD):
+            # Root unit keeps params through backward: 1 AG + 1 RS cross
+            # host (the backward AG is skipped for the root).
+            expected_min = 2.0 * model_bytes * 3 / 4
+            expected_max = full_sharding_cross_host_bytes(model_bytes, 4)
+            assert expected_min * 0.99 <= cross <= expected_max * 1.01
+
+    def test_hybrid_has_less_cross_host_traffic(self):
+        full = self._run(ShardingStrategy.FULL_SHARD)[0][0]
+        hybrid = self._run(ShardingStrategy.HYBRID_SHARD, sharding_factor=2)[0][0]
+        assert hybrid < full
+
+    def test_no_shard_matches_replication_formula(self):
+        for cross, model_bytes in self._run(ShardingStrategy.NO_SHARD):
+            expected = full_replication_cross_host_bytes(model_bytes, 4)
+            assert cross == pytest.approx(expected, rel=0.01)
+
+    def test_hybrid_counter_matches_exact_formula(self):
+        for cross, model_bytes in self._run(
+            ShardingStrategy.HYBRID_SHARD, sharding_factor=2
+        ):
+            expected = hybrid_sharding_cross_host_bytes(
+                model_bytes, 4, 2, exact=True
+            )
+            assert cross == pytest.approx(expected, rel=0.01)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.bench import ablations, fig2, fig5, fig6, fig7, fig8, traffic
+from repro.bench import ablations, degraded, fig2, fig5, fig6, fig7, fig8, traffic
 
 
 def main(argv: list[str]) -> None:
@@ -56,6 +56,11 @@ def main(argv: list[str]) -> None:
     print("# Ablations — wrap granularity, rate-limit cap, sharding factor")
     print("#" * 72)
     ablations.main()
+
+    print("\n" + "#" * 72)
+    print("# Degraded cluster — fault injection and elastic recovery")
+    print("#" * 72)
+    degraded.main()
 
     print(f"\nall figures regenerated in {time.time() - start:.0f}s")
 

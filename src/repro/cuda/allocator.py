@@ -145,6 +145,28 @@ class CachingAllocator:
         self.stats = MemoryStats()
         self._pools: dict[int, list[Block]] = {}
         self._next_segment_id = 0
+        # Bytes claimed by foreign allocations (fault injection's
+        # transient OOM pressure); subtracted from usable capacity.
+        self.pressure_bytes = 0
+
+    # ------------------------------------------------------------------
+    # External memory pressure (fault-injection hook)
+    # ------------------------------------------------------------------
+    def set_pressure(self, nbytes: int) -> None:
+        """Pretend ``nbytes`` of device memory belong to someone else.
+
+        Models a co-located process or fragmentation spike: cudaMalloc
+        sees a smaller device, so allocations that used to fit now take
+        the retry path (``num_alloc_retries``) or OOM.  Setting 0
+        releases the pressure.
+        """
+        if nbytes < 0:
+            raise ValueError("pressure must be non-negative")
+        self.pressure_bytes = nbytes
+
+    @property
+    def usable_capacity(self) -> int:
+        return max(self.capacity - self.pressure_bytes, 0)
 
     # ------------------------------------------------------------------
     # Public API
@@ -264,10 +286,10 @@ class CachingAllocator:
             segment_size = _LARGE_SEGMENT_MIN
         else:
             segment_size = size
-        if self.stats.reserved_bytes + segment_size > self.capacity:
+        if self.stats.reserved_bytes + segment_size > self.usable_capacity:
             # Fall back to an exact-size segment before giving up.
             segment_size = size
-            if self.stats.reserved_bytes + segment_size > self.capacity:
+            if self.stats.reserved_bytes + segment_size > self.usable_capacity:
                 return None
         segment = Segment(self._next_segment_id, segment_size, stream.stream_id, is_small)
         self._next_segment_id += 1

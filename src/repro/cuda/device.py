@@ -54,6 +54,13 @@ class Device:
         self.kernels_launched = 0
         # Optional tracing callback: (label, stream_name, start, end).
         self.trace_hook = None
+        # Optional instant-event callback: (label, time) — fault
+        # injections, watchdog aborts and recovery milestones land here
+        # (see ``repro.perf.timeline.trace_device``).
+        self.mark_hook = None
+        # Installed by ``repro.distributed`` when a fault schedule is
+        # active; process groups consult it on every collective.
+        self.fault_injector = None
         self._next_stream_id = 0
         self.streams: list[Stream] = []
         if kind == "sim_gpu":
@@ -99,6 +106,11 @@ class Device:
 
     def cpu_time(self) -> float:
         return self._cpu_time
+
+    def emit_mark(self, label: str) -> None:
+        """Emit an instant event at the current CPU time (if traced)."""
+        if self.mark_hook is not None:
+            self.mark_hook(label, self._cpu_time)
 
     def consume_cpu(self, seconds: float) -> None:
         """Advance the CPU clock by doing ``seconds`` of host work."""

@@ -13,7 +13,19 @@ from repro.distributed.api import (
     shutdown,
     spawn,
 )
-from repro.distributed.process_group import ProcessGroup, ReduceOp, Work
+from repro.distributed.fault import (
+    FaultDecision,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+)
+from repro.distributed.process_group import (
+    DEFAULT_COLLECTIVE_TIMEOUT,
+    ProcessGroup,
+    ReduceOp,
+    Work,
+)
 from repro.distributed.symmetric import SymmetricProcessGroup
 from repro.distributed.threaded import ThreadedProcessGroup
 
@@ -34,4 +46,10 @@ __all__ = [
     "new_group",
     "is_initialized",
     "barrier",
+    "DEFAULT_COLLECTIVE_TIMEOUT",
+    "FaultKind",
+    "FaultEvent",
+    "FaultDecision",
+    "FaultSchedule",
+    "FaultInjector",
 ]

@@ -20,7 +20,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.cuda.device import Device
-from repro.distributed.process_group import ProcessGroup
+from repro.distributed.fault import FaultInjector, FaultSchedule
+from repro.distributed.process_group import (
+    DEFAULT_COLLECTIVE_TIMEOUT,
+    ProcessGroup,
+)
 from repro.distributed.rendezvous import Rendezvous
 from repro.distributed.symmetric import SymmetricProcessGroup
 from repro.distributed.threaded import ThreadedProcessGroup
@@ -77,6 +81,8 @@ class WorldContext:
     backend: str
     cluster: Optional[Cluster] = None
     group: Optional[ProcessGroup] = None
+    collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT
+    fault_injector: Optional[FaultInjector] = None
     _group_counters: dict = field(default_factory=dict)
 
     def next_group_index(self, ranks: tuple[int, ...]) -> int:
@@ -143,6 +149,7 @@ def new_group(ranks: Sequence[int], *, concurrent_groups: int = 1) -> ProcessGro
             device=ctx.device,
             comm_model=ctx.comm_model,
             concurrent_groups=concurrent_groups,
+            timeout=ctx.collective_timeout,
         )
     assert ctx.cluster is not None
     call_index = ctx.next_group_index(ranks)
@@ -154,7 +161,19 @@ def new_group(ranks: Sequence[int], *, concurrent_groups: int = 1) -> ProcessGro
         device=ctx.device,
         comm_model=ctx.comm_model,
         concurrent_groups=concurrent_groups,
+        timeout=ctx.collective_timeout,
     )
+
+
+def _resolve_injector(
+    fault_schedule: Optional[FaultSchedule],
+    fault_injector: Optional[FaultInjector],
+) -> Optional[FaultInjector]:
+    if fault_injector is not None:
+        return fault_injector
+    if fault_schedule is not None:
+        return FaultInjector(fault_schedule)
+    return None
 
 
 def init_single_process(
@@ -165,6 +184,9 @@ def init_single_process(
     materialize: bool = False,
     capacity: Optional[int] = None,
     comm_model: Optional[CommModel] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
+    fault_injector: Optional[FaultInjector] = None,
+    collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT,
 ) -> WorldContext:
     """Set up a symmetric one-rank world for performance simulation."""
     topology = topology or cluster_of(world_size)
@@ -175,6 +197,12 @@ def init_single_process(
     comm_model = comm_model or CommModel(topology)
     device = Device("sim_gpu", index=rank, spec=topology.gpu, capacity=capacity)
     device.materialize_data = materialize
+    injector = _resolve_injector(fault_schedule, fault_injector)
+    device.fault_injector = injector
+    if injector is not None:
+        # Injected faults surface as instant marks on the device's
+        # timeline (visible once a tracer is attached).
+        injector.mark_hook = device.emit_mark
     ctx = WorldContext(
         rank=rank,
         world_size=world_size,
@@ -182,6 +210,8 @@ def init_single_process(
         topology=topology,
         comm_model=comm_model,
         backend="symmetric",
+        collective_timeout=collective_timeout,
+        fault_injector=injector,
     )
     _tls.ctx = ctx
     return ctx
@@ -201,11 +231,22 @@ def spawn(
     capacity: Optional[int] = None,
     comm_model: Optional[CommModel] = None,
     args: tuple = (),
+    fault_schedule: Optional[FaultSchedule] = None,
+    fault_injector: Optional[FaultInjector] = None,
+    collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT,
 ) -> list:
     """Run ``fn(rank, *args)`` on ``world_size`` threads; returns results.
 
     Each thread gets its own simulated device and thread-local world;
     collectives inside ``fn`` move real data between the threads.
+
+    ``fault_schedule`` (or a pre-built ``fault_injector``, which elastic
+    drivers reuse across restarts so one-shot faults fire exactly once)
+    installs deterministic fault injection on every rank;
+    ``collective_timeout`` is the per-collective watchdog deadline.  If
+    any rank raises, the first failing rank's error is re-raised,
+    chained under :class:`DistributedError` — typed collective errors
+    (timeout, crash) propagate as the ``__cause__``.
     """
     topology = topology or cluster_of(world_size)
     if topology.world_size < world_size:
@@ -213,10 +254,12 @@ def spawn(
             f"topology holds {topology.world_size} GPUs < world_size {world_size}"
         )
     shared_comm_model = comm_model or CommModel(topology)
+    injector = _resolve_injector(fault_schedule, fault_injector)
     devices = []
     for rank in range(world_size):
         device = Device("sim_gpu", index=rank, spec=topology.gpu, capacity=capacity)
         device.materialize_data = materialize
+        device.fault_injector = injector
         devices.append(device)
     cluster = Cluster(topology, shared_comm_model, devices)
 
@@ -232,6 +275,8 @@ def spawn(
             comm_model=shared_comm_model,
             backend="threaded",
             cluster=cluster,
+            collective_timeout=collective_timeout,
+            fault_injector=injector,
         )
         _tls.ctx = ctx
         try:

@@ -1,0 +1,432 @@
+"""Deterministic, seedable fault injection for the simulated cluster.
+
+The paper's production experience (Sections 3.4 and 5.4) is shaped by
+degraded clusters: straggler ranks, slow or flapping links, allocator
+pressure that triggers cudaMalloc-retry storms, and outright rank
+crashes.  This module models that fault taxonomy as data:
+
+- a :class:`FaultSchedule` is an immutable list of :class:`FaultEvent`
+  descriptions, either hand-written or generated reproducibly from a
+  seed via :meth:`FaultSchedule.random`;
+- a :class:`FaultInjector` interprets the schedule at runtime.  Both
+  process-group backends consult it on **every collective** (via
+  ``ProcessGroup``) and training loops consult it at **iteration
+  boundaries** (crashes, memory pressure).
+
+Determinism guarantees
+----------------------
+
+All runtime decisions are pure functions of per-rank counters (the
+rank's iteration number and per-rank collective sequence number) plus
+the schedule; no wall clock and no ambient RNG is consulted after
+construction.  Two runs with the same schedule therefore inject the
+same faults at the same logical points.  Timing faults (stragglers,
+delays, degraded links, transient retried failures) only move points on
+the *simulated* clock — they never touch collective payloads, so
+training losses are bitwise identical to a fault-free run (property
+tested in ``tests/test_fault_properties.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultDecision",
+    "FaultSchedule",
+    "FaultInjector",
+]
+
+
+class FaultKind(enum.Enum):
+    """The injectable fault taxonomy."""
+
+    #: A rank is uniformly slow for a window of iterations: every
+    #: collective it joins is delayed by ``delay_s`` (its peers observe
+    #: a late arrival, exactly like a de-scheduled or thermally
+    #: throttled GPU).
+    STRAGGLER = "straggler"
+    #: One specific collective (by per-rank sequence number and/or
+    #: kind) is delayed by ``delay_s`` and/or stretched by
+    #: ``duration_factor`` (a slow link).
+    DELAY = "delay"
+    #: A collective fails transiently ``failures`` times before
+    #: succeeding; the process group retries with backoff.
+    TRANSIENT = "transient"
+    #: A collective never completes on the matched rank; the watchdog
+    #: converts the hang into a :class:`CollectiveTimeoutError` on every
+    #: member rank.
+    HANG = "hang"
+    #: The matched rank dies at the start of ``iteration`` (raises
+    #: :class:`RankCrashedError`); elastic loops recover from the
+    #: latest sharded checkpoint.
+    CRASH = "crash"
+    #: Foreign allocations occupy ``pressure_bytes`` of device memory
+    #: for a window of iterations, provoking cudaMalloc retries.
+    OOM_PRESSURE = "oom_pressure"
+
+
+#: Fault kinds that may change *when* things happen but never *what* is
+#: computed.  Schedules restricted to these kinds are loss-preserving.
+TIMING_ONLY_KINDS = frozenset(
+    {FaultKind.STRAGGLER, FaultKind.DELAY, FaultKind.TRANSIENT}
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``rank is None`` matches every rank.  Iteration windows are
+    half-open ``[start_iteration, end_iteration)``; ``end_iteration``
+    of ``None`` means "until the end of training".  Collective-scoped
+    faults (DELAY / TRANSIENT / HANG) trigger on the per-rank
+    collective sequence number ``collective_index`` (``None`` = any)
+    and optionally only on collectives of ``collective_kind``.
+    """
+
+    kind: FaultKind
+    rank: Optional[int] = None
+    iteration: Optional[int] = None
+    start_iteration: int = 0
+    end_iteration: Optional[int] = None
+    collective_index: Optional[int] = None
+    collective_kind: Optional[str] = None
+    delay_s: float = 0.0
+    duration_factor: float = 1.0
+    failures: int = 1
+    pressure_bytes: int = 0
+
+    def matches_rank(self, rank: int) -> bool:
+        return self.rank is None or self.rank == rank
+
+    def in_window(self, iteration: int) -> bool:
+        if self.iteration is not None:
+            return iteration == self.iteration
+        if iteration < self.start_iteration:
+            return False
+        return self.end_iteration is None or iteration < self.end_iteration
+
+    def matches_collective(self, *, rank: int, iteration: int, seq: int, kind: str) -> bool:
+        if not self.matches_rank(rank) or not self.in_window(iteration):
+            return False
+        if self.collective_index is not None and self.collective_index != seq:
+            return False
+        return self.collective_kind is None or self.collective_kind == kind
+
+
+@dataclass
+class FaultDecision:
+    """The injector's verdict for one collective attempt on one rank."""
+
+    delay_s: float = 0.0
+    duration_factor: float = 1.0
+    fail: bool = False
+    hang: bool = False
+    crash: bool = False
+
+    @property
+    def benign(self) -> bool:
+        return not (self.fail or self.hang or self.crash) and (
+            self.delay_s == 0.0 and self.duration_factor == 1.0
+        )
+
+
+class FaultSchedule:
+    """An immutable, seed-reproducible list of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = (), *, seed: int = 0):
+        self.events: tuple[FaultEvent, ...] = tuple(events)
+        self.seed = seed
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FaultSchedule) and self.events == other.events
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kinds = ", ".join(e.kind.value for e in self.events)
+        return f"FaultSchedule(seed={self.seed}, events=[{kinds}])"
+
+    def timing_only(self) -> bool:
+        """True if every event provably preserves training numerics."""
+        return all(e.kind in TIMING_ONLY_KINDS for e in self.events)
+
+    def crash_events(self) -> list[FaultEvent]:
+        return [e for e in self.events if e.kind is FaultKind.CRASH]
+
+    def with_events(self, *extra: FaultEvent) -> "FaultSchedule":
+        return FaultSchedule(self.events + tuple(extra), seed=self.seed)
+
+    # ------------------------------------------------------------------
+    # Seeded generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        *,
+        seed: int,
+        world_size: int,
+        iterations: int,
+        stragglers: int = 1,
+        delays: int = 2,
+        transients: int = 1,
+        hangs: int = 0,
+        crashes: int = 0,
+        pressure_events: int = 0,
+        max_delay_s: float = 5e-3,
+        max_duration_factor: float = 4.0,
+        max_failures: int = 3,
+        pressure_bytes: int = 1 << 30,
+    ) -> "FaultSchedule":
+        """Generate a reproducible degraded-cluster schedule.
+
+        All randomness is drawn from ``random.Random(seed)`` at
+        construction; the same arguments always yield the same
+        schedule.
+        """
+        rng = random.Random(seed)
+        events: list[FaultEvent] = []
+        for _ in range(stragglers):
+            start = rng.randrange(max(iterations, 1))
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.STRAGGLER,
+                    rank=rng.randrange(world_size),
+                    start_iteration=start,
+                    end_iteration=min(start + rng.randint(1, 3), iterations),
+                    delay_s=rng.uniform(1e-5, max_delay_s),
+                )
+            )
+        for _ in range(delays):
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.DELAY,
+                    rank=rng.randrange(world_size),
+                    collective_index=rng.randrange(64),
+                    delay_s=rng.uniform(1e-5, max_delay_s),
+                    duration_factor=rng.uniform(1.0, max_duration_factor),
+                )
+            )
+        for _ in range(transients):
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.TRANSIENT,
+                    rank=rng.randrange(world_size),
+                    collective_index=rng.randrange(64),
+                    failures=rng.randint(1, max_failures),
+                )
+            )
+        for _ in range(hangs):
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.HANG,
+                    rank=rng.randrange(world_size),
+                    collective_index=rng.randrange(64),
+                )
+            )
+        for _ in range(crashes):
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.CRASH,
+                    rank=rng.randrange(world_size),
+                    iteration=rng.randrange(max(iterations, 1)),
+                )
+            )
+        for _ in range(pressure_events):
+            start = rng.randrange(max(iterations, 1))
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.OOM_PRESSURE,
+                    rank=rng.randrange(world_size),
+                    start_iteration=start,
+                    end_iteration=min(start + rng.randint(1, 2), iterations),
+                    pressure_bytes=pressure_bytes,
+                )
+            )
+        return cls(events, seed=seed)
+
+
+@dataclass
+class InjectedFault:
+    """Log record of one fault actually fired at runtime."""
+
+    kind: FaultKind
+    rank: int
+    iteration: int
+    collective_index: Optional[int] = None
+    detail: str = ""
+
+
+class FaultInjector:
+    """Interprets a :class:`FaultSchedule` against runtime counters.
+
+    One injector is shared by every rank of a world (its per-rank state
+    lives in rank-keyed dictionaries), and survives elastic restarts so
+    one-shot events (crashes, transient-failure budgets) fire exactly
+    once per schedule entry.
+    """
+
+    def __init__(self, schedule: FaultSchedule):
+        self.schedule = schedule
+        self._lock = threading.Lock()
+        self._iteration: dict[int, int] = {}
+        self._seq: dict[int, int] = {}
+        # Remaining transient-failure budget per (event index, rank).
+        self._transient_left: dict[tuple[int, int], int] = {}
+        # One-shot events already fired, per (event index, rank).
+        self._fired: set[tuple[int, int]] = set()
+        self.injected: list[InjectedFault] = []
+        #: Optional ``callable(label)`` notified when a fault fires
+        #: (wired to the timeline tracer's mark channel).
+        self.mark_hook: Optional[Callable[[str], None]] = None
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def iteration_of(self, rank: int) -> int:
+        return self._iteration.get(rank, 0)
+
+    def collective_seq(self, rank: int) -> int:
+        return self._seq.get(rank, 0)
+
+    def _mark(self, label: str) -> None:
+        if self.mark_hook is not None:
+            self.mark_hook(label)
+
+    def _log(self, fault: InjectedFault) -> None:
+        with self._lock:
+            self.injected.append(fault)
+        self._mark(f"fault:{fault.kind.value}@r{fault.rank}")
+
+    # ------------------------------------------------------------------
+    # Iteration-boundary faults (crashes, memory pressure)
+    # ------------------------------------------------------------------
+    def begin_iteration(self, rank: int, iteration: int) -> None:
+        """Advance the rank's iteration counter and fire crash faults.
+
+        Crashes are surfaced at iteration boundaries on **every** rank
+        (naming the crashed rank): in elastic deployments the agent
+        tears down the whole world when any worker dies, so peers
+        observe the failure as a synchronized abort rather than an
+        unbounded hang.  (The unsynchronized-hang path is modelled
+        separately by HANG faults plus the watchdog.)
+        """
+        from repro.errors import RankCrashedError
+
+        self._iteration[rank] = iteration
+        for index, event in enumerate(self.schedule.events):
+            if event.kind is not FaultKind.CRASH or not event.in_window(iteration):
+                continue
+            crashed = event.rank if event.rank is not None else rank
+            observer_key = (index, rank)
+            with self._lock:
+                if observer_key in self._fired:
+                    continue
+                self._fired.add(observer_key)
+                first_observer = (index, -1) not in self._fired
+                self._fired.add((index, -1))
+            if first_observer:
+                self._log(
+                    InjectedFault(
+                        FaultKind.CRASH, crashed, iteration, detail="rank crash"
+                    )
+                )
+            raise RankCrashedError(rank=crashed, iteration=iteration)
+
+    def pressure_bytes(self, rank: int, iteration: int) -> int:
+        """Total injected allocator pressure active for this iteration."""
+        total = 0
+        for event in self.schedule.events:
+            if (
+                event.kind is FaultKind.OOM_PRESSURE
+                and event.matches_rank(rank)
+                and event.in_window(iteration)
+            ):
+                total += event.pressure_bytes
+        return total
+
+    # ------------------------------------------------------------------
+    # Collective-level faults
+    # ------------------------------------------------------------------
+    def on_collective(
+        self,
+        *,
+        rank: int,
+        kind: str,
+        ranks: Sequence[int] = (),
+        attempt: int = 0,
+    ) -> FaultDecision:
+        """Decide the fate of one collective attempt on ``rank``.
+
+        The per-rank sequence number advances once per *logical*
+        collective (attempt 0), so retries of a failed attempt re-match
+        the same scheduled events.
+        """
+        if attempt == 0:
+            seq = self._seq.get(rank, 0)
+            self._seq[rank] = seq + 1
+        else:
+            seq = self._seq.get(rank, 1) - 1
+        iteration = self._iteration.get(rank, 0)
+        decision = FaultDecision()
+        for index, event in enumerate(self.schedule.events):
+            if event.kind is FaultKind.STRAGGLER:
+                if event.matches_rank(rank) and event.in_window(iteration):
+                    decision.delay_s += event.delay_s
+                continue
+            if not event.matches_collective(
+                rank=rank, iteration=iteration, seq=seq, kind=kind
+            ):
+                continue
+            if event.kind is FaultKind.DELAY:
+                decision.delay_s += event.delay_s
+                decision.duration_factor *= event.duration_factor
+            elif event.kind is FaultKind.TRANSIENT:
+                key = (index, rank)
+                with self._lock:
+                    left = self._transient_left.setdefault(key, event.failures)
+                    if left > 0:
+                        self._transient_left[key] = left - 1
+                        decision.fail = True
+            elif event.kind is FaultKind.HANG:
+                key = (index, rank)
+                with self._lock:
+                    if key in self._fired:
+                        continue
+                    self._fired.add(key)
+                decision.hang = True
+        if not decision.benign:
+            detail = []
+            if decision.delay_s:
+                detail.append(f"delay={decision.delay_s:.2e}s")
+            if decision.duration_factor != 1.0:
+                detail.append(f"x{decision.duration_factor:.2f}")
+            if decision.fail:
+                detail.append("transient-fail")
+            if decision.hang:
+                detail.append("hang")
+            self._log(
+                InjectedFault(
+                    FaultKind.HANG
+                    if decision.hang
+                    else FaultKind.TRANSIENT
+                    if decision.fail
+                    else FaultKind.DELAY,
+                    rank,
+                    iteration,
+                    collective_index=seq,
+                    detail=f"{kind}: " + ", ".join(detail),
+                )
+            )
+        return decision

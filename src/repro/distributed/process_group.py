@@ -15,15 +15,31 @@ Sections 3.3.1–3.3.2 of the paper:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.cuda.device import Device
 from repro.cuda.stream import Event, Stream
-from repro.errors import DistributedError
+from repro.distributed.fault import FaultDecision
+from repro.errors import (
+    CollectiveFailedError,
+    CollectiveTimeoutError,
+    DistributedError,
+)
 from repro.hw.comm_model import CollectiveKind, CommModel
 from repro.tensor import Tensor
 
-__all__ = ["Work", "ProcessGroup", "ReduceOp"]
+__all__ = ["Work", "ProcessGroup", "ReduceOp", "DEFAULT_COLLECTIVE_TIMEOUT"]
+
+#: Watchdog deadline for one collective, in seconds.  Interpreted on the
+#: simulated clock by the symmetric backend and on the wall clock by the
+#: threaded backend's rendezvous (where a crashed peer really does hang
+#: the calling thread).
+DEFAULT_COLLECTIVE_TIMEOUT = 60.0
+
+#: First retry-with-backoff sleep after a transient collective failure
+#: (simulated seconds; doubles per attempt like NCCL's comm re-init
+#: backoff).
+_RETRY_BACKOFF_BASE = 2e-3
 
 
 class ReduceOp:
@@ -35,22 +51,34 @@ class ReduceOp:
 class Work:
     """Handle to an asynchronously running collective."""
 
-    def __init__(self, event: Event):
+    def __init__(self, event: Event, on_complete: Optional[Callable[[], None]] = None):
         self._event = event
+        self._on_complete = on_complete
+        self._completed = False
 
     def wait(self, stream: Optional[Stream] = None) -> None:
         """Block the CPU (no stream) or order a stream after the collective."""
         if stream is None:
             self._event.synchronize()
+            self._mark_complete()
         else:
             stream.wait_event(self._event)
 
     def query(self) -> bool:
-        return self._event.query()
+        done = self._event.query()
+        if done:
+            self._mark_complete()
+        return done
 
     @property
     def completion_time(self) -> float:
         return self._event.time or 0.0
+
+    def _mark_complete(self) -> None:
+        if not self._completed:
+            self._completed = True
+            if self._on_complete is not None:
+                self._on_complete()
 
 
 class ProcessGroup:
@@ -64,6 +92,8 @@ class ProcessGroup:
         device: Device,
         comm_model: CommModel,
         concurrent_groups: int = 1,
+        timeout: float = DEFAULT_COLLECTIVE_TIMEOUT,
+        max_collective_retries: int = 5,
     ):
         self.global_rank = rank
         self.ranks = tuple(ranks)
@@ -73,16 +103,86 @@ class ProcessGroup:
         self.device = device
         self.comm_model = comm_model
         self.concurrent_groups = concurrent_groups
+        self.timeout = timeout
+        self.max_collective_retries = max_collective_retries
         # The group's internal communication stream (one per device, like
         # ProcessGroupNCCL's internal NCCL stream).
         self.comm_stream = device.new_stream(f"pg{id(self) & 0xFFFF:x}-comm")
         self.bytes_sent = 0
         self.cross_host_bytes = 0
         self.collective_count = 0
+        self.retries_attempted = 0
+        # NCCL-style watchdog bookkeeping: ops launched but not yet
+        # observed complete by the CPU, keyed by a launch token.
+        self._pending_ops: dict[int, tuple[str, Event]] = {}
+        self._op_counter = 0
 
     @property
     def world_size(self) -> int:
         return len(self.ranks)
+
+    # ------------------------------------------------------------------
+    # Watchdog: pending-op queue, fault consultation, retry-with-backoff
+    # ------------------------------------------------------------------
+    def pending_collectives(self) -> int:
+        """Depth of the launched-but-not-retired collective queue."""
+        return len(self._pending_ops)
+
+    def _track_launch(self, kind: CollectiveKind, event: Event) -> int:
+        # Purge ops whose completion the CPU clock has already passed, so
+        # GPU-side-only waits (``Work.wait(stream)``) don't pile up.
+        now = self.device.cpu_time()
+        done = [t for t, (_, e) in self._pending_ops.items() if e.time is not None and e.time <= now]
+        for token in done:
+            del self._pending_ops[token]
+        token = self._op_counter
+        self._op_counter += 1
+        self._pending_ops[token] = (kind.value, event)
+        return token
+
+    def _retire_op(self, token: int) -> None:
+        self._pending_ops.pop(token, None)
+
+    def _timeout_error(self, kind: CollectiveKind) -> CollectiveTimeoutError:
+        return CollectiveTimeoutError(
+            kind=kind.value,
+            ranks=self.ranks,
+            rank=self.global_rank,
+            timeout=self.timeout,
+            pending_ops=self.pending_collectives() + 1,
+        )
+
+    def _consult_faults(self, kind: CollectiveKind) -> FaultDecision:
+        """Ask the installed fault injector about this collective.
+
+        Transient failures are retried here with exponential backoff on
+        the simulated clock; the sequence number advances once per
+        logical collective, so every rank of an SPMD program stays
+        aligned regardless of how many retries any rank performed.
+        """
+        injector = getattr(self.device, "fault_injector", None)
+        if injector is None:
+            return FaultDecision()
+        attempt = 0
+        while True:
+            decision = injector.on_collective(
+                rank=self.global_rank, kind=kind.value, ranks=self.ranks, attempt=attempt
+            )
+            if not decision.fail:
+                return decision
+            attempt += 1
+            self.retries_attempted += 1
+            if attempt > self.max_collective_retries:
+                raise CollectiveFailedError(
+                    kind=kind.value,
+                    ranks=self.ranks,
+                    rank=self.global_rank,
+                    attempts=attempt,
+                    retryable=False,
+                )
+            backoff = _RETRY_BACKOFF_BASE * (2 ** (attempt - 1))
+            self.device.consume_cpu(backoff)
+            self.device.emit_mark(f"retry:{kind.value}#{attempt}")
 
     # ------------------------------------------------------------------
     # Cost accounting shared by backends
@@ -126,20 +226,36 @@ class ProcessGroup:
         ``collective_start`` lets threaded backends impose the max of
         all ranks' ready times; the symmetric backend assumes peers are
         in lockstep with this rank.
+
+        Consults the installed fault injector first: injected delays
+        push the issue time, degraded links stretch the duration, and a
+        hang (or a stretch past ``timeout``) trips the watchdog, which
+        raises :class:`CollectiveTimeoutError` instead of completing.
         """
+        decision = self._consult_faults(kind)
         stream = stream or self.comm_stream
         device = self.device
         device.consume_cpu(device.spec.kernel_launch_cpu)
         duration = self._collective_duration(kind, nbytes, shard_nbytes)
+        duration *= decision.duration_factor
         issue = device.cpu_time()
         if collective_start is not None:
             issue = max(issue, collective_start)
+        issue += decision.delay_s
+        if decision.hang or duration > self.timeout:
+            # The collective would never complete (or not before the
+            # deadline): the watchdog blocks until the deadline, then
+            # aborts with a typed error instead of hanging forever.
+            device.advance_cpu_to(max(issue, stream.ready_time) + self.timeout)
+            device.emit_mark(f"watchdog:{kind.value}")
+            raise self._timeout_error(kind)
         stream.enqueue(
             duration, issue_time=max(issue, stream.ready_time), label=kind.value
         )
         self._account_traffic(kind, nbytes)
         event = stream.record_event()
-        return Work(event)
+        token = self._track_launch(kind, event)
+        return Work(event, on_complete=lambda: self._retire_op(token))
 
     # ------------------------------------------------------------------
     # Collective API (implemented by backends)

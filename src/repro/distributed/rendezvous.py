@@ -14,9 +14,28 @@ from typing import Callable, Sequence
 
 from repro.errors import DistributedError
 
-__all__ = ["Rendezvous"]
+__all__ = ["Rendezvous", "RendezvousTimeoutError"]
 
 _DEFAULT_TIMEOUT = 120.0
+
+
+class RendezvousTimeoutError(DistributedError):
+    """A member waited past the deadline for its peers to arrive.
+
+    The threaded backend converts this into a
+    :class:`repro.errors.CollectiveTimeoutError` carrying the
+    collective kind and group ranks (the NCCL-watchdog analogue).
+    """
+
+    def __init__(self, member_rank: int, timeout: float, generation: int):
+        self.member_rank = member_rank
+        self.timeout = timeout
+        self.generation = generation
+        super().__init__(
+            f"rendezvous timed out after {timeout}s "
+            f"(member {member_rank}, generation {generation}); "
+            "a peer rank likely failed or diverged"
+        )
 
 
 class Rendezvous:
@@ -33,11 +52,23 @@ class Rendezvous:
         self._payloads: list = [None] * world_size
         self._result = None
 
-    def exchange(self, member_rank: int, payload, combiner: Callable[[Sequence], object]):
+    def exchange(
+        self,
+        member_rank: int,
+        payload,
+        combiner: Callable[[Sequence], object],
+        *,
+        timeout: float | None = None,
+    ):
         """Deposit ``payload``; the last thread runs ``combiner(payloads)``.
 
-        Returns the combiner's result to every member.
+        Returns the combiner's result to every member.  ``timeout``
+        (wall-clock seconds) overrides the rendezvous default; on
+        expiry a :class:`RendezvousTimeoutError` is raised and the
+        round is left un-completed (the world must be torn down — a
+        partial rendezvous cannot be rejoined).
         """
+        deadline = self.timeout if timeout is None else timeout
         with self._cond:
             generation = self._generation
             self._payloads[member_rank] = payload
@@ -52,12 +83,8 @@ class Rendezvous:
                     self._cond.notify_all()
                 return self._result
             deadline_result = self._cond.wait_for(
-                lambda: self._generation != generation, timeout=self.timeout
+                lambda: self._generation != generation, timeout=deadline
             )
             if not deadline_result:
-                raise DistributedError(
-                    f"rendezvous timed out after {self.timeout}s "
-                    f"(member {member_rank}, generation {generation}); "
-                    "a peer rank likely failed or diverged"
-                )
+                raise RendezvousTimeoutError(member_rank, deadline, generation)
             return self._result

@@ -16,7 +16,7 @@ import numpy as np
 from repro import dtypes
 from repro.cuda.stream import Stream
 from repro.distributed.process_group import ProcessGroup, ReduceOp, Work
-from repro.distributed.rendezvous import Rendezvous
+from repro.distributed.rendezvous import Rendezvous, RendezvousTimeoutError
 from repro.errors import DistributedError
 from repro.hw.comm_model import CollectiveKind
 from repro.tensor import Tensor
@@ -49,10 +49,30 @@ class ThreadedProcessGroup(ProcessGroup):
         stream: Optional[Stream],
         shard_nbytes=None,
     ) -> tuple[Work, object]:
+        """One rendezvous collective, with fault injection and watchdog.
+
+        The fault injector is consulted *before* joining the rendezvous:
+        transient failures retry locally (simulated backoff, no wall
+        time), so the rank simply arrives late; injected delays push
+        this rank's ready time, which every peer observes as a late
+        collective start.  A hung rank never joins — its peers block in
+        the rendezvous until the group ``timeout`` (wall clock) expires
+        and every rank surfaces a typed :class:`CollectiveTimeoutError`
+        instead of deadlocking.  Payload combination is untouched by any
+        of this: faults change timing, never math.
+        """
+        decision = self._consult_faults(kind)
+        if decision.hang:
+            # This rank's collective never completes.  Its own watchdog
+            # trips after ``timeout`` simulated seconds; peers trip
+            # their wall-clock rendezvous deadline below.
+            self.device.advance_cpu_to(self.device.cpu_time() + self.timeout)
+            self.device.emit_mark(f"watchdog:{kind.value}")
+            raise self._timeout_error(kind)
         stream = stream or self.comm_stream
         device = self.device
         device.consume_cpu(device.spec.kernel_launch_cpu)
-        local_ready = max(device.cpu_time(), stream.ready_time)
+        local_ready = max(device.cpu_time(), stream.ready_time) + decision.delay_s
 
         def combiner(payloads):
             times = [t for t, _ in payloads]
@@ -60,14 +80,20 @@ class ThreadedProcessGroup(ProcessGroup):
             combined = combine_data(datas) if combine_data is not None else None
             return (max(times), combined)
 
-        start, combined = self.rendezvous.exchange(
-            self.rank, (local_ready, data), combiner
-        )
+        try:
+            start, combined = self.rendezvous.exchange(
+                self.rank, (local_ready, data), combiner, timeout=self.timeout
+            )
+        except RendezvousTimeoutError:
+            device.emit_mark(f"watchdog:{kind.value}")
+            raise self._timeout_error(kind) from None
         duration = self._collective_duration(kind, nbytes, shard_nbytes)
+        duration *= decision.duration_factor
         stream.enqueue(duration, issue_time=start, label=kind.value)
         self._account_traffic(kind, nbytes)
         event = stream.record_event()
-        return Work(event), combined
+        token = self._track_launch(kind, event)
+        return Work(event, on_complete=lambda: self._retire_op(token)), combined
 
     # ------------------------------------------------------------------
     # Collectives
@@ -186,9 +212,13 @@ class ThreadedProcessGroup(ProcessGroup):
                 result = sum(values)
             return (max(times), result)
 
-        start, result = self.rendezvous.exchange(
-            self.rank, (self.device.cpu_time(), float(value)), combiner
-        )
+        try:
+            start, result = self.rendezvous.exchange(
+                self.rank, (self.device.cpu_time(), float(value)), combiner,
+                timeout=self.timeout,
+            )
+        except RendezvousTimeoutError:
+            raise self._timeout_error(CollectiveKind.ALL_REDUCE) from None
         self.device.advance_cpu_to(start + self.comm_model.launch_overhead)
         return result
 

@@ -7,6 +7,10 @@ __all__ = [
     "OutOfMemoryError",
     "DeviceError",
     "DistributedError",
+    "CollectiveError",
+    "CollectiveTimeoutError",
+    "CollectiveFailedError",
+    "RankCrashedError",
     "FsdpError",
     "ShardingError",
     "DeferredInitError",
@@ -43,6 +47,75 @@ class OutOfMemoryError(DeviceError):
 
 class DistributedError(ReproError):
     """Raised on process-group misuse (rank mismatch, shape mismatch...)."""
+
+
+class CollectiveError(DistributedError):
+    """Base class for runtime failures of a launched collective."""
+
+
+class CollectiveTimeoutError(CollectiveError):
+    """A collective exceeded its deadline and the watchdog aborted it.
+
+    Mirrors ProcessGroupNCCL's watchdog behaviour: instead of hanging
+    the rank forever (the failure mode of a crashed or diverged peer),
+    the group raises a typed error naming the collective kind, the
+    member ranks, the configured deadline and the depth of the
+    pending-op queue at abort time.
+    """
+
+    def __init__(
+        self,
+        *,
+        kind: str,
+        ranks: tuple,
+        rank: int,
+        timeout: float,
+        pending_ops: int,
+    ):
+        self.kind = kind
+        self.ranks = tuple(ranks)
+        self.rank = rank
+        self.timeout = timeout
+        self.pending_ops = pending_ops
+        super().__init__(
+            f"collective {kind!r} on ranks {self.ranks} timed out after "
+            f"{timeout:g}s on rank {rank} (watchdog abort; "
+            f"{pending_ops} pending op(s) in queue)"
+        )
+
+
+class CollectiveFailedError(CollectiveError):
+    """A collective failed to complete.
+
+    ``retryable`` distinguishes transient faults (e.g. a link flap that
+    a retry-with-backoff can ride out) from permanent ones (retry
+    budget exhausted).
+    """
+
+    def __init__(self, *, kind: str, ranks: tuple, rank: int, attempts: int, retryable: bool):
+        self.kind = kind
+        self.ranks = tuple(ranks)
+        self.rank = rank
+        self.attempts = attempts
+        self.retryable = retryable
+        flavour = "transient" if retryable else "permanent"
+        super().__init__(
+            f"collective {kind!r} on ranks {self.ranks} failed on rank {rank} "
+            f"after {attempts} attempt(s) ({flavour})"
+        )
+
+
+class RankCrashedError(DistributedError):
+    """An injected (or detected) rank crash.
+
+    Elastic training loops catch this, restore the latest sharded
+    checkpoint and resume; everything else should let it propagate.
+    """
+
+    def __init__(self, *, rank: int, iteration: int):
+        self.rank = rank
+        self.iteration = iteration
+        super().__init__(f"rank {rank} crashed at iteration {iteration}")
 
 
 class FsdpError(ReproError):

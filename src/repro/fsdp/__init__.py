@@ -24,7 +24,12 @@ from repro.fsdp.exec_order import (
     plan_flat_param_groups,
     record_execution_order,
 )
-from repro.fsdp.optim_state import full_optim_state_dict, load_full_optim_state_dict
+from repro.fsdp.optim_state import (
+    full_optim_state_dict,
+    load_full_optim_state_dict,
+    load_sharded_optim_state_dict,
+    sharded_optim_state_dict,
+)
 from repro.fsdp.runtime import BackwardPrefetch, FsdpRuntime, FsdpUnit, RATE_LIMIT_INFLIGHT
 from repro.fsdp.sharding import ShardingPlan, ShardingStrategy, make_process_groups
 from repro.fsdp.state_dict import (
@@ -66,6 +71,8 @@ __all__ = [
     "full_state_dict",
     "full_optim_state_dict",
     "load_full_optim_state_dict",
+    "sharded_optim_state_dict",
+    "load_sharded_optim_state_dict",
     "record_execution_order",
     "plan_flat_param_groups",
     "execution_order_policy",

@@ -25,7 +25,71 @@ from repro.tensor import Tensor, empty, tensor, zeros_like
 
 from repro.fsdp.state_dict import _handles_under, _join, _module_fqns
 
-__all__ = ["full_optim_state_dict", "load_full_optim_state_dict"]
+__all__ = [
+    "full_optim_state_dict",
+    "load_full_optim_state_dict",
+    "sharded_optim_state_dict",
+    "load_sharded_optim_state_dict",
+]
+
+
+def sharded_optim_state_dict(model: Module, optimizer: Optimizer, *, copy: bool = False) -> dict:
+    """Each rank's local optimizer-state shards, keyed like
+    :func:`repro.fsdp.state_dict.sharded_state_dict`.
+
+    No communication: every rank saves exactly its own shard of each
+    state tensor (Adam's ``exp_avg``/``exp_avg_sq`` are sharded like
+    the FlatParameter itself).  ``copy=True`` snapshots the values so
+    the checkpoint survives further optimizer steps — the format
+    elastic recovery restores from.
+    """
+    state_out: "OrderedDict[str, dict]" = OrderedDict()
+    for index, handle in enumerate(_handles_under(model)):
+        key = f"flat_param.{index:03d}.{handle.label}"
+        flat_state = optimizer.state.get(id(handle.flat_param), {})
+        entry: dict[str, object] = {}
+        for name, value in flat_state.items():
+            if isinstance(value, Tensor):
+                saved = value.detach()
+                if copy and saved.is_materialized:
+                    saved = tensor(saved.numpy().copy(), dtype=saved.dtype)
+                entry[name] = saved
+            else:
+                entry[name] = value
+        state_out[key] = entry
+    param_groups = [
+        {k: v for k, v in group.items() if k != "params"}
+        for group in optimizer.param_groups
+    ]
+    return {"state": state_out, "param_groups": param_groups}
+
+
+def load_sharded_optim_state_dict(model: Module, optimizer: Optimizer, state_dict: dict) -> None:
+    """Load shards saved by :func:`sharded_optim_state_dict` (same layout)."""
+    state = state_dict["state"]
+    with no_grad():
+        for index, handle in enumerate(_handles_under(model)):
+            key = f"flat_param.{index:03d}.{handle.label}"
+            if key not in state:
+                raise KeyError(f"sharded optimizer state dict is missing {key!r}")
+            flat_state = optimizer.state.setdefault(id(handle.flat_param), {})
+            for name, value in state[key].items():
+                if isinstance(value, Tensor):
+                    current = flat_state.get(name)
+                    if not isinstance(current, Tensor) or current.numel != value.numel:
+                        current = zeros_like(handle.flat_param.detach())
+                        flat_state[name] = current
+                    if not current.is_materialized:
+                        raise FsdpError(
+                            "load_sharded_optim_state_dict requires materialized tensors"
+                        )
+                    current.copy_(value)
+                else:
+                    flat_state[name] = value
+    for group, meta in zip(optimizer.param_groups, state_dict.get("param_groups", ())):
+        for k, v in meta.items():
+            if k != "params":
+                group[k] = v
 
 
 def _gather_state_tensor(handle, value: Tensor) -> np.ndarray:

@@ -121,6 +121,31 @@ class FsdpRuntime:
         # compute stream; communication must observe those writes.
         self.unshard_stream.wait_stream(self.device.default_stream)
 
+    def reset_after_failure(self) -> None:
+        """Discard in-flight state after an aborted iteration.
+
+        Elastic recovery calls this before reloading a checkpoint: a
+        collective timeout or rank crash can leave the runtime
+        mid-backward — pending reductions, a queued final callback,
+        unsharded handles, stashed gradient shards.  All of it is
+        dropped so the next ``pre_forward`` starts from a clean slate.
+        """
+        self._inflight.clear()
+        self._final_callback_queued = False
+        self.in_backward = False
+        self.exec_order = []
+        self.prev_exec_order = []
+        for unit in self.units:
+            unit.pending_reduce_work = None
+            unit._last_unshard_event = None
+            unit.reset_iteration_state()
+            if unit.handle is None:
+                continue
+            unit.handle.restore_stashed_gradient()
+            if unit.handle.is_unsharded and unit.handle.needs_unshard:
+                unit.handle.reshard()
+        self.unshard_stream.wait_stream(self.device.default_stream)
+
     def record_pre_forward(self, unit: "FsdpUnit") -> None:
         if unit not in self.exec_order:
             self.exec_order.append(unit)

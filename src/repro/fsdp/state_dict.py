@@ -140,12 +140,21 @@ def load_full_state_dict(root: Module, state: dict) -> None:
                 buffer._np[...] = src.reshape(buffer.shape)
 
 
-def sharded_state_dict(root: Module) -> "OrderedDict[str, Tensor]":
-    """Each rank's local shards, keyed by unit index."""
+def sharded_state_dict(root: Module, *, copy: bool = False) -> "OrderedDict[str, Tensor]":
+    """Each rank's local shards, keyed by unit index.
+
+    With ``copy=False`` the returned tensors alias the live shards
+    (cheap, suitable for immediate serialization).  Checkpoints that
+    must survive further training steps need ``copy=True`` — elastic
+    recovery restores from these snapshots after a rank failure.
+    """
     result: "OrderedDict[str, Tensor]" = OrderedDict()
     for index, handle in enumerate(_handles_under(root)):
         key = f"flat_param.{index:03d}.{handle.label}"
-        result[key] = handle._local_shard.detach()
+        shard = handle._local_shard.detach()
+        if copy and shard.is_materialized:
+            shard = tensor(shard.numpy().copy(), dtype=shard.dtype)
+        result[key] = shard
     return result
 
 

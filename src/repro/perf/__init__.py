@@ -1,8 +1,29 @@
 """Performance simulation: drivers, metrics, workload factories."""
 
 from repro.perf.metrics import GiB, PerfResult
-from repro.perf.timeline import Tracer, overlap_fraction, trace_device
-from repro.perf.trainer import SimConfig, simulate_training, sweep
+from repro.perf.timeline import Tracer, merge_intervals, overlap_fraction, trace_device
+from repro.perf.trainer import (
+    CheckpointStore,
+    ElasticResult,
+    SimConfig,
+    simulate_training,
+    sweep,
+    train_elastic,
+)
 from repro.perf import workloads
 
-__all__ = ["PerfResult", "GiB", "SimConfig", "simulate_training", "sweep", "workloads", "Tracer", "trace_device", "overlap_fraction"]
+__all__ = [
+    "PerfResult",
+    "GiB",
+    "SimConfig",
+    "simulate_training",
+    "sweep",
+    "workloads",
+    "Tracer",
+    "trace_device",
+    "overlap_fraction",
+    "merge_intervals",
+    "CheckpointStore",
+    "ElasticResult",
+    "train_elastic",
+]

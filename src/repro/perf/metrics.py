@@ -35,12 +35,18 @@ class PerfResult:
     cross_host_gib: float = 0.0
     comm_gib: float = 0.0
     collectives: int = 0
+    #: Fault-injection / elastic-recovery accounting (only nonzero when
+    #: a :class:`repro.distributed.FaultSchedule` was installed).
+    faults_injected: int = 0
+    recoveries: int = 0
+    recovered_iterations: int = 0
+    recovery_overhead_s: float = 0.0
     extras: dict = field(default_factory=dict)
 
     def row(self) -> str:
         if self.oom:
             return f"{self.name:<42} W={self.world_size:<4} bs={self.batch_size:<5} OOM"
-        return (
+        text = (
             f"{self.name:<42} W={self.world_size:<4} bs={self.batch_size:<5} "
             f"lat={self.iteration_latency * 1e3:9.1f}ms  "
             f"TFLOPS/GPU={self.tflops_per_gpu:7.1f}  "
@@ -49,3 +55,10 @@ class PerfResult:
             f"active={self.peak_active_gib:6.1f} reserved={self.peak_reserved_gib:6.1f}  "
             f"retries={self.num_alloc_retries}"
         )
+        if self.faults_injected or self.recoveries:
+            text += (
+                f"  faults={self.faults_injected} recov={self.recoveries}"
+                f"/{self.recovered_iterations}it"
+                f" ovh={self.recovery_overhead_s * 1e3:.1f}ms"
+            )
+        return text

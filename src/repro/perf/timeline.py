@@ -18,7 +18,29 @@ from typing import Optional
 
 from repro.cuda.device import Device
 
-__all__ = ["TraceEvent", "Tracer", "trace_device", "overlap_fraction"]
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "trace_device",
+    "overlap_fraction",
+    "merge_intervals",
+]
+
+
+def merge_intervals(intervals) -> list[tuple[float, float]]:
+    """Coalesce overlapping/adjacent ``(start, end)`` intervals.
+
+    Interval analyses (like :func:`overlap_fraction`) must run on
+    *disjoint* intervals: intersecting two lists that each contain
+    internal overlap counts the doubly-covered time twice.
+    """
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
 
 
 @dataclass
@@ -38,14 +60,23 @@ class Tracer:
 
     def __init__(self):
         self.events: list[TraceEvent] = []
+        #: Instant annotations ``(name, time)`` — fault injections,
+        #: watchdog aborts, retries.
+        self.marks: list[tuple[str, float]] = []
         self.enabled = True
 
     def record(self, name: str, stream: str, start: float, end: float) -> None:
         if self.enabled and end > start:
             self.events.append(TraceEvent(name, stream, start, end))
 
+    def record_mark(self, name: str, time: float) -> None:
+        """Record an instant event (rendered as a Chrome-trace arrow)."""
+        if self.enabled:
+            self.marks.append((name, time))
+
     def clear(self) -> None:
         self.events.clear()
+        self.marks.clear()
 
     # ------------------------------------------------------------------
     # Analysis
@@ -58,16 +89,9 @@ class Tracer:
 
     def busy_intervals(self, stream_filter) -> list[tuple[float, float]]:
         """Merged busy intervals of streams matching ``stream_filter``."""
-        intervals = sorted(
+        return merge_intervals(
             (e.start, e.end) for e in self.events if stream_filter(e.stream)
         )
-        merged: list[tuple[float, float]] = []
-        for start, end in intervals:
-            if merged and start <= merged[-1][1]:
-                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
-            else:
-                merged.append((start, end))
-        return merged
 
     # ------------------------------------------------------------------
     # Exports
@@ -85,6 +109,17 @@ class Tracer:
             }
             for event in self.events
         ]
+        records.extend(
+            {
+                "name": name,
+                "ph": "i",
+                "ts": time * 1e6,
+                "pid": 0,
+                "tid": "marks",
+                "s": "g",
+            }
+            for name, time in self.marks
+        )
         with open(path, "w") as f:
             json.dump({"traceEvents": records}, f)
 
@@ -130,21 +165,34 @@ def trace_device(device: Device) -> Tracer:
     """
     tracer = Tracer()
     device.trace_hook = tracer.record
+    device.mark_hook = tracer.record_mark
     return tracer
 
 
 def overlap_fraction(tracer: Tracer) -> float:
-    """Fraction of communication time hidden under computation."""
-    comm = tracer.busy_intervals(lambda s: "unshard" in s or "comm" in s)
-    compute = tracer.busy_intervals(lambda s: "default" in s)
+    """Fraction of communication time hidden under computation.
+
+    Both sides are merged to disjoint intervals first, then intersected
+    with a two-pointer sweep — doubly-covered time (e.g. concurrent
+    kernels on overlapping compute events) is counted once, never
+    twice, so the fraction is guaranteed to stay in ``[0, 1]``.
+    """
+    comm = merge_intervals(
+        tracer.busy_intervals(lambda s: "unshard" in s or "comm" in s)
+    )
+    compute = merge_intervals(tracer.busy_intervals(lambda s: "default" in s))
     comm_total = sum(end - start for start, end in comm)
     if comm_total == 0:
         return 1.0
     hidden = 0.0
-    for c_start, c_end in comm:
-        for k_start, k_end in compute:
-            lo = max(c_start, k_start)
-            hi = min(c_end, k_end)
-            if hi > lo:
-                hidden += hi - lo
+    i = j = 0
+    while i < len(comm) and j < len(compute):
+        lo = max(comm[i][0], compute[j][0])
+        hi = min(comm[i][1], compute[j][1])
+        if hi > lo:
+            hidden += hi - lo
+        if comm[i][1] <= compute[j][1]:
+            i += 1
+        else:
+            j += 1
     return hidden / comm_total

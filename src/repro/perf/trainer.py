@@ -12,13 +12,22 @@ large models, Figure 6(a)) and FSDP in any sharding configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import threading
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from repro import distributed as dist
 from repro.cuda.device import Device
 from repro.ddp import DistributedDataParallel
-from repro.errors import OutOfMemoryError
+from repro.distributed.fault import FaultInjector, FaultSchedule
+from repro.distributed.process_group import DEFAULT_COLLECTIVE_TIMEOUT, ReduceOp
+from repro.errors import (
+    CollectiveFailedError,
+    CollectiveTimeoutError,
+    DistributedError,
+    OutOfMemoryError,
+    RankCrashedError,
+)
 from repro.fsdp import (
     BackwardPrefetch,
     FullyShardedDataParallel,
@@ -26,14 +35,32 @@ from repro.fsdp import (
     ShardingStrategy,
 )
 from repro.fsdp.deferred_init import deferred_init
+from repro.fsdp.optim_state import (
+    load_sharded_optim_state_dict,
+    sharded_optim_state_dict,
+)
+from repro.fsdp.state_dict import load_sharded_state_dict, sharded_state_dict
 from repro.hw.specs import ClusterTopology
 from repro.nn.module import Module
 from repro.optim import Adam, SGD
 from repro.perf.metrics import GiB, PerfResult
+from repro.tensor import Tensor
 
-__all__ = ["SimConfig", "simulate_training"]
+__all__ = [
+    "SimConfig",
+    "simulate_training",
+    "CheckpointStore",
+    "ElasticResult",
+    "train_elastic",
+]
 
 LossFn = Callable[[Module, Device], "object"]
+
+#: Errors the elastic loop treats as recoverable rank failures.
+RECOVERABLE_ERRORS = (RankCrashedError, CollectiveTimeoutError, CollectiveFailedError)
+
+#: Simulated host→device restore bandwidth for checkpoint reloads.
+CHECKPOINT_RESTORE_BANDWIDTH = 5 * GiB  # bytes/s
 
 
 @dataclass
@@ -70,6 +97,21 @@ class SimConfig:
     accumulate_steps: int = 1
     #: Accumulate under no_sync (skip communication; unsharded grads).
     accumulate_no_sync: bool = False
+    #: Deterministic fault schedule injected into every collective and
+    #: iteration boundary (None = healthy cluster).
+    faults: Optional[FaultSchedule] = None
+    #: Pre-built injector (overrides ``faults``; lets callers inspect
+    #: the injected-fault log after the run).
+    fault_injector: Optional[FaultInjector] = None
+    #: Per-collective watchdog deadline (simulated seconds).
+    collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT
+    #: Recover from rank failures by rewinding to the latest checkpoint
+    #: instead of propagating the error.
+    elastic: bool = False
+    #: Sharded-checkpoint cadence for the elastic loop (iterations).
+    checkpoint_every: int = 1
+    #: Give up after this many recoveries.
+    max_recoveries: int = 4
 
 
 def _wrap_model(config: SimConfig, device: Device) -> Module:
@@ -111,14 +153,68 @@ def _all_units(wrapped: Module):
     return _units_under(wrapped)
 
 
+def _run_iteration(config: SimConfig, wrapped: Module, device: Device, optimizer) -> None:
+    if config.accumulate_steps > 1 and config.parallelism == "fsdp":
+        # Gradient accumulation (Section 3.3.4): the first
+        # accumulate_steps-1 microbatches either still reduce
+        # (with communication) or run under no_sync (without).
+        import contextlib
+
+        for micro in range(config.accumulate_steps - 1):
+            scope = (
+                wrapped.no_sync()
+                if config.accumulate_no_sync
+                else contextlib.nullcontext()
+            )
+            with scope:
+                config.make_loss(wrapped, device).backward()
+    loss = config.make_loss(wrapped, device)
+    loss.backward()
+    optimizer.step()
+    optimizer.zero_grad()
+
+
+def _runtime_of(wrapped: Module):
+    for unit in _all_units(wrapped):
+        if unit.runtime is not None:
+            return unit.runtime
+    return None
+
+
+def _restore_cost_s(wrapped: Module, optimizer) -> float:
+    """Simulated time to reload the local sharded checkpoint."""
+    total = 0
+    for unit in _all_units(wrapped):
+        if unit.handle is None:
+            continue
+        total += unit.handle.sharded_nbytes
+        for value in optimizer.state.get(id(unit.handle.flat_param), {}).values():
+            if isinstance(value, Tensor):
+                total += value.nbytes
+    return total / CHECKPOINT_RESTORE_BANDWIDTH
+
+
 def simulate_training(config: SimConfig) -> PerfResult:
-    """Simulate a few training iterations; returns steady-state metrics."""
+    """Simulate a few training iterations; returns steady-state metrics.
+
+    With ``config.faults`` set, the fault injector is consulted on every
+    collective and at each iteration boundary; with ``config.elastic``
+    also set, recoverable failures (crash / collective timeout /
+    exhausted retries) rewind to the latest sharded checkpoint, charge a
+    simulated restore cost, and re-execute the lost iterations — the
+    wasted time is reported as ``recovery_overhead_s``.
+    """
     dist.shutdown()
+    injector = config.fault_injector
+    if injector is None and config.faults is not None:
+        injector = FaultInjector(config.faults)
     ctx = dist.init_single_process(
         config.world_size,
         topology=config.topology,
         materialize=False,
         capacity=config.capacity,
+        fault_injector=injector,
+        collective_timeout=config.collective_timeout,
     )
     device = ctx.device
     result = PerfResult(
@@ -143,34 +239,55 @@ def simulate_training(config: SimConfig) -> PerfResult:
         latency = 0.0
         flops = 0.0
         comm_before = cross_before = coll_before = 0
-        for iteration in range(config.warmup + config.iterations):
-            if iteration == config.warmup:
-                device.reset_peak_memory_stats()
-                groups = _groups_of(wrapped)
-                comm_before = sum(g.bytes_sent for g in groups)
-                cross_before = sum(g.cross_host_bytes for g in groups)
-                coll_before = sum(g.collective_count for g in groups)
-                device.synchronize()
-                start_time = device.now()
-                start_flops = device.flops_total
-            if config.accumulate_steps > 1 and config.parallelism == "fsdp":
-                # Gradient accumulation (Section 3.3.4): the first
-                # accumulate_steps-1 microbatches either still reduce
-                # (with communication) or run under no_sync (without).
-                import contextlib
-
-                for micro in range(config.accumulate_steps - 1):
-                    scope = (
-                        wrapped.no_sync()
-                        if config.accumulate_no_sync
-                        else contextlib.nullcontext()
+        total = config.warmup + config.iterations
+        completed = 0
+        last_checkpoint = 0
+        measuring = False
+        # Simulated start time of each iteration's first execution, so a
+        # rewind knows how much wall (simulated) time it discards.
+        iteration_started: dict[int, float] = {}
+        while completed < total:
+            iteration = completed
+            try:
+                if injector is not None:
+                    device.allocator.set_pressure(
+                        injector.pressure_bytes(ctx.rank, iteration)
                     )
-                    with scope:
-                        config.make_loss(wrapped, device).backward()
-            loss = config.make_loss(wrapped, device)
-            loss.backward()
-            optimizer.step()
-            optimizer.zero_grad()
+                    injector.begin_iteration(ctx.rank, iteration)
+                if not measuring and iteration >= config.warmup:
+                    measuring = True
+                    device.reset_peak_memory_stats()
+                    groups = _groups_of(wrapped)
+                    comm_before = sum(g.bytes_sent for g in groups)
+                    cross_before = sum(g.cross_host_bytes for g in groups)
+                    coll_before = sum(g.collective_count for g in groups)
+                    device.synchronize()
+                    start_time = device.now()
+                    start_flops = device.flops_total
+                iteration_started.setdefault(iteration, device.now())
+                _run_iteration(config, wrapped, device, optimizer)
+                completed += 1
+                if config.checkpoint_every and completed % config.checkpoint_every == 0:
+                    last_checkpoint = completed
+            except RECOVERABLE_ERRORS:
+                result.recoveries += 1
+                if not config.elastic or result.recoveries > config.max_recoveries:
+                    raise
+                runtime = _runtime_of(wrapped)
+                if runtime is not None:
+                    runtime.reset_after_failure()
+                optimizer.zero_grad()
+                device.synchronize()
+                wasted_since = iteration_started.get(last_checkpoint)
+                if wasted_since is not None:
+                    result.recovery_overhead_s += device.now() - wasted_since
+                restore = _restore_cost_s(wrapped, optimizer)
+                device.consume_cpu(restore)
+                result.recovery_overhead_s += restore
+                result.recovered_iterations += completed - last_checkpoint
+                for dropped in range(last_checkpoint, completed + 1):
+                    iteration_started.pop(dropped, None)
+                completed = last_checkpoint
         device.synchronize()
         latency = (device.now() - start_time) / config.iterations
         flops = (device.flops_total - start_flops) / config.iterations
@@ -195,6 +312,8 @@ def simulate_training(config: SimConfig) -> PerfResult:
     except OutOfMemoryError:
         result.oom = True
     finally:
+        if injector is not None:
+            result.faults_injected = len(injector.injected)
         dist.shutdown()
     return result
 
@@ -215,6 +334,172 @@ def _groups_of(wrapped: Module) -> list:
             seen.add(id(group))
             groups.append(group)
     return groups
+
+
+class CheckpointStore:
+    """In-memory sharded checkpoints for elastic training.
+
+    Each rank saves only its own shards (:func:`sharded_state_dict` /
+    :func:`sharded_optim_state_dict` with ``copy=True``), mirroring a
+    distributed checkpoint directory.  ``latest`` only reports
+    iterations where *every* rank's shard landed, so a crash between two
+    ranks' saves can never restore a torn checkpoint.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        # iteration -> rank -> {"model": ..., "optim": ...}
+        self._snapshots: dict[int, dict[int, dict]] = {}
+
+    def save(self, iteration: int, rank: int, model_state, optim_state) -> None:
+        with self._lock:
+            self._snapshots.setdefault(iteration, {})[rank] = {
+                "model": model_state,
+                "optim": optim_state,
+            }
+
+    def latest(self, world_size: int) -> Optional[int]:
+        """Latest iteration for which all ``world_size`` shards exist."""
+        with self._lock:
+            complete = [
+                iteration
+                for iteration, per_rank in self._snapshots.items()
+                if len(per_rank) >= world_size
+            ]
+        return max(complete) if complete else None
+
+    def load(self, iteration: int, rank: int) -> dict:
+        with self._lock:
+            return self._snapshots[iteration][rank]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._snapshots)
+
+
+@dataclass
+class ElasticResult:
+    """Outcome of one :func:`train_elastic` run."""
+
+    #: Global (rank-averaged) loss per iteration, 0..iterations-1.
+    losses: list = field(default_factory=list)
+    restarts: int = 0
+    #: Iterations that had to be re-executed after restarts.
+    recovered_iterations: int = 0
+    faults_injected: int = 0
+    injector: Optional[FaultInjector] = None
+
+
+def train_elastic(
+    *,
+    build_model: Callable[[], Module],
+    make_loss: Callable[[Module, int, int], "Tensor"],
+    world_size: int,
+    iterations: int,
+    faults: Optional[FaultSchedule] = None,
+    fault_injector: Optional[FaultInjector] = None,
+    wrap: Optional[Callable[[Module], Module]] = None,
+    optimizer: str = "sgd",
+    lr: float = 1e-2,
+    checkpoint_every: int = 1,
+    max_restarts: int = 4,
+    collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT,
+    topology: Optional[ClusterTopology] = None,
+) -> ElasticResult:
+    """Run a real-data threaded training loop with elastic recovery.
+
+    The torchelastic-style control flow: ``dist.spawn`` runs the world;
+    when any rank dies (crash fault, collective timeout, exhausted
+    retries) the whole world is torn down and respawned, each rank
+    restoring from the latest complete sharded checkpoint in the
+    in-memory :class:`CheckpointStore`.  The one :class:`FaultInjector`
+    is shared across restarts so one-shot faults fire exactly once.
+
+    ``make_loss(model, rank, iteration)`` must be a deterministic
+    function of its arguments for post-recovery losses to match an
+    uninterrupted run (property-tested in
+    ``tests/test_elastic_recovery.py``).
+    """
+    from repro.autograd.grad_mode import no_grad
+
+    injector = fault_injector
+    if injector is None and faults is not None:
+        injector = FaultInjector(faults)
+    store = CheckpointStore()
+    # Template weights so every (re)spawned incarnation starts from the
+    # same initialization regardless of ambient RNG state.
+    template = build_model()
+    template_arrays = [p.detach().numpy().copy() for p in template.parameters()]
+
+    def checkpoint(wrapped, opt, iteration: int, rank: int) -> None:
+        store.save(
+            iteration,
+            rank,
+            sharded_state_dict(wrapped, copy=True),
+            sharded_optim_state_dict(wrapped, opt, copy=True),
+        )
+
+    def worker(rank: int):
+        model = build_model()
+        with no_grad():
+            for param, src in zip(model.parameters(), template_arrays):
+                param._np[...] = src
+        wrapped = wrap(model) if wrap is not None else FullyShardedDataParallel(model)
+        params = list(wrapped.parameters())
+        opt = Adam(params, lr=lr) if optimizer == "adam" else SGD(params, lr=lr)
+        group = dist.default_group()
+        start = store.latest(world_size)
+        if start is None:
+            start = 0
+            checkpoint(wrapped, opt, 0, rank)
+        else:
+            snapshot = store.load(start, rank)
+            load_sharded_state_dict(wrapped, snapshot["model"])
+            load_sharded_optim_state_dict(wrapped, opt, snapshot["optim"])
+        for iteration in range(start, iterations):
+            if injector is not None:
+                injector.begin_iteration(rank, iteration)
+            loss = make_loss(wrapped, rank, iteration)
+            loss.backward()
+            opt.step()
+            opt.zero_grad()
+            # Record the global loss as soon as it exists: iterations
+            # completed before a later failure keep their entries (every
+            # rank writes the same reduced value, so the race is benign;
+            # re-executed iterations overwrite with identical numbers).
+            all_losses[iteration] = group.all_reduce_scalar(loss.item(), ReduceOp.AVG)
+            done = iteration + 1
+            if checkpoint_every and done % checkpoint_every == 0:
+                checkpoint(wrapped, opt, done, rank)
+
+    result = ElasticResult(injector=injector)
+    all_losses: dict[int, float] = {}
+    while True:
+        try:
+            dist.spawn(
+                worker,
+                world_size,
+                topology=topology,
+                fault_injector=injector,
+                collective_timeout=collective_timeout,
+            )
+        except DistributedError as exc:
+            recoverable = isinstance(exc.__cause__, RECOVERABLE_ERRORS)
+            if not recoverable or result.restarts >= max_restarts:
+                raise
+            result.restarts += 1
+            if injector is not None:
+                furthest = max(
+                    injector.iteration_of(rank) for rank in range(world_size)
+                )
+                rewind = store.latest(world_size) or 0
+                result.recovered_iterations += max(0, furthest - rewind)
+            continue
+        break
+    result.losses = [all_losses[i] for i in range(iterations)]
+    if injector is not None:
+        result.faults_injected = len(injector.injected)
+    return result
 
 
 def sweep(configs: list[SimConfig]) -> list[PerfResult]:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,22 @@ import repro
 from repro import nn
 from repro.autograd.grad_mode import no_grad
 from repro.tensor import Tensor
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # "fast" keeps the default tier-1 run quick; CI's slow job selects
+    # "slow" via HYPOTHESIS_PROFILE for >=50 examples per property.
+    _suppress = [HealthCheck.too_slow]
+    settings.register_profile(
+        "fast", max_examples=12, deadline=None, suppress_health_check=_suppress
+    )
+    settings.register_profile(
+        "slow", max_examples=60, deadline=None, suppress_health_check=_suppress
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    pass
 
 
 @pytest.fixture(autouse=True)

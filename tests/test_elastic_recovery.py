@@ -1,0 +1,213 @@
+"""Elastic recovery: watchdog propagation, crash/restart loss equivalence."""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro import distributed as dist, nn
+from repro.distributed import FaultEvent, FaultInjector, FaultKind, FaultSchedule
+from repro.errors import (
+    CollectiveTimeoutError,
+    DistributedError,
+    RankCrashedError,
+)
+from repro.fsdp import FullyShardedDataParallel as FSDP, ModuleWrapPolicy
+from repro.perf.trainer import CheckpointStore, train_elastic
+from repro.tensor import tensor
+
+WORLD = 4
+D = 16
+
+
+def build_model():
+    return nn.Sequential(nn.Linear(D, 2 * D), nn.GELU(), nn.Linear(2 * D, D))
+
+
+def make_loss(model, rank, iteration):
+    # Deterministic in (rank, iteration): recovery must replay the
+    # exact batches the crashed incarnation would have seen.
+    rng = np.random.default_rng(1000 + 17 * iteration + rank)
+    x = tensor(rng.standard_normal((4, D)).astype(np.float32))
+    out = model(x)
+    return (out * out).mean()
+
+
+def run_elastic(schedule=None, iterations=6, **kwargs):
+    repro.manual_seed(1234)
+    return train_elastic(
+        build_model=build_model,
+        make_loss=make_loss,
+        world_size=WORLD,
+        iterations=iterations,
+        faults=schedule,
+        **kwargs,
+    )
+
+
+class TestWatchdogThreaded:
+    def test_hung_collective_raises_typed_error_on_all_ranks(self):
+        """A hang never deadlocks: every rank gets a CollectiveTimeoutError
+        naming the collective, well inside the 10s budget."""
+        schedule = FaultSchedule(
+            [FaultEvent(kind=FaultKind.HANG, rank=1, collective_index=2)]
+        )
+        injector = FaultInjector(schedule)
+
+        def worker(rank):
+            model = build_model()
+            wrapped = FSDP(model, auto_wrap_policy=ModuleWrapPolicy({nn.Linear}))
+            try:
+                for iteration in range(3):
+                    loss = make_loss(wrapped, rank, iteration)
+                    loss.backward()
+                    wrapped.zero_grad()
+            except CollectiveTimeoutError as error:
+                return error
+            return None
+
+        start = time.monotonic()
+        results = dist.spawn(
+            worker, WORLD, fault_injector=injector, collective_timeout=0.5
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 10.0
+        assert all(isinstance(r, CollectiveTimeoutError) for r in results)
+        for error in results:
+            assert error.kind  # names the collective kind
+            assert error.ranks == tuple(range(WORLD))
+            assert error.rank in range(WORLD)
+            assert error.pending_ops >= 1
+            assert "timed out" in str(error)
+
+    def test_crash_propagates_as_typed_cause(self):
+        schedule = FaultSchedule(
+            [FaultEvent(kind=FaultKind.CRASH, rank=2, iteration=1)]
+        )
+
+        def worker(rank):
+            injector = dist.get_device().fault_injector
+            for iteration in range(3):
+                injector.begin_iteration(rank, iteration)
+            return rank
+
+        with pytest.raises(DistributedError) as exc_info:
+            dist.spawn(worker, WORLD, fault_schedule=schedule)
+        cause = exc_info.value.__cause__
+        assert isinstance(cause, RankCrashedError)
+        assert cause.rank == 2
+
+
+class TestCheckpointStore:
+    def test_latest_ignores_torn_checkpoints(self):
+        store = CheckpointStore()
+        for rank in range(3):
+            store.save(1, rank, {"m": rank}, {"o": rank})
+        assert store.latest(world_size=3) == 1
+        store.save(2, 0, {"m": 0}, {"o": 0})  # rank 0 only: torn
+        assert store.latest(world_size=3) == 1
+        for rank in (1, 2):
+            store.save(2, rank, {"m": rank}, {"o": rank})
+        assert store.latest(world_size=3) == 2
+        assert store.load(2, 1)["model"] == {"m": 1}
+
+
+class TestCrashRecovery:
+    def test_losses_match_uninterrupted_run(self):
+        baseline = run_elastic()
+        schedule = FaultSchedule(
+            [FaultEvent(kind=FaultKind.CRASH, rank=1, iteration=3)]
+        )
+        recovered = run_elastic(schedule)
+        assert recovered.restarts == 1
+        assert recovered.faults_injected == 1
+        # Bitwise-identical loss trajectory, including post-recovery.
+        assert recovered.losses == baseline.losses
+
+    def test_sparse_checkpoints_replay_lost_iterations(self):
+        baseline = run_elastic(iterations=8, checkpoint_every=3)
+        schedule = FaultSchedule(
+            [FaultEvent(kind=FaultKind.CRASH, rank=0, iteration=5)]
+        )
+        recovered = run_elastic(schedule, iterations=8, checkpoint_every=3)
+        assert recovered.restarts == 1
+        # Crash at 5, last complete checkpoint at 3: two iterations replayed.
+        assert recovered.recovered_iterations == 2
+        assert recovered.losses == baseline.losses
+
+    def test_two_crashes_two_recoveries(self):
+        baseline = run_elastic(iterations=7)
+        schedule = FaultSchedule([
+            FaultEvent(kind=FaultKind.CRASH, rank=0, iteration=2),
+            FaultEvent(kind=FaultKind.CRASH, rank=3, iteration=5),
+        ])
+        recovered = run_elastic(schedule, iterations=7)
+        assert recovered.restarts == 2
+        assert recovered.losses == baseline.losses
+
+    def test_restart_budget_exhausted_reraises(self):
+        schedule = FaultSchedule([
+            FaultEvent(kind=FaultKind.CRASH, rank=0, iteration=i)
+            for i in (1, 2, 3)
+        ])
+        with pytest.raises(DistributedError):
+            run_elastic(schedule, max_restarts=2)
+
+
+class TestSymmetricElastic:
+    def _config(self, **overrides):
+        import dataclasses
+
+        from repro.perf import SimConfig
+
+        def make_loss_sym(model, device):
+            x = repro.empty(8, D, device=device)
+            return model(x).sum()
+
+        base = SimConfig(
+            name="elastic-sym",
+            build_model=build_model,
+            make_loss=make_loss_sym,
+            batch_size=8,
+            world_size=4,
+            auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+            iterations=2,
+            warmup=1,
+        )
+        return dataclasses.replace(base, **overrides)
+
+    def test_trainer_recovers_and_reports_overhead(self):
+        from repro.perf import simulate_training
+
+        schedule = FaultSchedule(
+            [FaultEvent(kind=FaultKind.CRASH, rank=0, iteration=1)]
+        )
+        clean = simulate_training(self._config())
+        result = simulate_training(self._config(faults=schedule, elastic=True))
+        assert not result.oom
+        assert result.recoveries == 1
+        assert result.faults_injected >= 1
+        assert result.recovery_overhead_s > 0
+        assert result.iteration_latency > 0
+        assert clean.recoveries == 0
+
+    def test_non_elastic_crash_propagates(self):
+        from repro.perf import simulate_training
+
+        schedule = FaultSchedule(
+            [FaultEvent(kind=FaultKind.CRASH, rank=0, iteration=1)]
+        )
+        with pytest.raises(RankCrashedError):
+            simulate_training(self._config(faults=schedule))
+
+    def test_recovery_budget_exhausted_reraises(self):
+        from repro.perf import simulate_training
+
+        schedule = FaultSchedule([
+            FaultEvent(kind=FaultKind.CRASH, rank=0, iteration=i) for i in (1, 2)
+        ])
+        with pytest.raises(RankCrashedError):
+            simulate_training(
+                self._config(faults=schedule, elastic=True, max_recoveries=1)
+            )

@@ -1,0 +1,168 @@
+"""Property-based robustness tests for the fault-injection subsystem.
+
+The load-bearing property: any seeded schedule of *timing-only* faults
+(stragglers, delays, transient retried failures — no crashes, no hangs)
+moves points on the simulated clock but leaves the training losses
+bitwise identical to a fault-free run.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro import distributed as dist, nn
+from repro.distributed import FaultInjector, FaultKind, FaultSchedule
+from repro.perf.trainer import train_elastic
+from repro.tensor import tensor
+
+WORLD = 2
+ITERATIONS = 3
+D = 8
+
+_BASELINE: dict[str, list] = {}
+
+
+def build_model():
+    return nn.Sequential(nn.Linear(D, D), nn.Tanh(), nn.Linear(D, D))
+
+
+def make_loss(model, rank, iteration):
+    rng = np.random.default_rng(500 + 31 * iteration + rank)
+    x = tensor(rng.standard_normal((2, D)).astype(np.float32))
+    out = model(x)
+    return (out * out).mean()
+
+
+def run_training(schedule=None):
+    repro.manual_seed(1234)
+    result = train_elastic(
+        build_model=build_model,
+        make_loss=make_loss,
+        world_size=WORLD,
+        iterations=ITERATIONS,
+        faults=schedule,
+    )
+    return result.losses
+
+
+def baseline_losses() -> list:
+    if "losses" not in _BASELINE:
+        _BASELINE["losses"] = run_training()
+    return _BASELINE["losses"]
+
+
+timing_only_schedules = st.builds(
+    lambda seed, stragglers, delays, transients: FaultSchedule.random(
+        seed=seed,
+        world_size=WORLD,
+        iterations=ITERATIONS,
+        stragglers=stragglers,
+        delays=delays,
+        transients=transients,
+        hangs=0,
+        crashes=0,
+        pressure_events=0,
+    ),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    stragglers=st.integers(min_value=0, max_value=3),
+    delays=st.integers(min_value=0, max_value=4),
+    transients=st.integers(min_value=0, max_value=3),
+)
+
+
+@given(schedule=timing_only_schedules)
+def test_timing_faults_preserve_losses(schedule):
+    assert schedule.timing_only()
+    assert run_training(schedule) == baseline_losses()
+
+
+@pytest.mark.slow
+@settings(max_examples=50, deadline=None)
+@given(schedule=timing_only_schedules)
+def test_timing_faults_preserve_losses_exhaustive(schedule):
+    """The same property at the slow profile's example count."""
+    assert schedule.timing_only()
+    assert run_training(schedule) == baseline_losses()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    world_size=st.integers(min_value=1, max_value=64),
+    iterations=st.integers(min_value=1, max_value=100),
+    counts=st.tuples(*[st.integers(min_value=0, max_value=4)] * 6),
+)
+def test_random_schedule_is_a_pure_function_of_its_seed(
+    seed, world_size, iterations, counts
+):
+    stragglers, delays, transients, hangs, crashes, pressure = counts
+    kwargs = dict(
+        seed=seed,
+        world_size=world_size,
+        iterations=iterations,
+        stragglers=stragglers,
+        delays=delays,
+        transients=transients,
+        hangs=hangs,
+        crashes=crashes,
+        pressure_events=pressure,
+    )
+    a = FaultSchedule.random(**kwargs)
+    b = FaultSchedule.random(**kwargs)
+    assert a == b
+    assert len(a) == sum(counts)
+    for event in a:
+        if event.kind in (FaultKind.STRAGGLER, FaultKind.OOM_PRESSURE):
+            assert 0 <= event.start_iteration < max(iterations, 1)
+        if event.rank is not None:
+            assert 0 <= event.rank < world_size
+
+
+@given(
+    failures=st.integers(min_value=1, max_value=8),
+    rank=st.integers(min_value=0, max_value=3),
+)
+def test_transient_budget_fails_exactly_n_times(failures, rank):
+    from repro.distributed import FaultEvent
+
+    schedule = FaultSchedule(
+        [FaultEvent(kind=FaultKind.TRANSIENT, rank=rank, collective_index=0,
+                    failures=failures)]
+    )
+    injector = FaultInjector(schedule)
+    observed = 0
+    attempt = 0
+    while True:
+        decision = injector.on_collective(
+            rank=rank, kind="all_gather", attempt=attempt
+        )
+        if not decision.fail:
+            break
+        observed += 1
+        attempt += 1
+    assert observed == failures
+    # The budget never refills: the next logical collective is clean.
+    assert not injector.on_collective(rank=rank, kind="all_gather", attempt=0).fail
+
+
+@given(
+    iteration=st.integers(min_value=0, max_value=10),
+    observers=st.integers(min_value=1, max_value=6),
+)
+def test_crash_fires_exactly_once_per_observer(iteration, observers):
+    from repro.distributed import FaultEvent
+    from repro.errors import RankCrashedError
+
+    schedule = FaultSchedule(
+        [FaultEvent(kind=FaultKind.CRASH, rank=0, iteration=iteration)]
+    )
+    injector = FaultInjector(schedule)
+    for rank in range(observers):
+        with pytest.raises(RankCrashedError):
+            injector.begin_iteration(rank, iteration)
+    # Elastic restart: the same boundary passes cleanly on every rank.
+    for rank in range(observers):
+        injector.begin_iteration(rank, iteration)
+    assert sum(1 for f in injector.injected if f.kind is FaultKind.CRASH) == 1

@@ -11,7 +11,12 @@ from repro.fsdp import (
     FullyShardedDataParallel as FSDP,
     ModuleWrapPolicy,
 )
-from repro.perf.timeline import Tracer, overlap_fraction, trace_device
+from repro.perf.timeline import (
+    Tracer,
+    merge_intervals,
+    overlap_fraction,
+    trace_device,
+)
 
 
 @pytest.fixture()
@@ -84,8 +89,37 @@ class TestTracer:
     def test_clear(self, traced_world):
         ctx, tracer = traced_world
         run_iteration(ctx.device)
+        tracer.record_mark("fault:delay@r0", 1.0)
         tracer.clear()
         assert not tracer.events
+        assert not tracer.marks
+
+    def test_marks_exported_as_instant_events(self, tmp_path):
+        tracer = Tracer()
+        tracer.record("kernel", "default", 0.0, 1.0)
+        tracer.record_mark("fault:straggler@r0", 0.5)
+        path = tmp_path / "trace.json"
+        tracer.to_chrome_trace(str(path))
+        data = json.loads(path.read_text())
+        instants = [e for e in data["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "fault:straggler@r0"
+        assert instants[0]["ts"] == pytest.approx(0.5e6)
+
+    def test_injected_faults_appear_as_marks(self):
+        from repro.distributed import FaultEvent, FaultKind, FaultSchedule
+
+        dist.shutdown()
+        schedule = FaultSchedule(
+            [FaultEvent(kind=FaultKind.DELAY, collective_index=0, delay_s=1e-3)]
+        )
+        ctx = dist.init_single_process(8, materialize=False, fault_schedule=schedule)
+        try:
+            tracer = trace_device(ctx.device)
+            run_iteration(ctx.device)
+            assert any(name.startswith("fault:delay") for name, _ in tracer.marks)
+        finally:
+            dist.shutdown()
 
 
 class TestOverlap:
@@ -102,6 +136,37 @@ class TestOverlap:
         run_iteration(ctx.device)
         fraction = overlap_fraction(tracer)
         assert 0.0 <= fraction <= 1.0
+
+    def test_merge_intervals(self):
+        assert merge_intervals([]) == []
+        assert merge_intervals([(1.0, 2.0), (0.0, 0.5)]) == [(0.0, 0.5), (1.0, 2.0)]
+        assert merge_intervals([(0.0, 2.0), (1.0, 3.0), (3.0, 4.0)]) == [(0.0, 4.0)]
+
+    def test_overlap_fraction_regression_pinned(self):
+        """Overlapping compute events must not double-count hidden time.
+
+        comm [0,2]∪[1,3] merges to [0,3] (3s total); compute
+        [0.5,1.5]∪[1,2.5] merges to [0.5,2.5]; the intersection is
+        exactly 2s, so the fraction is pinned at 2/3 — a naive
+        unmerged pairwise intersection would report 4.5/5 ≈ 0.9.
+        """
+        tracer = Tracer()
+        tracer.record("all_gather", "fsdp-unshard", 0.0, 2.0)
+        tracer.record("all_gather", "fsdp-unshard", 1.0, 3.0)
+        tracer.record("kernel", "default", 0.5, 1.5)
+        tracer.record("kernel", "default", 1.0, 2.5)
+        tracer.record("kernel", "default", 4.0, 5.0)
+        assert overlap_fraction(tracer) == pytest.approx(2.0 / 3.0)
+
+    def test_overlap_fraction_disjoint_and_full(self):
+        tracer = Tracer()
+        tracer.record("all_gather", "comm", 0.0, 1.0)
+        tracer.record("kernel", "default", 2.0, 3.0)
+        assert overlap_fraction(tracer) == 0.0
+        tracer.clear()
+        tracer.record("all_gather", "comm", 1.0, 2.0)
+        tracer.record("kernel", "default", 0.0, 3.0)
+        assert overlap_fraction(tracer) == 1.0
 
     def test_prefetch_does_not_reduce_overlap(self):
         """Figure 5's claim: the machinery overlaps comm with compute."""

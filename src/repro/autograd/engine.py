@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.autograd.function import AccumulateGrad, Edge, Node
 from repro.autograd.grad_mode import no_grad
+from repro.cuda import sanitizer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.tensor import Tensor
@@ -172,7 +173,13 @@ def _execute(roots: list[tuple[Edge, "Tensor"]], retain_graph: bool) -> None:
                     grad = replacement
             buffer[i] = grad
 
-        grads = node.run_backward(buffer)
+        if sanitizer.is_enabled():
+            # Attribute kernels launched by this node to its backward,
+            # so violations name the node instead of a bare "kernel".
+            with sanitizer.launch_site(f"backward:{node.name}"):
+                grads = node.run_backward(buffer)
+        else:
+            grads = node.run_backward(buffer)
         if len(grads) != len(node.next_edges):
             raise RuntimeError(
                 f"{node.name}.backward returned {len(grads)} gradients for "

@@ -16,8 +16,10 @@ simulation that preserves the scheduling semantics FSDP depends on:
 Durations come from :mod:`repro.hw` cost models; no real GPU is used.
 """
 
+from repro.cuda import sanitizer
 from repro.cuda.allocator import CachingAllocator, MemoryStats
 from repro.cuda.device import Device, cpu_device, meta_device
+from repro.cuda.sanitizer import StreamOrderSanitizer
 from repro.cuda.stream import Event, Stream
 
 __all__ = [
@@ -26,6 +28,8 @@ __all__ = [
     "Event",
     "CachingAllocator",
     "MemoryStats",
+    "StreamOrderSanitizer",
+    "sanitizer",
     "cpu_device",
     "meta_device",
 ]

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.cuda import sanitizer
 from repro.errors import OutOfMemoryError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -89,6 +90,7 @@ class Block:
         "prev",
         "next",
         "reuse_ready_time",
+        "__weakref__",
     )
 
     def __init__(self, segment: Segment, offset: int, size: int):
@@ -197,6 +199,9 @@ class CachingAllocator:
         self.stats.allocated_bytes += nbytes
         self.stats.allocated_peak = max(self.stats.allocated_peak, self.stats.allocated_bytes)
         self._bump_active()
+        san = sanitizer.active()
+        if san is not None:
+            san.on_block_alloc(self.device, stream, block)
         return block
 
     def free(self, block: Block) -> None:
@@ -310,15 +315,22 @@ class CachingAllocator:
         # retire, making all cached blocks releasable — and serializes
         # the pipeline: all subsequent kernels start after this point.
         self.device.synchronize()
-        reserved_before = self.stats.reserved_bytes
-        self._release_free_segments(require_retired=False)
-        released_segments = max(
-            1, (reserved_before - self.stats.reserved_bytes) // _LARGE_SEGMENT_MIN
-        )
+        # The sync advanced the CPU clock past every recorded use, so the
+        # per-stream retire state is provably satisfied: releasing with
+        # require_retired=True frees exactly the same segments while
+        # keeping the invariant that a segment is never unmapped under a
+        # still-running cross-stream kernel.
+        released_segments = self._release_free_segments(require_retired=True)
+        # cudaFree is paid per driver call, i.e. per released segment —
+        # not per 20 MiB of released bytes (a retry that frees many small
+        # segments stalls the CPU for each of them; one that frees
+        # nothing pays only the sync).
         self.device.consume_cpu(released_segments * _CUDA_FREE_PER_SEGMENT_COST)
 
-    def _release_free_segments(self, *, require_retired: bool) -> None:
+    def _release_free_segments(self, *, require_retired: bool) -> int:
+        """Unmap whole free segments; returns how many were released."""
         now = self.device.cpu_time()
+        released = 0
         for stream_id, pool in list(self._pools.items()):
             kept: list[Block] = []
             for block in pool:
@@ -328,9 +340,15 @@ class CachingAllocator:
                 retired = block.reuse_ready_time <= now
                 if whole_segment_free and (retired or not require_retired):
                     self.stats.reserved_bytes -= block.segment.size
+                    released += 1
                 else:
                     kept.append(block)
             self._pools[stream_id] = kept
+        # Released blocks may have counted toward active (pending
+        # cross-stream retirement); recompute so active <= reserved holds
+        # without waiting for the next allocate/free.
+        self._refresh_active()
+        return released
 
     def _coalesce(self, block: Block) -> Block:
         """Merge ``block`` with free neighbors; returns the merged block.

@@ -15,6 +15,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
+from repro.cuda import sanitizer
 from repro.cuda.allocator import Block, CachingAllocator
 from repro.cuda.stream import Event, Stream
 from repro.errors import DeviceError
@@ -129,6 +130,9 @@ class Device:
             return
         for stream in self.streams:
             self.advance_cpu_to(stream.ready_time)
+        san = sanitizer.active()
+        if san is not None:
+            san.on_device_sync(self)
 
     def now(self) -> float:
         """The furthest point any work on this device reaches."""
@@ -149,11 +153,17 @@ class Device:
         *,
         stream: Optional[Stream] = None,
         blocks: tuple[Block, ...] = (),
+        reads: tuple = (),
+        writes: tuple = (),
+        label: str = "kernel",
     ) -> tuple[float, float]:
         """Issue one kernel: consume CPU launch time, enqueue on stream.
 
         ``blocks`` are the storage blocks the kernel touches; their
         cross-stream usage is recorded for the allocator's reuse gate.
+        ``reads``/``writes`` name the storages the kernel accesses (for
+        the stream-order sanitizer); their blocks are recorded too, so
+        callers pass either form.
         """
         self._require_sim("kernels")
         stream = stream or self.current_stream
@@ -161,9 +171,19 @@ class Device:
         duration = self.kernel_model.duration(cost, dtype)
         self.flops_total += cost.flops
         self.kernels_launched += 1
-        start, end = stream.enqueue(duration)
+        start, end = stream.enqueue(duration, label=label)
+        seen = set()
         for block in blocks:
             self.allocator.record_use(block, stream, end)
+            seen.add(id(block))
+        for storage in (*reads, *writes):
+            block = getattr(storage, "block", None)
+            if block is not None and storage.device is self and id(block) not in seen:
+                self.allocator.record_use(block, stream, end)
+                seen.add(id(block))
+        san = sanitizer.active()
+        if san is not None and (reads or writes):
+            san.on_access(self, stream, reads=reads, writes=writes)
         return start, end
 
     def new_event(self) -> Event:

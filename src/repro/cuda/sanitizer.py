@@ -1,0 +1,466 @@
+"""CSAN-style stream-order sanitizer for the simulated CUDA runtime.
+
+The discrete-event runtime reproduces the scheduling semantics FSDP
+depends on, but (like real CUDA) it does not *check* them: a missing
+``wait_event`` silently yields a plausible timeline over corrupted
+data.  This module is the checker — a dynamic happens-before analysis
+in the spirit of PyTorch's CUDA Sanitizer (CSAN):
+
+- every kernel launch (including collectives) reports which storages it
+  reads and writes on which stream;
+- the sanitizer maintains per-stream **vector clocks**: an entry
+  ``clock[S] = n`` means "everything up to the n-th kernel enqueued on
+  stream S is guaranteed to have completed before any future kernel on
+  this stream".  Happens-before edges come from ``wait_event`` /
+  ``wait_stream``, from host-side synchronization (stream / event /
+  device ``synchronize`` and *successful* ``Event.query()`` — the
+  cudaEventQuery pattern the caching allocator itself relies on), which
+  joins into a per-device **host clock** merged into every subsequently
+  launched kernel;
+- three violation families raise a typed
+  :class:`~repro.errors.StreamOrderViolation`:
+
+  (a) **data races** — a storage is read (or written) while its last
+      writer on another stream is not ordered before the access
+      (``read-after-write`` / ``write-after-write``), or written while
+      an unordered reader exists (``write-after-read``); kernels
+      touching a released storage report ``use-after-free``;
+  (b) **allocator hazards** — the allocator hands out a block whose
+      cross-stream uses have neither retired on the simulated clock nor
+      been ordered before the allocating stream
+      (``unretired-block-reuse``), shadowing ``record_stream``
+      semantics independently of the allocator's own bookkeeping;
+  (c) **exec-order divergence** — FSDP units unshard in a different
+      order than the warmup iteration recorded
+      (:class:`~repro.errors.ExecOrderViolation`, raised by
+      ``repro.fsdp.exec_order.ExecOrderValidator`` when the sanitizer
+      is enabled).
+
+Enable with :func:`enable` (or the ``REPRO_SANITIZER=1`` environment
+variable honoured by the test suite's fixture).  Violations also emit
+``sanitizer:<kind>`` instant marks on the device, which export as
+instant events in Chrome traces (``repro.perf.timeline``).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+from weakref import WeakKeyDictionary
+
+from repro.errors import ExecOrderViolation, StreamOrderViolation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cuda.device import Device
+    from repro.cuda.stream import Event, Stream
+    from repro.storage import Storage
+
+__all__ = [
+    "LaunchRecord",
+    "StreamOrderSanitizer",
+    "StreamOrderViolation",
+    "ExecOrderViolation",
+    "active",
+    "is_enabled",
+    "enable",
+    "disable",
+    "reset",
+    "enabled",
+    "set_launch_site",
+    "launch_site",
+]
+
+_tls = threading.local()
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One kernel launch, as remembered by the sanitizer."""
+
+    stream_name: str
+    stream_key: int
+    seq: int
+    label: str
+    site: Optional[str] = None
+
+    def describe(self) -> str:
+        where = f" during {self.site}" if self.site else ""
+        return f"{self.label!r} (kernel #{self.seq} on stream {self.stream_name!r}{where})"
+
+
+class _StreamState:
+    __slots__ = ("key", "seq", "clock", "last")
+
+    def __init__(self, key: int):
+        self.key = key
+        #: Count of kernels enqueued on this stream so far.
+        self.seq = 0
+        #: Vector clock: other-stream kernels ordered before future work here.
+        self.clock: dict[int, int] = {}
+        #: The most recently enqueued kernel (the one access checks attribute).
+        self.last: Optional[LaunchRecord] = None
+
+
+class _StorageShadow:
+    __slots__ = ("block", "generation", "last_write", "readers")
+
+    def __init__(self, block, generation=0):
+        #: The allocator block backing the storage when last seen, plus
+        #: that block's allocation generation; a release/reallocate
+        #: cycle starts a fresh shadow (new lifetime) even when the
+        #: allocator hands back the same ``Block`` object.
+        self.block = block
+        self.generation = generation
+        self.last_write: Optional[LaunchRecord] = None
+        #: Unordered readers since the last write, per stream key.
+        self.readers: dict[int, LaunchRecord] = {}
+
+
+def _merge(into: dict[int, int], other: dict[int, int]) -> None:
+    for key, seq in other.items():
+        if into.get(key, 0) < seq:
+            into[key] = seq
+
+
+class StreamOrderSanitizer:
+    """Happens-before tracker over streams, events and the allocator.
+
+    All state is keyed by object identity through weak references, so
+    tracking never extends the lifetime of streams, events, storages or
+    allocator blocks.  A single instance may observe many devices (the
+    threaded backend runs ranks as threads, each with its own device);
+    an internal lock makes the handlers thread-safe.
+    """
+
+    def __init__(self, *, raise_on_violation: bool = True):
+        self.raise_on_violation = raise_on_violation
+        self.violations: list[StreamOrderViolation] = []
+        self._lock = threading.RLock()
+        self._streams: WeakKeyDictionary = WeakKeyDictionary()  # Stream -> _StreamState
+        self._events: WeakKeyDictionary = WeakKeyDictionary()  # Event -> clock
+        self._hosts: WeakKeyDictionary = WeakKeyDictionary()  # Device -> clock
+        self._storages: WeakKeyDictionary = WeakKeyDictionary()  # Storage -> _StorageShadow
+        self._blocks: WeakKeyDictionary = WeakKeyDictionary()  # Block -> {key: (seq, end, rec)}
+        self._block_gen: WeakKeyDictionary = WeakKeyDictionary()  # Block -> alloc count
+        self._next_key = 0
+
+    # ------------------------------------------------------------------
+    # Stream / event hooks (wired from repro.cuda.stream / device)
+    # ------------------------------------------------------------------
+    def _state(self, stream: "Stream") -> _StreamState:
+        state = self._streams.get(stream)
+        if state is None:
+            self._next_key += 1
+            state = _StreamState(self._next_key)
+            self._streams[stream] = state
+        return state
+
+    def on_kernel(self, stream: "Stream", label: str) -> None:
+        """A kernel was enqueued on ``stream`` (any label, any origin)."""
+        with self._lock:
+            state = self._state(stream)
+            state.seq += 1
+            host = self._hosts.get(stream.device)
+            if host:
+                # The launching CPU thread already observed everything in
+                # the host clock; the new kernel inherits that ordering.
+                _merge(state.clock, host)
+            state.last = LaunchRecord(
+                stream.name, state.key, state.seq, label, getattr(_tls, "site", None)
+            )
+
+    def on_record_event(self, stream: "Stream", event: "Event") -> None:
+        with self._lock:
+            state = self._state(stream)
+            clock = dict(state.clock)
+            clock[state.key] = state.seq
+            self._events[event] = clock
+
+    def _event_clock(self, event: "Event") -> dict[int, int]:
+        clock = self._events.get(event)
+        if clock is None:
+            # Recorded before the sanitizer was enabled: conservatively
+            # treat it as covering everything enqueued so far on its
+            # device (avoids false positives at the enable boundary).
+            clock = {}
+            for stream in getattr(event.device, "streams", ()):
+                state = self._streams.get(stream)
+                if state is not None:
+                    clock[state.key] = state.seq
+        return clock
+
+    def on_wait_event(self, stream: "Stream", event: "Event") -> None:
+        with self._lock:
+            _merge(self._state(stream).clock, self._event_clock(event))
+
+    def on_wait_stream(self, stream: "Stream", other: "Stream") -> None:
+        with self._lock:
+            state = self._state(stream)
+            other_state = self._state(other)
+            _merge(state.clock, other_state.clock)
+            if state.clock.get(other_state.key, 0) < other_state.seq:
+                state.clock[other_state.key] = other_state.seq
+
+    def _host(self, device: "Device") -> dict[int, int]:
+        host = self._hosts.get(device)
+        if host is None:
+            host = {}
+            self._hosts[device] = host
+        return host
+
+    def on_host_sync_event(self, event: "Event") -> None:
+        """The CPU observed ``event`` complete (synchronize or query)."""
+        with self._lock:
+            _merge(self._host(event.device), self._event_clock(event))
+
+    def on_host_sync_stream(self, stream: "Stream") -> None:
+        with self._lock:
+            state = self._state(stream)
+            host = self._host(stream.device)
+            _merge(host, state.clock)
+            if host.get(state.key, 0) < state.seq:
+                host[state.key] = state.seq
+
+    def on_device_sync(self, device: "Device") -> None:
+        for stream in device.streams:
+            self.on_host_sync_stream(stream)
+
+    # ------------------------------------------------------------------
+    # Data accesses (wired from Device.launch and ProcessGroup)
+    # ------------------------------------------------------------------
+    def on_access(
+        self,
+        device: "Device",
+        stream: "Stream",
+        *,
+        reads: Sequence["Storage"] = (),
+        writes: Sequence["Storage"] = (),
+    ) -> None:
+        """The just-enqueued kernel on ``stream`` reads/writes storages."""
+        with self._lock:
+            state = self._state(stream)
+            record = state.last or LaunchRecord(stream.name, state.key, state.seq, "kernel")
+            for storage in reads:
+                self._check_storage(device, stream, state, record, storage, is_write=False)
+            for storage in writes:
+                self._check_storage(device, stream, state, record, storage, is_write=True)
+
+    def _check_storage(
+        self,
+        device: "Device",
+        stream: "Stream",
+        state: _StreamState,
+        record: LaunchRecord,
+        storage: "Storage",
+        *,
+        is_write: bool,
+    ) -> None:
+        if storage.device is not device or not device.is_sim_gpu:
+            return  # host scalars riding along in a GPU op, etc.
+        block = storage.block
+        generation = self._block_gen.get(block, 0) if block is not None else 0
+        shadow = self._storages.get(storage)
+        if shadow is None or shadow.block is not block or shadow.generation != generation:
+            # New storage lifetime: the allocator may hand back the very
+            # same Block object on reallocate, so block identity alone is
+            # not enough — the allocation generation disambiguates.  Any
+            # accesses from the previous lifetime were retired by the
+            # allocator's own reuse gate (checked in on_block_alloc).
+            shadow = _StorageShadow(block, generation)
+            self._storages[storage] = shadow
+        if block is None:
+            self._report(
+                device,
+                kind="use-after-free",
+                storage=storage,
+                prev=shadow.last_write,
+                cur=record,
+                detail="the storage was released before this kernel launched",
+            )
+            return
+        writer = shadow.last_write
+        if writer is not None and not self._covered(state, writer):
+            self._report(
+                device,
+                kind="write-after-write" if is_write else "read-after-write",
+                storage=storage,
+                prev=writer,
+                cur=record,
+            )
+        if is_write:
+            for reader in shadow.readers.values():
+                if reader.stream_key != state.key and not self._covered(state, reader):
+                    self._report(
+                        device,
+                        kind="write-after-read",
+                        storage=storage,
+                        prev=reader,
+                        cur=record,
+                    )
+            shadow.last_write = record
+            shadow.readers = {}
+        else:
+            shadow.readers[state.key] = record
+        uses = self._blocks.get(block)
+        if uses is None:
+            uses = {}
+            self._blocks[block] = uses
+        uses[state.key] = (state.seq, stream.ready_time, record)
+
+    @staticmethod
+    def _covered(state: _StreamState, record: LaunchRecord) -> bool:
+        """Is ``record`` ordered before future work on ``state``'s stream?"""
+        if record.stream_key == state.key:
+            return True
+        return state.clock.get(record.stream_key, 0) >= record.seq
+
+    # ------------------------------------------------------------------
+    # Allocator hook (wired from CachingAllocator.allocate)
+    # ------------------------------------------------------------------
+    def on_block_alloc(self, device: "Device", stream: "Stream", block) -> None:
+        """The allocator handed ``block`` out for use on ``stream``.
+
+        Independent shadow of ``record_stream`` semantics: reuse is safe
+        when every cross-stream use either retired relative to the CPU
+        clock (the allocator's own cudaEventQuery-style gate) or is
+        ordered before the allocating stream by a happens-before edge.
+        """
+        with self._lock:
+            self._block_gen[block] = self._block_gen.get(block, 0) + 1
+            uses = self._blocks.pop(block, None)
+            if not uses:
+                return
+            state = self._state(stream)
+            now = device.cpu_time()
+            for key, (seq, end, prev) in uses.items():
+                if key == state.key:
+                    continue  # same-stream reuse is ordered by the stream
+                if end > now and state.clock.get(key, 0) < seq:
+                    cur = LaunchRecord(
+                        stream.name,
+                        state.key,
+                        state.seq,
+                        f"alloc({block.size}B)",
+                        getattr(_tls, "site", None),
+                    )
+                    self._report(
+                        device,
+                        kind="unretired-block-reuse",
+                        storage=None,
+                        prev=prev,
+                        cur=cur,
+                        detail=(
+                            f"cross-stream use retires at t={end:.6f} but the CPU "
+                            f"is at t={now:.6f} with no ordering edge"
+                        ),
+                    )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _report(
+        self,
+        device: "Device",
+        *,
+        kind: str,
+        storage,
+        prev: Optional[LaunchRecord],
+        cur: Optional[LaunchRecord],
+        detail: str = "",
+    ) -> None:
+        if storage is not None:
+            dtype = getattr(storage.dtype, "name", str(storage.dtype))
+            what = f"storage({storage.numel}x{dtype})"
+        else:
+            what = "allocator block"
+        parts = [f"{kind} on {what}"]
+        if prev is not None:
+            parts.append(f"previous access {prev.describe()}")
+        if cur is not None:
+            parts.append(f"racing access {cur.describe()}")
+        if detail:
+            parts.append(detail)
+        violation = StreamOrderViolation(
+            "; ".join(parts), kind=kind, prev=prev, cur=cur, storage=what
+        )
+        self.violations.append(violation)
+        try:
+            device.emit_mark(f"sanitizer:{kind}")
+        except Exception:  # pragma: no cover - tracing must never mask the report
+            pass
+        if self.raise_on_violation:
+            raise violation
+
+
+# ----------------------------------------------------------------------
+# Module-level toggle (what the runtime hooks consult)
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[StreamOrderSanitizer] = None
+
+
+def active() -> Optional[StreamOrderSanitizer]:
+    """The currently enabled sanitizer, or None."""
+    return _ACTIVE
+
+
+def is_enabled() -> bool:
+    return _ACTIVE is not None
+
+
+def enable(*, raise_on_violation: bool = True) -> StreamOrderSanitizer:
+    """Enable the sanitizer with fresh state; returns the instance.
+
+    With ``raise_on_violation=False`` violations only accumulate in
+    ``sanitizer.active().violations`` (and still emit trace marks).
+    """
+    global _ACTIVE
+    _ACTIVE = StreamOrderSanitizer(raise_on_violation=raise_on_violation)
+    return _ACTIVE
+
+
+def disable() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def reset() -> None:
+    """Drop all tracked state, keeping the sanitizer enabled."""
+    if _ACTIVE is not None:
+        enable(raise_on_violation=_ACTIVE.raise_on_violation)
+
+
+@contextmanager
+def enabled(*, raise_on_violation: bool = True):
+    """Context manager: enable for the block, restore the prior state."""
+    global _ACTIVE
+    previous = _ACTIVE
+    sanitizer = StreamOrderSanitizer(raise_on_violation=raise_on_violation)
+    _ACTIVE = sanitizer
+    try:
+        yield sanitizer
+    finally:
+        _ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# Launch-site plumbing (used by the autograd engine for diagnostics)
+# ----------------------------------------------------------------------
+def set_launch_site(site: Optional[str]) -> None:
+    _tls.site = site
+
+
+def current_launch_site() -> Optional[str]:
+    return getattr(_tls, "site", None)
+
+
+@contextmanager
+def launch_site(site: str):
+    """Attribute kernels launched inside the block to ``site``."""
+    previous = getattr(_tls, "site", None)
+    _tls.site = site
+    try:
+        yield
+    finally:
+        _tls.site = previous

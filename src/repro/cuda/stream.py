@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.cuda import sanitizer as _sanitizer
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cuda.device import Device
 
@@ -53,6 +55,9 @@ class Stream:
         end = start + duration
         self.ready_time = end
         self.kernels_enqueued += 1
+        san = _sanitizer.active()
+        if san is not None:
+            san.on_kernel(self, label)
         hook = getattr(self.device, "trace_hook", None)
         if hook is not None:
             hook(label, self.name, start, end)
@@ -63,21 +68,33 @@ class Stream:
         if event.time is None:
             raise RuntimeError("cannot wait on an unrecorded event")
         self.ready_time = max(self.ready_time, event.time)
+        san = _sanitizer.active()
+        if san is not None:
+            san.on_wait_event(self, event)
 
     def wait_stream(self, other: "Stream") -> None:
         """Future work on this stream waits for all current work on ``other``."""
         self.ready_time = max(self.ready_time, other.ready_time)
+        san = _sanitizer.active()
+        if san is not None:
+            san.on_wait_stream(self, other)
 
     def record_event(self, event: Optional["Event"] = None) -> "Event":
         """Record an event at this stream's current completion frontier."""
         if event is None:
             event = Event(self.device)
         event.time = self.ready_time
+        san = _sanitizer.active()
+        if san is not None:
+            san.on_record_event(self, event)
         return event
 
     def synchronize(self) -> None:
         """Block the CPU until all work enqueued on this stream retires."""
         self.device.advance_cpu_to(self.ready_time)
+        san = _sanitizer.active()
+        if san is not None:
+            san.on_host_sync_stream(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Stream({self.name}, device={self.device.index}, ready={self.ready_time:.6f})"
@@ -94,12 +111,22 @@ class Event:
         """True if the event has completed relative to the CPU clock."""
         if self.time is None:
             return True
-        return self.time <= self.device.cpu_time()
+        done = self.time <= self.device.cpu_time()
+        if done:
+            # cudaEventQuery success is a happens-before edge: the CPU
+            # (and anything it launches next) observed the event retire.
+            san = _sanitizer.active()
+            if san is not None:
+                san.on_host_sync_event(self)
+        return done
 
     def synchronize(self) -> None:
         """Block the CPU until the event completes."""
         if self.time is not None:
             self.device.advance_cpu_to(self.time)
+            san = _sanitizer.active()
+            if san is not None:
+                san.on_host_sync_event(self)
 
     def elapsed_time(self, other: "Event") -> float:
         """Seconds between this event and ``other`` (CUDA returns ms)."""

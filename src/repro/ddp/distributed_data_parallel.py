@@ -101,6 +101,12 @@ class DistributedDataParallel(nn.Module):
                 self.process_group.broadcast(param.detach(), src=self.process_group.ranks[0])
         for buffer in self.module.buffers():
             self.process_group.broadcast(buffer, src=self.process_group.ranks[0])
+        # The broadcasts ran on the group's communication stream; the
+        # first forward reads the parameters on the compute stream and
+        # must observe the synchronized values.
+        device = self.process_group.device
+        if device.is_sim_gpu:
+            device.default_stream.wait_stream(self.process_group.comm_stream)
 
     # ------------------------------------------------------------------
     # Forward / backward plumbing

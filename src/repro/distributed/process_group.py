@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
+from repro.cuda import sanitizer
 from repro.cuda.device import Device
 from repro.cuda.stream import Event, Stream
 from repro.distributed.fault import FaultDecision
@@ -198,6 +199,55 @@ class ProcessGroup:
             shard_nbytes=shard_nbytes,
         )
 
+    def _order_after_caller(self, stream: Optional[Stream]) -> Stream:
+        """Resolve the collective's stream with NCCL's implicit ordering.
+
+        ProcessGroupNCCL runs collectives on its internal stream but
+        first makes that stream wait for the caller's *current* stream,
+        so tensors produced there are ready before the collective reads
+        them.  Callers that pass an explicit ``stream`` (FSDP's overlap
+        machinery) take full control and skip the edge.
+        """
+        if stream is not None:
+            return stream
+        stream = self.comm_stream
+        current = self.device.current_stream
+        if current is not None and current is not stream:
+            stream.wait_stream(current)
+        return stream
+
+    def _note_data_use(
+        self,
+        stream: Optional[Stream],
+        *,
+        reads: Sequence[Tensor] = (),
+        writes: Sequence[Tensor] = (),
+    ) -> None:
+        """Record the collective's tensor accesses on ``stream``.
+
+        Feeds both the allocator's cross-stream reuse gate
+        (``record_stream`` semantics) and, when enabled, the
+        stream-order sanitizer.  Call after ``_launch_collective`` so
+        the accesses attribute to the collective kernel just enqueued.
+        """
+        stream = stream or self.comm_stream
+        device = self.device
+        if not device.is_sim_gpu:
+            return
+        end = stream.ready_time
+        for t in (*reads, *writes):
+            block = t._storage.block
+            if block is not None:
+                device.allocator.record_use(block, stream, end)
+        san = sanitizer.active()
+        if san is not None:
+            san.on_access(
+                device,
+                stream,
+                reads=tuple(t._storage for t in reads),
+                writes=tuple(t._storage for t in writes),
+            )
+
     def _account_traffic(self, kind: CollectiveKind, nbytes: int) -> None:
         world = self.world_size
         if world <= 1:
@@ -233,7 +283,7 @@ class ProcessGroup:
         raises :class:`CollectiveTimeoutError` instead of completing.
         """
         decision = self._consult_faults(kind)
-        stream = stream or self.comm_stream
+        stream = self._order_after_caller(stream)
         device = self.device
         device.consume_cpu(device.spec.kernel_launch_cpu)
         duration = self._collective_duration(kind, nbytes, shard_nbytes)

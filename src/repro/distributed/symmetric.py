@@ -34,26 +34,26 @@ class SymmetricProcessGroup(ProcessGroup):
             )
         nbytes = output.numel * input.dtype.itemsize
         work = self._launch_collective(CollectiveKind.ALL_GATHER_BASE, nbytes, stream)
-        self._record_blocks(output, input, stream)
+        self._note_data_use(stream, reads=(input,), writes=(output,))
         return work
 
     def reduce_scatter_tensor(self, output, input, op=ReduceOp.SUM, *, stream=None) -> Work:
         self._check_reduce_scatter_shapes(output, input)
         nbytes = input.numel * input.dtype.itemsize
         work = self._launch_collective(CollectiveKind.REDUCE_SCATTER, nbytes, stream)
-        self._record_blocks(output, input, stream)
+        self._note_data_use(stream, reads=(input,), writes=(output,))
         return work
 
     def all_reduce(self, tensor, op=ReduceOp.SUM, *, stream=None) -> Work:
         nbytes = tensor.numel * tensor.dtype.itemsize
         work = self._launch_collective(CollectiveKind.ALL_REDUCE, nbytes, stream)
-        self._record_blocks(tensor, tensor, stream)
+        self._note_data_use(stream, reads=(tensor,), writes=(tensor,))
         return work
 
     def broadcast(self, tensor, src: int, *, stream=None) -> Work:
         nbytes = tensor.numel * tensor.dtype.itemsize
         work = self._launch_collective(CollectiveKind.BROADCAST, nbytes, stream)
-        self._record_blocks(tensor, tensor, stream)
+        self._note_data_use(stream, reads=(tensor,), writes=(tensor,))
         return work
 
     def all_gather(self, outputs: Sequence[Tensor], input: Tensor, *, stream=None) -> Work:
@@ -62,7 +62,9 @@ class SymmetricProcessGroup(ProcessGroup):
         kind = CollectiveKind.ALL_GATHER_LIST if even else CollectiveKind.ALL_GATHER_UNEVEN
         nbytes = sum(sizes) * input.dtype.itemsize
         shard_nbytes = [s * input.dtype.itemsize for s in sizes]
-        return self._launch_collective(kind, nbytes, stream, shard_nbytes=shard_nbytes)
+        work = self._launch_collective(kind, nbytes, stream, shard_nbytes=shard_nbytes)
+        self._note_data_use(stream, reads=(input,), writes=tuple(outputs))
+        return work
 
     def barrier(self) -> None:
         self.device.consume_cpu(self.comm_model.launch_overhead)
@@ -73,13 +75,3 @@ class SymmetricProcessGroup(ProcessGroup):
         if op == ReduceOp.AVG or op == ReduceOp.MAX:
             return float(value)
         raise DistributedError(f"unknown reduce op {op}")
-
-    def _record_blocks(self, output: Tensor, input: Tensor, stream) -> None:
-        stream = stream or self.comm_stream
-        if not self.device.is_sim_gpu:
-            return
-        end = stream.ready_time
-        for t in (output, input):
-            block = t._storage.block
-            if block is not None:
-                self.device.allocator.record_use(block, stream, end)

@@ -69,7 +69,7 @@ class ThreadedProcessGroup(ProcessGroup):
             self.device.advance_cpu_to(self.device.cpu_time() + self.timeout)
             self.device.emit_mark(f"watchdog:{kind.value}")
             raise self._timeout_error(kind)
-        stream = stream or self.comm_stream
+        stream = self._order_after_caller(stream)
         device = self.device
         device.consume_cpu(device.spec.kernel_launch_cpu)
         local_ready = max(device.cpu_time(), stream.ready_time) + decision.delay_s
@@ -111,7 +111,7 @@ class ThreadedProcessGroup(ProcessGroup):
         )
         if gathered is not None and output.is_materialized:
             output._np.reshape(-1)[...] = dtypes.quantize(gathered, output.dtype)
-        self._record_blocks(output, input, stream)
+        self._note_data_use(stream, reads=(input,), writes=(output,))
         return work
 
     def reduce_scatter_tensor(self, output, input, op=ReduceOp.SUM, *, stream=None) -> Work:
@@ -132,7 +132,7 @@ class ThreadedProcessGroup(ProcessGroup):
         if reduced is not None and output.is_materialized:
             shard = reduced[self.rank * output.numel : (self.rank + 1) * output.numel]
             output._np.reshape(-1)[...] = dtypes.quantize(shard, output.dtype)
-        self._record_blocks(output, input, stream)
+        self._note_data_use(stream, reads=(input,), writes=(output,))
         return work
 
     def all_reduce(self, tensor, op=ReduceOp.SUM, *, stream=None) -> Work:
@@ -153,7 +153,7 @@ class ThreadedProcessGroup(ProcessGroup):
         )
         if reduced is not None and tensor.is_materialized:
             tensor._np.reshape(-1)[...] = dtypes.quantize(reduced, tensor.dtype)
-        self._record_blocks(tensor, tensor, stream)
+        self._note_data_use(stream, reads=(tensor,), writes=(tensor,))
         return work
 
     def broadcast(self, tensor, src: int, *, stream=None) -> Work:
@@ -170,7 +170,7 @@ class ThreadedProcessGroup(ProcessGroup):
         )
         if data is not None and tensor.is_materialized:
             tensor._np.reshape(-1)[...] = dtypes.quantize(data, tensor.dtype)
-        self._record_blocks(tensor, tensor, stream)
+        self._note_data_use(stream, reads=(tensor,), writes=(tensor,))
         return work
 
     def all_gather(self, outputs: Sequence[Tensor], input: Tensor, *, stream=None) -> Work:
@@ -194,6 +194,7 @@ class ThreadedProcessGroup(ProcessGroup):
             for out, shard in zip(outputs, shards):
                 if out.is_materialized:
                     out._np.reshape(-1)[...] = dtypes.quantize(shard, out.dtype)
+        self._note_data_use(stream, reads=(input,), writes=tuple(outputs))
         return work
 
     def barrier(self) -> None:
@@ -221,17 +222,6 @@ class ThreadedProcessGroup(ProcessGroup):
             raise self._timeout_error(CollectiveKind.ALL_REDUCE) from None
         self.device.advance_cpu_to(start + self.comm_model.launch_overhead)
         return result
-
-    # ------------------------------------------------------------------
-    def _record_blocks(self, output: Tensor, input: Tensor, stream: Optional[Stream]) -> None:
-        stream = stream or self.comm_stream
-        if not self.device.is_sim_gpu:
-            return
-        end = stream.ready_time
-        for t in (output, input):
-            block = t._storage.block
-            if block is not None:
-                self.device.allocator.record_use(block, stream, end)
 
 
 def _concat_or_none(datas):

@@ -14,6 +14,8 @@ __all__ = [
     "FsdpError",
     "ShardingError",
     "DeferredInitError",
+    "StreamOrderViolation",
+    "ExecOrderViolation",
 ]
 
 
@@ -128,3 +130,50 @@ class ShardingError(FsdpError):
 
 class DeferredInitError(FsdpError):
     """Raised when deferred initialization cannot record or replay."""
+
+
+class StreamOrderViolation(ReproError):
+    """A cross-stream ordering hazard detected by ``repro.cuda.sanitizer``.
+
+    Carries both racing accesses (``prev`` and ``cur``, as
+    ``LaunchRecord`` instances naming the kernel, stream and launch
+    site) plus a short description of the storage involved.  ``kind``
+    is one of the violation taxonomy entries documented in DESIGN.md:
+    ``read-after-write``, ``write-after-write``, ``write-after-read``,
+    ``use-after-free``, ``unretired-block-reuse`` or
+    ``exec-order-divergence``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str,
+        prev: object = None,
+        cur: object = None,
+        storage: str = "",
+    ):
+        self.kind = kind
+        self.prev = prev
+        self.cur = cur
+        self.storage = storage
+        super().__init__(message)
+
+
+class ExecOrderViolation(StreamOrderViolation):
+    """FSDP units unsharded in a different order than the recorded warmup
+    iteration — prefetching would target the wrong unit (Section 3.3.2).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        expected: object = None,
+        actual: object = None,
+        position: object = None,
+    ):
+        super().__init__(message, kind="exec-order-divergence")
+        self.expected = expected
+        self.actual = actual
+        self.position = position

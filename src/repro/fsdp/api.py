@@ -11,14 +11,13 @@ attaches every unit beneath it.
 from __future__ import annotations
 
 import contextlib
-import math
 from typing import Callable, Optional
 
 from repro import distributed as dist
 from repro import nn, ops
 from repro.autograd.grad_mode import no_grad
 from repro.cuda.device import Device
-from repro.distributed import ProcessGroup, ReduceOp
+from repro.distributed import ProcessGroup
 from repro.errors import FsdpError
 from repro.fsdp.flat_param import FlatParamHandle, FlatParameter
 from repro.fsdp.mixed_precision import MixedPrecision
@@ -52,6 +51,7 @@ class FullyShardedDataParallel(nn.Module):
         device: Optional[Device] = None,
         param_init_fn: Optional[Callable[[Module], None]] = None,
         ignored_modules: Optional[list[Module]] = None,
+        label: Optional[str] = None,
     ):
         super().__init__()
         device = device or dist.get_device()
@@ -70,12 +70,19 @@ class FullyShardedDataParallel(nn.Module):
             param_init_fn=param_init_fn,
         )
 
+        # Units report themselves by dotted module path (falling back to
+        # the class name at the root), so exec-order and sanitizer
+        # diagnostics name *which* submodule diverged even when several
+        # share a class.
+        unit_label = label or type(module).__name__
+
         if auto_wrap_policy is not None:
             _auto_wrap(
                 module,
                 auto_wrap_policy,
                 dict(self._config, process_group=process_group),
                 ignored_ids,
+                prefix=f"{unit_label}.",
             )
 
         plan = make_process_groups(
@@ -101,12 +108,12 @@ class FullyShardedDataParallel(nn.Module):
                 reduce_dtype=mp.resolved_reduce_dtype() if mp else None,
                 keep_low_precision_grads=mp.keep_low_precision_grads if mp else False,
                 offload_params=bool(cpu_offload and cpu_offload.offload_params),
-                label=type(module).__name__,
+                label=unit_label,
             )
             self.register_parameter("_flat_param", handle.flat_param)
 
         self.module = module
-        self._fsdp_unit = FsdpUnit(handle, plan, label=type(module).__name__)
+        self._fsdp_unit = FsdpUnit(handle, plan, label=unit_label)
 
     # ------------------------------------------------------------------
     # Forward
@@ -191,26 +198,21 @@ class FullyShardedDataParallel(nn.Module):
     def clip_grad_norm_(self, max_norm: float) -> float:
         """Gradient clipping that is correct under sharding.
 
-        Local shard norms are squared-summed across the shard group
-        (Section 7.2.1 explains why a local-only norm is wrong).
+        Delegates to :func:`repro.optim.clip.clip_grad_norm_` with the
+        shard group: local shard norms are squared-summed across ranks
+        before the square root (Section 7.2.1 explains why a local-only
+        norm is wrong).
         """
-        from repro.optim.clip import local_grad_norm_sq
+        from repro.optim.clip import clip_grad_norm_
 
         units = [u for u in _units_under(self) if u.handle is not None]
         if not units:
             return 0.0
-        local_sq = local_grad_norm_sq(u.handle.flat_param for u in units)
-        group = units[0].plan.shard_group
-        total_sq = group.all_reduce_scalar(local_sq, op=ReduceOp.SUM)
-        total_norm = math.sqrt(total_sq)
-        if total_norm > max_norm and total_norm > 0.0:
-            scale = max_norm / (total_norm + 1e-6)
-            with no_grad():
-                for unit in units:
-                    grad = unit.handle.flat_param.grad
-                    if grad is not None:
-                        grad.mul_(scale)
-        return total_norm
+        return clip_grad_norm_(
+            [u.handle.flat_param for u in units],
+            max_norm,
+            process_group=units[0].plan.shard_group,
+        )
 
     def extra_repr(self) -> str:
         unit = self._fsdp_unit
@@ -279,13 +281,19 @@ def _ignored_module_ids(ignored_modules) -> set[int]:
     return ids
 
 
-def _auto_wrap(module: Module, policy, wrap_kwargs: dict, ignored_ids: set[int] = frozenset()) -> None:
+def _auto_wrap(
+    module: Module,
+    policy,
+    wrap_kwargs: dict,
+    ignored_ids: set[int] = frozenset(),
+    prefix: str = "",
+) -> None:
     for name, child in list(module._modules.items()):
         if child is None or isinstance(child, FullyShardedDataParallel):
             continue
         if id(child) in ignored_ids:
             continue
-        _auto_wrap(child, policy, wrap_kwargs, ignored_ids)
+        _auto_wrap(child, policy, wrap_kwargs, ignored_ids, prefix=f"{prefix}{name}.")
         if policy(child):
             kwargs = dict(wrap_kwargs)
             kwargs.pop("param_init_fn", None)
@@ -293,6 +301,7 @@ def _auto_wrap(module: Module, policy, wrap_kwargs: dict, ignored_ids: set[int] 
                 child,
                 kwargs.pop("process_group", None),
                 param_init_fn=wrap_kwargs.get("param_init_fn"),
+                label=f"{prefix}{name}",
                 **kwargs,
             )
 

@@ -239,7 +239,18 @@ class FlatParamHandle:
         if self.is_unsharded:
             return None
         device = self.device
-        stream = stream or self.shard_group.comm_stream
+        ad_hoc = stream is None
+        if ad_hoc:
+            # Ad-hoc unshard (summon_full_params, state-dict): nothing
+            # upstream ordered the comm stream after the producer of the
+            # local shard (e.g. the optimizer step on the compute
+            # stream), so insert the NCCL-style implicit edge here.  The
+            # runtime's overlap path passes its own stream and manages
+            # ordering via begin_iteration.
+            stream = self.shard_group.comm_stream
+            current = device.current_stream
+            if current is not None and current is not stream:
+                stream.wait_stream(current)
         with device.stream(stream), no_grad():
             source = self._local_shard
             if self.offload_params:
@@ -264,6 +275,14 @@ class FlatParamHandle:
             if self.offload_params:
                 self._staged_shard_storage.release()
         event = stream.record_event()
+        if ad_hoc:
+            # The caller computes on its own (usually the default)
+            # stream right away and never sees the event, so close the
+            # ordering loop here — the same wait summon_full_params
+            # performs in PyTorch after an out-of-band unshard.
+            consumer = device.current_stream or device.default_stream
+            if consumer is not stream:
+                consumer.wait_event(event)
         self.is_unsharded = True
         return event
 
@@ -374,6 +393,14 @@ class FlatParamHandle:
                     and not self.keep_low_precision_grads
                 ):
                     new_shard = ops.cast(new_shard, self.full_precision_dtype)
+                if not self.offload_params and self._saved_grad_shard is not None:
+                    # Accumulate into the stash *on the reduction
+                    # stream*: ``new_shard`` is produced by the
+                    # ReduceScatter enqueued just above, so launching
+                    # this add on the compute stream would read it with
+                    # no ordering edge (a race the stream-order
+                    # sanitizer flags under REPRO_SANITIZER=1).
+                    new_shard = new_shard + self._saved_grad_shard
 
             if self.offload_params:
                 # The optimizer runs on host shards: move the reduced
@@ -389,10 +416,14 @@ class FlatParamHandle:
                     ),
                     new_shard.dtype,
                     stream=stream,
+                    reads=(new_shard._storage,),
+                    label="d2h",
                 )
                 new_shard = ops.to_device(new_shard, cpu_device())
-            if self._saved_grad_shard is not None:
-                new_shard = new_shard + self._saved_grad_shard
+                # Host-side accumulate: safe only after the D2H copy
+                # above, which runs on the reduction stream.
+                if self._saved_grad_shard is not None:
+                    new_shard = new_shard + self._saved_grad_shard
 
         # Park the reduced shard instead of assigning ``.grad``: more
         # unsharded contributions may still arrive in this backward
@@ -416,9 +447,8 @@ class FlatParamHandle:
             KernelCost(bytes_moved=device_dst.nbytes * (gpu.spec.mem_bandwidth / pcie)),
             device_dst.dtype,
             stream=stream,
-            blocks=tuple(
-                b for b in (device_dst._storage.block,) if b is not None
-            ),
+            writes=(device_dst._storage,),
+            label="h2d",
         )
 
     def writeback_unsharded_to_shard(self) -> None:

@@ -30,6 +30,7 @@ from repro.autograd.grad_mode import is_grad_enabled
 from repro.cuda.device import Device
 from repro.cuda.stream import Event, Stream
 from repro.errors import FsdpError
+from repro.fsdp.exec_order import ExecOrderValidator
 from repro.fsdp.flat_param import FlatParamHandle
 from repro.fsdp.sharding import ShardingPlan, ShardingStrategy
 from repro.tensor import Tensor
@@ -77,6 +78,7 @@ class FsdpRuntime:
         self.units: list[FsdpUnit] = []
         self.exec_order: list[FsdpUnit] = []
         self.prev_exec_order: list[FsdpUnit] = []
+        self.exec_validator = ExecOrderValidator()
         self._inflight: deque[Event] = deque()
         self._final_callback_queued = False
         self.iteration = 0
@@ -111,6 +113,7 @@ class FsdpRuntime:
     # ------------------------------------------------------------------
     def begin_iteration(self) -> None:
         self.iteration += 1
+        self.exec_validator.start_iteration()
         self.prev_exec_order = self.exec_order
         self.exec_order = []
         self.in_backward = False
@@ -144,11 +147,17 @@ class FsdpRuntime:
             unit.handle.restore_stashed_gradient()
             if unit.handle.is_unsharded and unit.handle.needs_unshard:
                 unit.handle.reshard()
+        self.exec_validator.reset()
         self.unshard_stream.wait_stream(self.device.default_stream)
 
     def record_pre_forward(self, unit: "FsdpUnit") -> None:
         if unit not in self.exec_order:
             self.exec_order.append(unit)
+            if unit.handle is not None:
+                # Checkpoint recompute re-enters pre_forward but is
+                # deduplicated above, so the validator sees each unit
+                # once per iteration in first-use order.
+                self.exec_validator.record_unshard(unit.label)
 
     def ensure_final_callback(self) -> None:
         if self._final_callback_queued:
@@ -171,6 +180,14 @@ class FsdpRuntime:
                 # strategies that keep parameters through backward are
                 # resharded here.
                 unit.handle.reshard()
+        # ``Work.wait()`` above only covers up to each ReduceScatter's
+        # completion event; the stash-accumulate launched *after* the
+        # event on the same stream is not.  Order the compute stream
+        # behind everything on the communication stream so the optimizer
+        # (and the next iteration's sharded-grad reads) observe final
+        # gradients — the analogue of waiting on the post-backward
+        # stream in the reference implementation's final callback.
+        self.device.default_stream.wait_stream(self.unshard_stream)
         self._final_callback_queued = False
         self.in_backward = False
 

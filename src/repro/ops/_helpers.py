@@ -68,11 +68,14 @@ def make_result(
     storage = Storage(device, dtype, numel, materialize=materialize)
     out = Tensor(storage, tuple(shape))
     if device.is_sim_gpu:
-        blocks = tuple(
-            t._storage.block for t in (*inputs, out) if t._storage.block is not None
-        )
         launch_cost = cost or elementwise_cost(*inputs, out)
-        device.launch(launch_cost, dtype, stream=stream, blocks=blocks)
+        device.launch(
+            launch_cost,
+            dtype,
+            stream=stream,
+            reads=tuple(t._storage for t in inputs),
+            writes=(out._storage,),
+        )
     if materialize:
         result = compute()
         out._np[...] = dtypes.quantize(np.asarray(result), dtype).reshape(out.shape)

@@ -1,9 +1,17 @@
-"""Gradient clipping utilities."""
+"""Gradient clipping utilities.
+
+Section 7.2.1: gradient clipping is one of the places where FSDP's
+sharded representation changes the math.  Each rank only holds a shard
+of every gradient, so the 2-norm must be computed *globally* — sum the
+squared local norms across the sharding group with an all-reduce, then
+take the square root.  Clipping by the local shard norm silently
+applies a different scale on every rank and corrupts the model.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -25,15 +33,29 @@ def local_grad_norm_sq(parameters: Iterable[Tensor]) -> float:
     return total
 
 
-def clip_grad_norm_(parameters: Iterable[Tensor], max_norm: float) -> float:
-    """Clip local gradients to a total 2-norm of ``max_norm``.
+def clip_grad_norm_(
+    parameters: Iterable[Tensor],
+    max_norm: float,
+    *,
+    process_group: Optional[object] = None,
+) -> float:
+    """Clip gradients to a total 2-norm of ``max_norm``; returns the norm.
 
-    Note Section 7.2.1: under FSDP this *local* norm is wrong because
-    every rank only holds a shard; use ``FullyShardedDataParallel
-    .clip_grad_norm_`` which all-reduces the squared norms first.
+    With ``process_group`` the squared local norms are all-reduced
+    across the group first, yielding the **global** norm — required
+    whenever the parameters are shards (FSDP).  Every rank then applies
+    the same scale, so the clipped global gradient matches what a
+    single-rank run would produce.  Without a group the norm is local,
+    which is only correct for unsharded (replicated or single-process)
+    parameters.
     """
     parameters = [p for p in parameters if p.grad is not None]
-    total_norm = math.sqrt(local_grad_norm_sq(parameters))
+    total_sq = local_grad_norm_sq(parameters)
+    if process_group is not None and process_group.world_size > 1:
+        from repro.distributed import ReduceOp
+
+        total_sq = process_group.all_reduce_scalar(total_sq, op=ReduceOp.SUM)
+    total_norm = math.sqrt(total_sq)
     if total_norm > max_norm and total_norm > 0.0:
         scale = max_norm / (total_norm + 1e-6)
         with no_grad():

@@ -78,6 +78,16 @@ class Tracer:
         self.events.clear()
         self.marks.clear()
 
+    def sanitizer_marks(self) -> list[tuple[str, float]]:
+        """Instant events emitted by the stream-order sanitizer.
+
+        Each is ``("sanitizer:<kind>", time)`` — present whenever a
+        violation was detected while this tracer was installed (the
+        sanitizer emits the mark before raising, so traces show where
+        in the timeline the hazard occurred).
+        """
+        return [(name, t) for name, t in self.marks if name.startswith("sanitizer:")]
+
     # ------------------------------------------------------------------
     # Analysis
     # ------------------------------------------------------------------

@@ -500,17 +500,29 @@ class Tensor:
                 "in-place operation on a tensor that requires grad; wrap in no_grad()"
             )
 
-    def _inplace_kernel(self, nbytes_factor: float = 2.0) -> None:
-        """Account for the bandwidth cost of an in-place elementwise op."""
+    def _inplace_kernel(
+        self, nbytes_factor: float = 2.0, src: Optional["Tensor"] = None
+    ) -> None:
+        """Account for the bandwidth cost of an in-place elementwise op.
+
+        ``src`` names the tensor read by the kernel (if any); the
+        destination is written in place.  Both flow to the stream-order
+        sanitizer when it is enabled.
+        """
         device = self.device
         if device.is_sim_gpu:
             from repro.hw.kernel_model import KernelCost
 
-            blocks = (self._storage.block,) if self._storage.block is not None else ()
+            reads = (
+                (src._storage,)
+                if src is not None and src._storage.device is device
+                else ()
+            )
             device.launch(
                 KernelCost(bytes_moved=self.nbytes * nbytes_factor),
                 self.dtype,
-                blocks=blocks,
+                reads=reads,
+                writes=(self._storage,),
             )
 
     def zero_(self) -> "Tensor":
@@ -535,7 +547,7 @@ class Tensor:
             raise ValueError(f"copy_ shape mismatch: {self.shape} vs {src.shape}")
         if self.is_materialized and src.is_materialized:
             self._np[...] = dtypes.quantize(src._np.reshape(self.shape), self.dtype)
-        self._inplace_kernel(2.0)
+        self._inplace_kernel(2.0, src=src)
         return self
 
     def add_(self, other, alpha: float = 1.0) -> "Tensor":
@@ -543,7 +555,7 @@ class Tensor:
         other = _wrap(other, self)
         if self.is_materialized and other.is_materialized:
             self._np[...] = dtypes.quantize(self._np + alpha * other._np, self.dtype)
-        self._inplace_kernel(3.0)
+        self._inplace_kernel(3.0, src=other)
         return self
 
     def mul_(self, factor) -> "Tensor":
@@ -551,7 +563,7 @@ class Tensor:
         factor_value = factor._np if isinstance(factor, Tensor) else factor
         if self.is_materialized:
             self._np[...] = dtypes.quantize(self._np * factor_value, self.dtype)
-        self._inplace_kernel(2.0)
+        self._inplace_kernel(2.0, src=factor if isinstance(factor, Tensor) else None)
         return self
 
     def div_(self, divisor) -> "Tensor":
@@ -559,7 +571,7 @@ class Tensor:
         divisor_value = divisor._np if isinstance(divisor, Tensor) else divisor
         if self.is_materialized:
             self._np[...] = dtypes.quantize(self._np / divisor_value, self.dtype)
-        self._inplace_kernel(2.0)
+        self._inplace_kernel(2.0, src=divisor if isinstance(divisor, Tensor) else None)
         return self
 
     def normal_(self, mean: float = 0.0, std: float = 1.0, generator=None) -> "Tensor":

@@ -35,6 +35,24 @@ def _seed_rng():
     yield
 
 
+@pytest.fixture(autouse=True)
+def _sanitizer_mode():
+    """Run every test under the stream-order sanitizer when requested.
+
+    ``REPRO_SANITIZER=1 pytest`` turns the whole suite into a dynamic
+    race-detection pass: any cross-stream ordering hazard raises
+    :class:`repro.errors.StreamOrderViolation` inside the offending
+    test.  CI runs a dedicated lane this way.
+    """
+    from repro.cuda import sanitizer
+
+    if os.environ.get("REPRO_SANITIZER", "") not in ("", "0"):
+        with sanitizer.enabled():
+            yield
+    else:
+        yield
+
+
 def finite_difference(fn, arrays: list[np.ndarray], index: int, eps: float = 1e-4) -> np.ndarray:
     """Numerical gradient of scalar ``fn(*arrays)`` w.r.t. ``arrays[index]``."""
     base = [a.astype(np.float64) for a in arrays]

@@ -109,3 +109,119 @@ class TestInvariants:
         assert rounded >= max(nbytes, 512)
         assert rounded % 512 == 0
         assert rounded - nbytes < 512 or nbytes == 0
+
+
+@st.composite
+def cross_stream_script(draw):
+    """allocate / free / cross-stream-use operations."""
+    ops = []
+    live = 0
+    for _ in range(draw(st.integers(1, 40))):
+        choice = draw(st.integers(0, 2)) if live else 0
+        if choice == 0:
+            ops.append(("alloc", draw(st.integers(1, 8 * MiB))))
+            live += 1
+        elif choice == 1:
+            ops.append(("free", draw(st.integers(0, live - 1))))
+            live -= 1
+        else:
+            ops.append(("use", draw(st.integers(0, live - 1))))
+    return ops
+
+
+class TestStatsInvariants:
+    """allocated <= active <= reserved, and counters are monotone.
+
+    ``active`` counts allocated bytes plus freed-but-unretired blocks
+    (pending cross-stream uses), mirroring torch.cuda's active_bytes;
+    the seed's cudaMalloc-retry path violated active <= reserved by
+    unmapping segments without refreshing the pending-retire set.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(script=cross_stream_script())
+    def test_allocated_le_active_le_reserved(self, script):
+        dev = make_device()
+        alloc = dev.allocator
+        side = dev.new_stream("side")
+        live = []
+        last = {"num_cuda_mallocs": 0, "num_block_reuses": 0, "num_alloc_retries": 0}
+        for op, arg in script:
+            if op == "alloc":
+                live.append(alloc.allocate(arg, dev.default_stream))
+            elif op == "free":
+                alloc.free(live.pop(arg))
+            else:
+                alloc.record_use(live[arg], side, dev.cpu_time() + 1e-3)
+            stats = alloc.stats
+            alloc._refresh_active()
+            assert stats.allocated_bytes <= stats.active_bytes <= stats.reserved_bytes
+            for key in last:
+                value = getattr(stats, key)
+                assert value >= last[key], f"{key} went backwards"
+                last[key] = value
+
+    def test_retry_path_keeps_active_le_reserved(self):
+        """Pinned regression: the retry path must refresh active bytes.
+
+        Freed blocks with pending cross-stream uses count as active;
+        releasing their segments without recomputing left active >
+        reserved in the seed.
+        """
+        dev = make_device(capacity=64 * MiB)
+        alloc = dev.allocator
+        side = dev.new_stream("side")
+        blocks = [alloc.allocate(20 * MiB, dev.default_stream) for _ in range(2)]
+        for block in blocks:
+            # Pending retire in the future relative to the CPU clock,
+            # backed by real side-stream work so a device sync can
+            # retire it during the cudaMalloc retry.
+            _, end = side.enqueue(5e-3)
+            alloc.record_use(block, side, end)
+            alloc.free(block)
+        assert alloc.stats.active_bytes > alloc.stats.allocated_bytes
+        # Nothing fits without the cached (unretired) segments: the
+        # allocator takes the retry path, which device-syncs first.
+        big = alloc.allocate(48 * MiB, dev.default_stream)
+        stats = alloc.stats
+        assert stats.num_alloc_retries == 1
+        assert stats.allocated_bytes <= stats.active_bytes <= stats.reserved_bytes
+        alloc.free(big)
+
+    def test_retry_synchronizes_before_release(self):
+        """The retry path may only unmap retired segments; it guarantees
+        that by synchronizing the device, so afterwards the CPU clock is
+        past every recorded use."""
+        dev = make_device(capacity=64 * MiB)
+        alloc = dev.allocator
+        side = dev.new_stream("side")
+        block = alloc.allocate(40 * MiB, dev.default_stream)
+        retire_at = dev.cpu_time() + 5e-3
+        side.enqueue(retire_at - side.ready_time)  # busy side stream
+        alloc.record_use(block, side, retire_at)
+        alloc.free(block)
+        big = alloc.allocate(48 * MiB, dev.default_stream)
+        assert alloc.stats.num_alloc_retries == 1
+        assert dev.cpu_time() >= retire_at
+        alloc.free(big)
+
+    def test_retry_free_cost_is_per_released_segment(self):
+        """Pinned regression: cudaFree cost scales with the number of
+        released segments (driver calls), not with released bytes."""
+        from repro.cuda.allocator import _CUDA_FREE_PER_SEGMENT_COST
+
+        def retry_cost(num_segments):
+            dev = make_device(capacity=80 * MiB)
+            alloc = dev.allocator
+            blocks = [
+                alloc.allocate(20 * MiB, dev.default_stream)
+                for _ in range(num_segments)
+            ]
+            for b in blocks:
+                alloc.free(b)
+            before = dev.cpu_time()
+            alloc._retry_free_cached(dev.default_stream)
+            return dev.cpu_time() - before
+
+        extra = retry_cost(3) - retry_cost(1)
+        assert abs(extra - 2 * _CUDA_FREE_PER_SEGMENT_COST) < 1e-9

@@ -77,3 +77,50 @@ class TestWrapper:
         out = wrapper(x, scale=2.0)
         out.sum().backward()
         assert x.grad is not None
+
+
+class TestSanitizerComposition:
+    """Recompute re-enters FSDP pre-forward mid-backward: it must
+    re-gather released parameters on properly ordered streams and must
+    not confuse the execution-order validator (the recompute's
+    pre-forward is deduplicated per iteration)."""
+
+    def _train(self, device, *, iterations=3):
+        from repro.fsdp import FullyShardedDataParallel as FSDP, ModuleWrapPolicy
+
+        model = build()
+        nn.apply_activation_checkpointing(
+            model, lambda m: isinstance(m, nn.Sequential) and len(m) == 3
+        )
+        # FULL_SHARD reshards after forward, so the recompute path
+        # must re-gather (the unsharded storage was freed), exercising
+        # unshard ordering inside backward.
+        wrapped = FSDP(
+            model, device=device, auto_wrap_policy=ModuleWrapPolicy({nn.Linear})
+        )
+        for _ in range(iterations):
+            x = repro.empty(2, 4, device=device).requires_grad_()
+            wrapped(x).sum().backward()
+            wrapped.zero_grad()
+
+    def test_recompute_clean_under_sanitizer(self):
+        from repro.cuda import sanitizer
+
+        dist.shutdown()
+        ctx = dist.init_single_process(4, materialize=False)
+        try:
+            with sanitizer.enabled():
+                self._train(ctx.device)
+                assert sanitizer.active().violations == []
+        finally:
+            dist.shutdown()
+
+    def test_recompute_clean_threaded(self):
+        from repro.cuda import sanitizer
+
+        def fn(rank):
+            self._train(dist.get_device(), iterations=2)
+
+        with sanitizer.enabled():
+            dist.spawn(fn, 2)
+            assert sanitizer.active().violations == []

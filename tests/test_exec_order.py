@@ -136,3 +136,114 @@ class TestPolicy:
             )
 
         dist.spawn(fn, 2)
+
+
+class Skippy(nn.Module):
+    """Conditionally skips submodules — the exact pattern Section 3.3.2
+    warns breaks prefetching's static execution-order assumption."""
+
+    def __init__(self, device):
+        super().__init__()
+        self.a = nn.Linear(8, 8, device=device)
+        self.b = nn.Linear(8, 8, device=device)
+        self.c = nn.Linear(8, 8, device=device)
+        self.skip_b = False
+        self.skip_c = False
+
+    def forward(self, x):
+        x = self.a(x)
+        if not self.skip_b:
+            x = self.b(x)
+        if not self.skip_c:
+            x = self.c(x)
+        return x
+
+
+def _wrap_skippy():
+    from repro.fsdp import FullyShardedDataParallel as FSDP, ModuleWrapPolicy
+
+    ctx = dist.init_single_process(4, materialize=False)
+    model = Skippy(ctx.device)
+    wrapped = FSDP(
+        model, device=ctx.device, auto_wrap_policy=ModuleWrapPolicy({nn.Linear})
+    )
+    return ctx, model, wrapped
+
+
+def _step(ctx, wrapped):
+    x = repro.empty(2, 8, device=ctx.device)
+    wrapped(x).sum().backward()
+    wrapped.zero_grad()
+
+
+class TestExecOrderValidator:
+    def test_skipped_submodule_raises_named_divergence(self):
+        from repro.cuda import sanitizer
+        from repro.errors import ExecOrderViolation
+
+        dist.shutdown()
+        ctx, model, wrapped = _wrap_skippy()
+        try:
+            with sanitizer.enabled():
+                _step(ctx, wrapped)  # warmup records a, b, c
+                model.skip_b = True
+                with pytest.raises(ExecOrderViolation) as exc:
+                    _step(ctx, wrapped)
+            # The report names the modules, never bare indices.
+            assert "Skippy.b" in str(exc.value)
+            assert "Skippy.c" in str(exc.value)
+            assert exc.value.expected == "Skippy.b"
+            assert exc.value.actual == "Skippy.c"
+        finally:
+            dist.shutdown()
+
+    def test_missing_tail_unit_raises_at_next_iteration(self):
+        from repro.cuda import sanitizer
+        from repro.errors import ExecOrderViolation
+
+        dist.shutdown()
+        ctx, model, wrapped = _wrap_skippy()
+        try:
+            with sanitizer.enabled():
+                _step(ctx, wrapped)
+                model.skip_c = True
+                _step(ctx, wrapped)  # too short; noticed at next start
+                model.skip_c = False
+                with pytest.raises(ExecOrderViolation, match="Skippy.c"):
+                    _step(ctx, wrapped)
+        finally:
+            dist.shutdown()
+
+    def test_permissive_without_sanitizer(self):
+        """Seed behaviour is preserved when the sanitizer is off: a
+        divergent iteration runs to completion (prefetch quality may
+        degrade, but nothing raises)."""
+        from repro.cuda import sanitizer
+
+        dist.shutdown()
+        prev = sanitizer.active()
+        sanitizer.disable()  # force off even in the REPRO_SANITIZER=1 lane
+        ctx, model, wrapped = _wrap_skippy()
+        try:
+            _step(ctx, wrapped)
+            model.skip_b = True
+            _step(ctx, wrapped)
+            model.skip_b = False
+            _step(ctx, wrapped)
+        finally:
+            dist.shutdown()
+            if prev is not None:
+                sanitizer.enable(raise_on_violation=prev.raise_on_violation)
+
+    def test_stable_order_is_silent(self):
+        from repro.cuda import sanitizer
+
+        dist.shutdown()
+        ctx, model, wrapped = _wrap_skippy()
+        try:
+            with sanitizer.enabled():
+                for _ in range(3):
+                    _step(ctx, wrapped)
+                assert sanitizer.active().violations == []
+        finally:
+            dist.shutdown()

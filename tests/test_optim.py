@@ -130,6 +130,40 @@ class TestClipping:
         clip_grad_norm_([p], max_norm=100.0)
         np.testing.assert_array_equal(p.grad.numpy(), grad_before)
 
+    def test_global_norm_across_process_group(self):
+        """Sharded params must clip by the *global* norm (Section 7.2.1).
+
+        Each rank holds one shard of grad [6, 8]; the local norms are 6
+        and 8 but every rank must report and scale by the global 10.
+        """
+        from repro import distributed as dist
+        from repro.autograd.grad_mode import no_grad
+
+        shards = np.array([[6.0], [8.0]], dtype=np.float32)
+
+        def fn(rank):
+            device = dist.get_device()
+            p = nn.Parameter(repro.zeros(1, device=device))
+            with no_grad():
+                p.grad = repro.tensor(shards[rank], device=device)
+            total = clip_grad_norm_(
+                [p], max_norm=1.0, process_group=dist.default_group()
+            )
+            return total, p.grad.numpy().copy()
+
+        results = dist.spawn(fn, 2)
+        for rank, (total, grad) in enumerate(results):
+            assert abs(total - 10.0) < 1e-4
+            np.testing.assert_allclose(grad, shards[rank] / 10.0, rtol=1e-4)
+
+    def test_local_norm_without_group(self):
+        """The default stays single-rank local — existing callers keep
+        the unsharded semantics."""
+        p = quadratic_param(np.array([3.0, 4.0], dtype=np.float32))
+        (p * p).sum().backward()
+        total = clip_grad_norm_([p], max_norm=1.0, process_group=None)
+        assert abs(total - 10.0) < 1e-4
+
 
 class TestGradScaler:
     def test_skip_on_inf(self):

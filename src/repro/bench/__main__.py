@@ -11,7 +11,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.bench import ablations, degraded, fig2, fig5, fig6, fig7, fig8, traffic
+from repro.bench import ablations, autotune, degraded, fig2, fig5, fig6, fig7, fig8, traffic
 
 
 def main(argv: list[str]) -> None:
@@ -61,6 +61,11 @@ def main(argv: list[str]) -> None:
     print("# Degraded cluster — fault injection and elastic recovery")
     print("#" * 72)
     degraded.main()
+
+    print("\n" + "#" * 72)
+    print("# Autotune — planner choice vs. exhaustive grid sweep")
+    print("#" * 72)
+    autotune.main()
 
     print(f"\nall figures regenerated in {time.time() - start:.0f}s")
 

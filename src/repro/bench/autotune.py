@@ -1,0 +1,141 @@
+"""Autotune evaluation: planner choice vs. exhaustive grid sweep.
+
+For each workload, simulate *every* candidate of a restricted search
+space (the grid), run the planner over the same space (predict, prune,
+validate top-k), and compare the planner's chosen configuration
+against the grid's best simulated latency.  The planner wins if it
+finds a configuration within a few percent of the grid optimum while
+simulating only ``top_k`` candidates instead of all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autotune import (
+    Candidate,
+    SearchSpace,
+    TuneWorkload,
+    evaluate_candidate,
+    gpt_workload,
+    plan_sharding,
+    t5_workload,
+)
+from repro.bench.report import print_perf_table
+from repro.fsdp.runtime import BackwardPrefetch
+from repro.fsdp.sharding import ShardingStrategy
+from repro.models.mingpt import GptConfig
+from repro.models.t5 import T5Config
+from repro.perf.trainer import simulate_training
+
+__all__ = [
+    "bench_gpt_workload",
+    "bench_t5_workload",
+    "restricted_space",
+    "grid_sweep",
+    "planner_vs_grid",
+    "main",
+]
+
+BENCH_GPT = GptConfig(vocab_size=2048, block_size=128, n_layer=12, n_head=8, n_embd=512)
+BENCH_T5 = T5Config(
+    vocab_size=2048, d_model=256, d_ff=1024, num_heads=4, head_dim=64, num_layers=4
+)
+
+
+def bench_gpt_workload(world_size: int = 8) -> TuneWorkload:
+    return gpt_workload(BENCH_GPT, batch_size=4, seq_len=128, world_size=world_size)
+
+
+def bench_t5_workload(world_size: int = 8) -> TuneWorkload:
+    return t5_workload(BENCH_T5, batch_size=4, seq_len=64, world_size=world_size)
+
+
+def restricted_space(workload: TuneWorkload) -> SearchSpace:
+    """A grid small enough to sweep exhaustively (16 candidates)."""
+    return SearchSpace(
+        wrap_choices=workload.wrap_choices[:2],  # whole-model, per-block
+        strategies=[
+            (ShardingStrategy.FULL_SHARD, None),
+            (ShardingStrategy.SHARD_GRAD_OP, None),
+        ],
+        backward_prefetch=[BackwardPrefetch.BACKWARD_PRE, BackwardPrefetch.NONE],
+        forward_prefetch=[False],
+        rate_limits=[2],
+        checkpointing=[False, True],
+    )
+
+
+def grid_sweep(workload: TuneWorkload, space: SearchSpace) -> list[tuple[Candidate, object]]:
+    """Simulate every candidate; returns (candidate, PerfResult) pairs."""
+    rows = []
+    for candidate in space.candidates():
+        plan = evaluate_candidate(workload, candidate)
+        suffix = " ckpt" if candidate.checkpointing else ""
+        config = workload.sim_config(
+            name=f"{workload.name} grid{suffix}", checkpointing=candidate.checkpointing
+        )
+        config.plan = plan
+        rows.append((candidate, simulate_training(config)))
+    return rows
+
+
+def planner_vs_grid(
+    workload: TuneWorkload,
+    *,
+    space: Optional[SearchSpace] = None,
+    top_k: int = 3,
+    memory_budget: Optional[float] = None,
+    verbose: bool = True,
+) -> dict:
+    """Run planner and grid over the same space; return the comparison."""
+    if space is None:
+        space = restricted_space(workload)
+    result = plan_sharding(
+        workload, space=space, top_k=top_k, memory_budget=memory_budget
+    )
+    grid = grid_sweep(workload, space)
+    feasible = [
+        (c, r) for c, r in grid if not r.oom
+    ]
+    best_candidate, best_result = min(feasible, key=lambda cr: cr[1].iteration_latency)
+    chosen = result.best
+    chosen_latency = (
+        chosen.simulated.iteration_latency
+        if chosen is not None and chosen.simulated is not None
+        else float("inf")
+    )
+    gap = chosen_latency / best_result.iteration_latency - 1.0
+    comparison = {
+        "workload": workload.name,
+        "grid_size": len(grid),
+        "validated": len(result.validated),
+        "grid_best_config": best_candidate.label(),
+        "grid_best_latency_s": best_result.iteration_latency,
+        "planner_config": chosen.label() if chosen is not None else None,
+        "planner_latency_s": chosen_latency,
+        "planner_gap": gap,
+    }
+    if verbose:
+        print(f"\n== {workload.name}: grid of {len(grid)} vs planner (top-{top_k}) ==")
+        print_perf_table("grid sweep", [r for _, r in grid])
+        print(result.summary())
+        print(
+            f"  grid best: {best_candidate.label()} "
+            f"at {best_result.iteration_latency * 1e3:.2f} ms; "
+            f"planner gap {gap:+.1%} while simulating "
+            f"{len(result.validated)}/{len(grid)} configurations"
+        )
+    return comparison
+
+
+def main() -> list[dict]:
+    comparisons = [
+        planner_vs_grid(bench_gpt_workload()),
+        planner_vs_grid(bench_t5_workload()),
+    ]
+    return comparisons
+
+
+if __name__ == "__main__":
+    main()

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["print_table", "fmt_bytes", "fmt_seconds"]
+__all__ = ["print_table", "print_perf_table", "fmt_bytes", "fmt_seconds"]
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
@@ -19,6 +19,31 @@ def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) ->
     print("-" * len(line))
     for row in rows:
         print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def print_perf_table(title: str, results: Iterable) -> None:
+    """Print PerfResult rows with the configuration that produced each.
+
+    Sweeps and autotune output share this format, so a planner's chosen
+    row is directly comparable with the grid it was searched against.
+    """
+    rows = []
+    for r in results:
+        rows.append(
+            (
+                r.name,
+                r.config_label() or "-",
+                "OOM" if r.oom else f"{r.tflops_per_gpu:.1f}",
+                "-" if r.oom else f"{r.iteration_latency * 1e3:.1f}ms",
+                "-" if r.oom else f"{r.peak_reserved_gib:.2f}",
+                r.num_alloc_retries,
+            )
+        )
+    print_table(
+        title,
+        ["config", "knobs", "TFLOPS/GPU", "latency", "reserved GiB", "retries"],
+        rows,
+    )
 
 
 def fmt_bytes(nbytes: float) -> str:

@@ -40,6 +40,9 @@ from repro.fsdp.state_dict import (
 )
 from repro.fsdp.wrap import (
     ModuleWrapPolicy,
+    WrapUnitPlan,
+    describe_wrap_plan,
+    policy_label,
     size_based_auto_wrap_policy,
     transformer_auto_wrap_policy,
 )
@@ -65,6 +68,9 @@ __all__ = [
     "ModuleWrapPolicy",
     "size_based_auto_wrap_policy",
     "transformer_auto_wrap_policy",
+    "policy_label",
+    "WrapUnitPlan",
+    "describe_wrap_plan",
     "deferred_init",
     "materialize_module",
     "is_deferred",

@@ -7,11 +7,18 @@ memory, more collectives).  Wrapping follows the paper's rule: all
 parameters of an annotated module go to one FlatParameter, excluding
 parameters already assigned to a nested unit; residual parameters go
 to the parent.
+
+:func:`describe_wrap_plan` evaluates a policy *without* constructing
+any FSDP wrapper: it mirrors the post-order traversal of
+``_auto_wrap`` and returns the would-be units with their parameter
+counts in module-tree (≈ execution) order.  The autotune planner uses
+this to cost candidate wrap plans statically.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Type
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Type
 
 from repro.nn.module import Module
 
@@ -19,6 +26,9 @@ __all__ = [
     "ModuleWrapPolicy",
     "size_based_auto_wrap_policy",
     "transformer_auto_wrap_policy",
+    "policy_label",
+    "WrapUnitPlan",
+    "describe_wrap_plan",
 ]
 
 Policy = Callable[[Module], bool]
@@ -35,18 +45,171 @@ def ModuleWrapPolicy(module_classes: Iterable[Type[Module]]) -> Policy:
     def policy(module: Module) -> bool:
         return isinstance(module, classes)
 
+    policy.__wrap_label__ = "ModuleWrapPolicy(" + ",".join(
+        c.__name__ for c in classes
+    ) + ")"
     return policy
 
 
-def size_based_auto_wrap_policy(min_num_params: int = 100_000_000) -> Policy:
-    """Wrap any submodule whose (unassigned) parameters exceed a size."""
+def size_based_auto_wrap_policy(
+    min_num_params: int = 100_000_000,
+    *,
+    exclude_wrap_modules: Optional[Iterable[Type[Module]]] = None,
+) -> Policy:
+    """Wrap any submodule whose (unassigned) parameters exceed a size.
+
+    Only parameters *not already assigned* to a nested wrapped unit
+    count toward the threshold: ``_auto_wrap`` wraps children first
+    (post-order), and the parameters of an already-wrapped child live
+    in its FlatParameter.  Counting them again would make every
+    ancestor of a wrapped block look oversized and wrap far too
+    eagerly (one unit per level of the module tree).
+
+    ``exclude_wrap_modules`` (default: ``ModuleList``) are never
+    wrapped themselves — a ``ModuleList`` is not callable, so wrapping
+    it would break ``for block in self.blocks`` iteration — but the
+    traversal still descends into them, so oversized children wrap
+    individually (same contract as the PyTorch policy).
+    """
+    if exclude_wrap_modules is None:
+        from repro.nn.layers import ModuleList
+
+        exclude_wrap_modules = (ModuleList,)
+    excluded = tuple(exclude_wrap_modules)
 
     def policy(module: Module) -> bool:
-        return sum(p.numel for p in module.parameters()) >= min_num_params
+        if isinstance(module, excluded):
+            return False
+        return _unassigned_numel(module) >= min_num_params
 
+    policy.__wrap_label__ = f"size_based(min={min_num_params})"
     return policy
+
+
+def _unassigned_numel(module: Module) -> int:
+    """Parameters of ``module`` not owned by a nested FSDP unit.
+
+    Nested units show up in two forms by the time a parent policy runs:
+    wrapper-style (``FullyShardedDataParallel`` child whose parameters
+    are FlatParameters) and composable (``fully_shard`` leaves a
+    ``_fsdp_unit`` on the annotated module).  Both register
+    FlatParameters, so filtering those out is exact; the module-level
+    check additionally skips composable units' not-yet-flattened
+    parameters when the plan is evaluated statically.
+    """
+    from repro.fsdp.flat_param import FlatParameter
+
+    total = 0
+    seen: set[int] = set()
+    for mod in module.modules():
+        if getattr(mod, "_fsdp_unit", None) is not None and mod is not module:
+            # An already-wrapped nested unit (wrapper or composable):
+            # everything beneath it is assigned.  Module.modules() still
+            # yields its descendants, so mark them as seen.
+            for sub in mod.modules():
+                seen.add(id(sub))
+            continue
+        if id(mod) in seen:
+            continue
+        for param in mod._parameters.values():
+            if param is None or isinstance(param, FlatParameter):
+                continue
+            total += param.numel
+    return total
 
 
 def transformer_auto_wrap_policy(block_classes: Iterable[Type[Module]]) -> Policy:
     """Alias of :func:`ModuleWrapPolicy` matching the PyTorch name."""
     return ModuleWrapPolicy(block_classes)
+
+
+def policy_label(policy: Optional[Policy]) -> str:
+    """Human-readable name for a policy (used in PerfResult rows)."""
+    if policy is None:
+        return "whole-model"
+    label = getattr(policy, "__wrap_label__", None)
+    if label is not None:
+        return label
+    return getattr(policy, "__name__", repr(policy))
+
+
+# ----------------------------------------------------------------------
+# Static wrap-plan introspection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WrapUnitPlan:
+    """One would-be FSDP unit under a policy.
+
+    Attributes:
+        path: dotted module path ('' for the root residual unit).
+        numel: parameters this unit's FlatParameter would flatten
+            (excluding parameters of nested units).
+        num_modules: modules contributing parameters or structure to
+            this unit (a proxy for per-unit kernel-launch count).
+    """
+
+    path: str
+    numel: int
+    num_modules: int
+
+
+def describe_wrap_plan(
+    module: Module,
+    policy: Optional[Policy],
+    *,
+    ignored_modules: Optional[list[Module]] = None,
+) -> list[WrapUnitPlan]:
+    """Units that wrapping ``module`` with ``policy`` would create.
+
+    Mirrors ``_auto_wrap``'s post-order traversal without touching the
+    module: children are assigned first, parents see only residual
+    parameters.  The root residual unit is returned *first* (it is
+    unsharded first each iteration), followed by nested units in
+    module-tree order, which matches execution order for the models in
+    this repository (definition order == call order).
+    """
+    ignored_ids: set[int] = set()
+    for ignored in ignored_modules or ():
+        for sub in ignored.modules():
+            ignored_ids.add(id(sub))
+
+    assigned: set[int] = set(ignored_ids)
+    units: list[WrapUnitPlan] = []
+
+    def visit(mod: Module, path: str) -> None:
+        for name, child in mod._modules.items():
+            if child is None or id(child) in ignored_ids:
+                continue
+            child_path = f"{path}.{name}" if path else name
+            visit(child, child_path)
+            if policy is not None and policy(child):
+                numel, count = _residual_params(child, assigned)
+                _mark_assigned(child, assigned)
+                if numel > 0:
+                    units.append(WrapUnitPlan(child_path, numel, count))
+
+    visit(module, "")
+    root_numel, root_count = _residual_params(module, assigned)
+    root = WrapUnitPlan("", root_numel, root_count)
+    return [root] + units
+
+
+def _residual_params(module: Module, assigned: set[int]) -> tuple[int, int]:
+    from repro.fsdp.flat_param import FlatParameter
+
+    numel = 0
+    count = 0
+    for mod in module.modules():
+        if id(mod) in assigned:
+            continue
+        count += 1
+        for param in mod._parameters.values():
+            if param is None or isinstance(param, FlatParameter):
+                continue
+            numel += param.numel
+    return numel, count
+
+
+def _mark_assigned(module: Module, assigned: set[int]) -> None:
+    for mod in module.modules():
+        assigned.add(id(mod))

@@ -174,6 +174,28 @@ class ClusterTopology:
             bandwidth /= self.oversubscription
         return bandwidth
 
+    def shard_group_ranks(self, sharding_factor: int) -> list[int]:
+        """Global ranks of the first shard group at a sharding factor.
+
+        Shard groups are contiguous rank blocks (host-major layout, see
+        :func:`repro.fsdp.sharding.make_process_groups`), so the first
+        block is representative for cost queries: the autotune planner
+        prices a candidate's AllGather/ReduceScatter over these ranks
+        without constructing process groups.
+        """
+        factor = min(max(1, sharding_factor), self.world_size)
+        return list(range(factor))
+
+    def replicate_group_ranks(self, sharding_factor: int) -> list[int]:
+        """Global ranks of the first replicate group at a sharding factor.
+
+        One rank per shard block (stride ``F``); under hybrid sharding
+        the gradient all-reduce runs over these ranks, ``F`` sibling
+        groups sharing the NICs concurrently.
+        """
+        factor = min(max(1, sharding_factor), self.world_size)
+        return list(range(0, self.world_size, factor))
+
     def jitter_factor(self, group_size: int) -> float:
         """Multiplicative slowdown from stragglers at a world size."""
         if group_size <= 1:

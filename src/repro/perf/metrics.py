@@ -24,6 +24,15 @@ class PerfResult:
     name: str
     world_size: int
     batch_size: int
+    #: Configuration that produced this row (filled by the simulation
+    #: driver) so sweep output and autotune output are comparable.
+    strategy: str = ""
+    sharding_factor: int = 0
+    wrap_policy: str = ""
+    rate_limit: int = 0  # 0 = limiter off
+    backward_prefetch: str = ""
+    forward_prefetch: bool = False
+    mixed_precision: str = ""
     oom: bool = False
     iteration_latency: float = 0.0
     tflops_per_gpu: float = 0.0
@@ -43,9 +52,29 @@ class PerfResult:
     recovery_overhead_s: float = 0.0
     extras: dict = field(default_factory=dict)
 
+    def config_label(self) -> str:
+        """Compact description of the knobs behind this row."""
+        if not self.strategy:
+            return ""
+        parts = [self.strategy]
+        if self.sharding_factor:
+            parts.append(f"F={self.sharding_factor}")
+        if self.wrap_policy:
+            parts.append(f"wrap={self.wrap_policy}")
+        parts.append(f"limit={self.rate_limit if self.rate_limit else 'off'}")
+        prefetch = self.backward_prefetch or "none"
+        if self.forward_prefetch:
+            prefetch += "+fwd"
+        parts.append(f"prefetch={prefetch}")
+        if self.mixed_precision:
+            parts.append(self.mixed_precision)
+        return " ".join(parts)
+
     def row(self) -> str:
         if self.oom:
-            return f"{self.name:<42} W={self.world_size:<4} bs={self.batch_size:<5} OOM"
+            text = f"{self.name:<42} W={self.world_size:<4} bs={self.batch_size:<5} OOM"
+            config = self.config_label()
+            return f"{text}  [{config}]" if config else text
         text = (
             f"{self.name:<42} W={self.world_size:<4} bs={self.batch_size:<5} "
             f"lat={self.iteration_latency * 1e3:9.1f}ms  "
@@ -61,4 +90,7 @@ class PerfResult:
                 f"/{self.recovered_iterations}it"
                 f" ovh={self.recovery_overhead_s * 1e3:.1f}ms"
             )
+        config = self.config_label()
+        if config:
+            text += f"  [{config}]"
         return text

@@ -76,6 +76,15 @@ class SimConfig:
     sharding_strategy: ShardingStrategy = ShardingStrategy.FULL_SHARD
     sharding_factor: Optional[int] = None
     auto_wrap_policy: Optional[Callable[[Module], bool]] = None
+    #: Human-readable name for ``auto_wrap_policy`` (reported in
+    #: PerfResult; policies constructed by repro.fsdp.wrap carry their
+    #: own label and don't need this).
+    wrap_policy_label: Optional[str] = None
+    #: An :class:`repro.autotune.AutotunePlan` (duck-typed: anything
+    #: with ``apply(config) -> SimConfig``).  When set, the plan's
+    #: chosen knobs override the corresponding fields above before the
+    #: simulation starts.
+    plan: Optional[object] = None
     mixed_precision: Optional[MixedPrecision] = None
     backward_prefetch: BackwardPrefetch = BackwardPrefetch.BACKWARD_PRE
     forward_prefetch: bool = False
@@ -204,6 +213,8 @@ def simulate_training(config: SimConfig) -> PerfResult:
     simulated restore cost, and re-execute the lost iterations — the
     wasted time is reported as ``recovery_overhead_s``.
     """
+    if config.plan is not None:
+        config = config.plan.apply(config)
     dist.shutdown()
     injector = config.fault_injector
     if injector is None and config.faults is not None:
@@ -220,8 +231,13 @@ def simulate_training(config: SimConfig) -> PerfResult:
     result = PerfResult(
         name=config.name, world_size=config.world_size, batch_size=config.batch_size
     )
+    _record_config(result, config)
     try:
         wrapped = _wrap_model(config, device)
+        if config.parallelism == "fsdp":
+            units = [u for u in _all_units(wrapped) if u.handle is not None]
+            if units:
+                result.sharding_factor = units[0].plan.sharding_factor
         params = list(wrapped.parameters())
         if config.ignored_modules_of is not None and config.parallelism == "fsdp":
             # Ignored (model-parallel sparse) parameters use their own
@@ -316,6 +332,27 @@ def simulate_training(config: SimConfig) -> PerfResult:
             result.faults_injected = len(injector.injected)
         dist.shutdown()
     return result
+
+
+def _record_config(result: PerfResult, config: SimConfig) -> None:
+    """Fill the configuration columns of a result row (Section 5 sweeps
+    and the autotune planner print comparable tables)."""
+    from repro.fsdp.wrap import policy_label
+
+    if config.parallelism != "fsdp":
+        result.strategy = config.parallelism
+        return
+    result.strategy = config.sharding_strategy.value
+    result.sharding_factor = config.sharding_factor or 0
+    result.wrap_policy = config.wrap_policy_label or policy_label(
+        config.auto_wrap_policy
+    )
+    result.rate_limit = config.rate_limit_inflight if config.limit_all_gathers else 0
+    result.backward_prefetch = config.backward_prefetch.value
+    result.forward_prefetch = config.forward_prefetch
+    mp = config.mixed_precision
+    if mp is not None and mp.param_dtype is not None:
+        result.mixed_precision = mp.param_dtype.name
 
 
 def _groups_of(wrapped: Module) -> list:

@@ -38,6 +38,10 @@ class TestExamples:
         run_example("deferred_init_demo")
         assert "demo OK" in capsys.readouterr().out
 
+    def test_autotune_mingpt(self, capsys):
+        run_example("autotune_mingpt")
+        assert "autotune OK" in capsys.readouterr().out
+
     @pytest.mark.slow
     def test_paper_scale_simulation(self, capsys):
         run_example("paper_scale_simulation")

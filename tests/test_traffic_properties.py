@@ -1,0 +1,101 @@
+"""Property tests for the Section 3.2.2 cross-host traffic closed forms.
+
+The paper approximates hybrid sharding's cross-host traffic as
+``2 M (W - 1) / (G W)`` where the exact expression is
+``2 (M / G) (R - 1) / R`` with ``R = W / G`` replicas.  Since
+``W - 1 >= W - G``, the approximation is always an *upper bound* on
+the exact value, tight exactly when ``G == 1`` (hybrid degenerates to
+full replication's layout) — note the inequality direction: the paper
+rounds up, never down.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.traffic import (
+    full_replication_cross_host_bytes,
+    full_sharding_cross_host_bytes,
+    hybrid_sharding_cross_host_bytes,
+)
+
+
+def world_and_hosts():
+    """(model_bytes, world_size, gpus_per_host) with G dividing W."""
+    return st.tuples(
+        st.floats(min_value=1.0, max_value=1e12, allow_nan=False, allow_infinity=False),
+        st.integers(min_value=1, max_value=64),  # replicas R
+        st.integers(min_value=1, max_value=64),  # gpus per host G
+    ).map(lambda t: (t[0], t[1] * t[2], t[2]))
+
+
+@given(world_and_hosts())
+def test_hybrid_approx_upper_bounds_exact(case):
+    model_bytes, world, hosts = case
+    exact = hybrid_sharding_cross_host_bytes(model_bytes, world, hosts, exact=True)
+    approx = hybrid_sharding_cross_host_bytes(model_bytes, world, hosts, exact=False)
+    assert approx >= exact - 1e-6
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e12, allow_nan=False),
+    st.integers(min_value=2, max_value=512),
+)
+def test_hybrid_exact_equals_approx_iff_g_is_one(model_bytes, world):
+    exact = hybrid_sharding_cross_host_bytes(model_bytes, world, 1, exact=True)
+    approx = hybrid_sharding_cross_host_bytes(model_bytes, world, 1, exact=False)
+    assert approx == pytest.approx(exact, rel=1e-12)
+    # And with G == 1 hybrid matches full replication exactly.
+    assert exact == pytest.approx(full_replication_cross_host_bytes(model_bytes, world))
+
+
+@given(world_and_hosts())
+def test_hybrid_strictly_below_approx_for_multi_gpu_hosts(case):
+    model_bytes, world, hosts = case
+    if hosts == 1 or world == hosts:
+        return  # equality / degenerate cases covered elsewhere
+    exact = hybrid_sharding_cross_host_bytes(model_bytes, world, hosts, exact=True)
+    approx = hybrid_sharding_cross_host_bytes(model_bytes, world, hosts, exact=False)
+    assert exact < approx
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e12, allow_nan=False),
+    st.integers(min_value=1, max_value=64),
+)
+def test_single_host_world_has_no_cross_host_traffic(model_bytes, hosts):
+    # W == G: one host, every collective stays on NVLink.
+    assert hybrid_sharding_cross_host_bytes(model_bytes, hosts, hosts, exact=True) == 0.0
+    assert hybrid_sharding_cross_host_bytes(model_bytes, hosts, hosts, exact=False) == 0.0
+
+
+@given(world_and_hosts())
+def test_hybrid_never_exceeds_full_sharding_nor_replication(case):
+    model_bytes, world, hosts = case
+    hybrid = hybrid_sharding_cross_host_bytes(model_bytes, world, hosts, exact=True)
+    assert hybrid <= full_replication_cross_host_bytes(model_bytes, world) + 1e-6
+    assert hybrid <= full_sharding_cross_host_bytes(model_bytes, world) + 1e-6
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e12, allow_nan=False),
+    st.integers(min_value=2, max_value=16),
+    st.integers(min_value=2, max_value=16),
+    st.integers(min_value=2, max_value=8),
+)
+def test_hybrid_traffic_decreases_with_larger_hosts(model_bytes, replicas, hosts, scale):
+    # Growing the shard group (G -> G*scale) at fixed replica count
+    # strictly reduces cross-host bytes: the all-reduced shard shrinks.
+    small = hybrid_sharding_cross_host_bytes(
+        model_bytes, replicas * hosts, hosts, exact=True
+    )
+    large = hybrid_sharding_cross_host_bytes(
+        model_bytes, replicas * hosts * scale, hosts * scale, exact=True
+    )
+    assert large < small
+
+
+def test_rejects_non_divisible_host_size():
+    with pytest.raises(ValueError):
+        hybrid_sharding_cross_host_bytes(1e9, 12, 8)

@@ -11,7 +11,18 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.bench import ablations, autotune, degraded, fig2, fig5, fig6, fig7, fig8, traffic
+from repro.bench import (
+    ablations,
+    autotune,
+    degraded,
+    fig2,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    profile,
+    traffic,
+)
 
 
 def main(argv: list[str]) -> None:
@@ -66,6 +77,11 @@ def main(argv: list[str]) -> None:
     print("# Autotune — planner choice vs. exhaustive grid sweep")
     print("#" * 72)
     autotune.main()
+
+    print("\n" + "#" * 72)
+    print("# Profiler — per-unit exposed vs. overlapped communication")
+    print("#" * 72)
+    profile.main()
 
     print(f"\nall figures regenerated in {time.time() - start:.0f}s")
 

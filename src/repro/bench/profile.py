@@ -1,0 +1,130 @@
+"""Profiler report: per-unit exposed vs. overlapped communication.
+
+Runs the three evaluation workloads (minGPT, T5, DHEN) with a
+:class:`repro.profiler.ProfilerSession` installed and prints, per FSDP
+unit, the all-gather / reduce-scatter traffic, the exposed vs.
+overlapped split of its communication time, prefetch hits/misses and
+rate-limiter stall — the numbers the paper's Section 5 discussion
+reads off Kineto traces.  Writes ``BENCH_profiler.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.autotune import TuneWorkload, dhen_workload
+from repro.bench.autotune import bench_gpt_workload, bench_t5_workload
+from repro.bench.report import fmt_bytes, fmt_seconds, print_table
+from repro.models import DhenConfig
+from repro.perf.trainer import simulate_training
+from repro.profiler import ProfilerSession
+
+__all__ = ["bench_dhen_workload", "profile_workload", "main", "ARTIFACT"]
+
+ARTIFACT = pathlib.Path("BENCH_profiler.json")
+
+#: Modest DHEN for the bench lane (the full paper config would need
+#: hundreds of ranks to be interesting; this one produces the same
+#: per-unit structure in seconds).
+BENCH_DHEN = DhenConfig(
+    num_features=32,
+    sparse_rows_total=1_000_000,
+    sparse_dim=32,
+    num_dense_features=64,
+    d_model=256,
+    num_layers=4,
+    num_heads=4,
+    d_ff=1024,
+)
+
+
+def bench_dhen_workload(world_size: int = 8) -> TuneWorkload:
+    return dhen_workload(BENCH_DHEN, batch_size=4, world_size=world_size)
+
+
+def profile_workload(workload: TuneWorkload, *, verbose: bool = True) -> dict:
+    """Simulate ``workload`` per-block-wrapped with profiling on.
+
+    Returns a JSON-able report: the headline PerfResult numbers plus the
+    profiler summary (totals, per-unit table, memory attribution).
+    """
+    session = ProfilerSession()
+    config = workload.sim_config(name=workload.name)
+    # Per-block wrapping so the per-unit table has one row per layer
+    # (wrap_choices[0] is whole-model; [1] is the block policy).
+    config.auto_wrap_policy = workload.wrap_choices[1].policy
+    config.profiler = session
+    result = simulate_training(config)
+    summary = result.extras.get("profiler", session.summary())
+    report = {
+        "workload": workload.name,
+        "world_size": workload.world_size,
+        "batch_size": workload.batch_size,
+        "oom": result.oom,
+        "iteration_latency_s": result.iteration_latency,
+        "exposed_comm_s": result.exposed_comm_s,
+        "overlapped_comm_s": result.overlapped_comm_s,
+        "prefetch_hits": result.prefetch_hits,
+        "prefetch_misses": result.prefetch_misses,
+        "rate_limit_stall_s": result.rate_limit_stall_s,
+        "profiler": summary,
+    }
+    if verbose:
+        _print_report(report)
+    return report
+
+
+def _print_report(report: dict) -> None:
+    summary = report["profiler"]
+    rows = []
+    for unit in summary["units"]:
+        total = unit["exposed_comm_s"] + unit["overlapped_comm_s"]
+        overlap = unit["overlapped_comm_s"] / total if total else 0.0
+        rows.append(
+            (
+                unit["label"],
+                fmt_bytes(unit["allgather_bytes"]),
+                fmt_bytes(unit["reduce_scatter_bytes"]),
+                fmt_seconds(unit["exposed_comm_s"]),
+                fmt_seconds(unit["overlapped_comm_s"]),
+                f"{overlap:.0%}",
+                f"{unit['prefetch_hits']}/{unit['prefetch_misses']}",
+                fmt_seconds(unit["rate_limit_stall_s"]),
+            )
+        )
+    print_table(
+        f"{report['workload']} (W={report['world_size']}) per-unit comm",
+        ["unit", "AG bytes", "RS bytes", "exposed", "overlapped", "overlap", "hit/miss", "stall"],
+        rows,
+    )
+    totals = summary["totals"]
+    print(
+        f"  totals: exposed={fmt_seconds(totals['exposed_comm_s'])} "
+        f"overlapped={fmt_seconds(totals['overlapped_comm_s'])} "
+        f"({totals['overlap_fraction']:.0%} hidden), "
+        f"prefetch {totals['prefetch_hits']} hit / {totals['prefetch_misses']} miss, "
+        f"limiter stall={fmt_seconds(totals['rate_limit_stall_s'])} "
+        f"(max depth {totals['max_rate_limit_depth']})"
+    )
+    memory = summary["memory"]
+    print(
+        f"  peak active {fmt_bytes(memory['peak_active_bytes'])} "
+        f"owned by {memory['peak_scope'] or '(unscoped)'}"
+    )
+
+
+def main(*, artifact: pathlib.Path = ARTIFACT) -> dict:
+    reports = [
+        profile_workload(bench_gpt_workload()),
+        profile_workload(bench_t5_workload()),
+        profile_workload(bench_dhen_workload()),
+    ]
+    payload = {"workloads": reports}
+    artifact.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {artifact}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -146,7 +146,13 @@ class CachingAllocator:
         self.capacity = capacity
         self.stats = MemoryStats()
         self._pools: dict[int, list[Block]] = {}
+        # Live segments by id (registered at cudaMalloc, dropped at
+        # release) — backs the per-stream reserved breakdown.
+        self._segments: dict[int, Segment] = {}
         self._next_segment_id = 0
+        # Optional profiler callback: (allocator, cpu_time, reason),
+        # invoked after every state-changing allocator event.
+        self.sample_hook = None
         # Bytes claimed by foreign allocations (fault injection's
         # transient OOM pressure); subtracted from usable capacity.
         self.pressure_bytes = 0
@@ -165,6 +171,7 @@ class CachingAllocator:
         if nbytes < 0:
             raise ValueError("pressure must be non-negative")
         self.pressure_bytes = nbytes
+        self._sample("pressure")
 
     @property
     def usable_capacity(self) -> int:
@@ -202,6 +209,7 @@ class CachingAllocator:
         san = sanitizer.active()
         if san is not None:
             san.on_block_alloc(self.device, stream, block)
+        self._sample("alloc")
         return block
 
     def free(self, block: Block) -> None:
@@ -214,6 +222,7 @@ class CachingAllocator:
         merged = self._coalesce(block)
         self._pools.setdefault(merged.segment.stream_id, []).append(merged)
         self._bump_active()
+        self._sample("free")
 
     def record_use(self, block: Block, stream: "Stream", end_time: float) -> None:
         """Note that a kernel on ``stream`` uses ``block`` until ``end_time``.
@@ -239,6 +248,29 @@ class CachingAllocator:
     def empty_cache(self) -> None:
         """Release all reusable cached segments (``torch.cuda.empty_cache``)."""
         self._release_free_segments(require_retired=True)
+
+    # ------------------------------------------------------------------
+    # Profiler queries
+    # ------------------------------------------------------------------
+    def reserved_bytes_by_stream(self) -> dict[int, int]:
+        """Segment bytes per allocation stream; sums to reserved_bytes."""
+        out: dict[int, int] = {}
+        for segment in self._segments.values():
+            out[segment.stream_id] = out.get(segment.stream_id, 0) + segment.size
+        return out
+
+    def pool_bytes_by_stream(self) -> dict[int, int]:
+        """Free cached bytes per stream pool."""
+        return {
+            stream_id: sum(block.size for block in pool)
+            for stream_id, pool in self._pools.items()
+            if pool
+        }
+
+    def _sample(self, reason: str) -> None:
+        if self.sample_hook is not None:
+            self._refresh_active()
+            self.sample_hook(self, self.device.cpu_time(), reason)
 
     # ------------------------------------------------------------------
     # Internals
@@ -297,6 +329,7 @@ class CachingAllocator:
             if self.stats.reserved_bytes + segment_size > self.usable_capacity:
                 return None
         segment = Segment(self._next_segment_id, segment_size, stream.stream_id, is_small)
+        self._segments[segment.segment_id] = segment
         self._next_segment_id += 1
         self.stats.reserved_bytes += segment_size
         self.stats.reserved_peak = max(self.stats.reserved_peak, self.stats.reserved_bytes)
@@ -340,6 +373,7 @@ class CachingAllocator:
                 retired = block.reuse_ready_time <= now
                 if whole_segment_free and (retired or not require_retired):
                     self.stats.reserved_bytes -= block.segment.size
+                    self._segments.pop(block.segment.segment_id, None)
                     released += 1
                 else:
                     kept.append(block)
@@ -348,6 +382,8 @@ class CachingAllocator:
         # cross-stream retirement); recompute so active <= reserved holds
         # without waiting for the next allocate/free.
         self._refresh_active()
+        if released:
+            self._sample("release")
         return released
 
     def _coalesce(self, block: Block) -> Block:

@@ -62,6 +62,12 @@ class Device:
         # Installed by ``repro.distributed`` when a fault schedule is
         # active; process groups consult it on every collective.
         self.fault_injector = None
+        # Installed by ``repro.profiler.ProfilerSession``; FSDP runtime
+        # and process groups consult it for scope/stat attribution.
+        self.profiler = None
+        # Ring buffer of issued/completed collectives (may be shared
+        # across ranks); process groups record into it when present.
+        self.flight_recorder = None
         self._next_stream_id = 0
         self.streams: list[Stream] = []
         if kind == "sim_gpu":

@@ -187,6 +187,7 @@ def init_single_process(
     fault_schedule: Optional[FaultSchedule] = None,
     fault_injector: Optional[FaultInjector] = None,
     collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT,
+    flight_recorder=None,
 ) -> WorldContext:
     """Set up a symmetric one-rank world for performance simulation."""
     topology = topology or cluster_of(world_size)
@@ -199,6 +200,8 @@ def init_single_process(
     device.materialize_data = materialize
     injector = _resolve_injector(fault_schedule, fault_injector)
     device.fault_injector = injector
+    if flight_recorder is not None:
+        device.flight_recorder = flight_recorder
     if injector is not None:
         # Injected faults surface as instant marks on the device's
         # timeline (visible once a tracer is attached).
@@ -234,6 +237,7 @@ def spawn(
     fault_schedule: Optional[FaultSchedule] = None,
     fault_injector: Optional[FaultInjector] = None,
     collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT,
+    flight_recorder=None,
 ) -> list:
     """Run ``fn(rank, *args)`` on ``world_size`` threads; returns results.
 
@@ -260,6 +264,9 @@ def spawn(
         device = Device("sim_gpu", index=rank, spec=topology.gpu, capacity=capacity)
         device.materialize_data = materialize
         device.fault_injector = injector
+        # One recorder shared by all ranks: a single dump shows the
+        # whole world's in-flight collectives (and the missing ranks).
+        device.flight_recorder = flight_recorder
         devices.append(device)
     cluster = Cluster(topology, shared_comm_model, devices)
 

@@ -145,13 +145,17 @@ class ProcessGroup:
         self._pending_ops.pop(token, None)
 
     def _timeout_error(self, kind: CollectiveKind) -> CollectiveTimeoutError:
-        return CollectiveTimeoutError(
+        error = CollectiveTimeoutError(
             kind=kind.value,
             ranks=self.ranks,
             rank=self.global_rank,
             timeout=self.timeout,
             pending_ops=self.pending_collectives() + 1,
         )
+        recorder = getattr(self.device, "flight_recorder", None)
+        if recorder is not None:
+            error.flight_dump = recorder.dump(now=self.device.cpu_time())
+        return error
 
     def _consult_faults(self, kind: CollectiveKind) -> FaultDecision:
         """Ask the installed fault injector about this collective.
@@ -292,16 +296,35 @@ class ProcessGroup:
         if collective_start is not None:
             issue = max(issue, collective_start)
         issue += decision.delay_s
+        recorder = getattr(device, "flight_recorder", None)
+        profiler = getattr(device, "profiler", None)
+        record = None
+        if recorder is not None:
+            record = recorder.record_issue(
+                rank=self.global_rank,
+                kind=kind.value,
+                nbytes=nbytes,
+                group_ranks=self.ranks,
+                stream=stream.name,
+                time=issue,
+                scope=profiler.scope if profiler is not None else "",
+            )
         if decision.hang or duration > self.timeout:
             # The collective would never complete (or not before the
             # deadline): the watchdog blocks until the deadline, then
-            # aborts with a typed error instead of hanging forever.
+            # aborts with a typed error instead of hanging forever.  The
+            # flight record stays un-launched — the dump will show this
+            # rank issued but never reached the kernel.
             device.advance_cpu_to(max(issue, stream.ready_time) + self.timeout)
             device.emit_mark(f"watchdog:{kind.value}")
             raise self._timeout_error(kind)
-        stream.enqueue(
+        start, end = stream.enqueue(
             duration, issue_time=max(issue, stream.ready_time), label=kind.value
         )
+        if record is not None:
+            recorder.record_launch(record, start, end)
+            if profiler is not None:
+                profiler.on_collective(record)
         self._account_traffic(kind, nbytes)
         event = stream.record_event()
         token = self._track_launch(kind, event)

@@ -80,6 +80,23 @@ class ThreadedProcessGroup(ProcessGroup):
             combined = combine_data(datas) if combine_data is not None else None
             return (max(times), combined)
 
+        recorder = getattr(device, "flight_recorder", None)
+        profiler = getattr(device, "profiler", None)
+        record = None
+        if recorder is not None:
+            # Issue is recorded *before* the rendezvous: a rank blocked
+            # waiting for a hung peer shows up as issued-but-unlaunched,
+            # while the hung peer (which raised above) never issues —
+            # the dump's "missing ranks" for this seq.
+            record = recorder.record_issue(
+                rank=self.global_rank,
+                kind=kind.value,
+                nbytes=nbytes,
+                group_ranks=self.ranks,
+                stream=stream.name,
+                time=local_ready,
+                scope=profiler.scope if profiler is not None else "",
+            )
         try:
             start, combined = self.rendezvous.exchange(
                 self.rank, (local_ready, data), combiner, timeout=self.timeout
@@ -89,7 +106,11 @@ class ThreadedProcessGroup(ProcessGroup):
             raise self._timeout_error(kind) from None
         duration = self._collective_duration(kind, nbytes, shard_nbytes)
         duration *= decision.duration_factor
-        stream.enqueue(duration, issue_time=start, label=kind.value)
+        launch_start, launch_end = stream.enqueue(duration, issue_time=start, label=kind.value)
+        if record is not None:
+            recorder.record_launch(record, launch_start, launch_end)
+            if profiler is not None:
+                profiler.on_collective(record)
         self._account_traffic(kind, nbytes)
         event = stream.record_event()
         token = self._track_launch(kind, event)

@@ -79,6 +79,10 @@ class CollectiveTimeoutError(CollectiveError):
         self.rank = rank
         self.timeout = timeout
         self.pending_ops = pending_ops
+        # Filled by the process group when a flight recorder is
+        # installed: a repro.profiler.FlightDump naming the in-flight
+        # collectives and which ranks are missing from each.
+        self.flight_dump = None
         super().__init__(
             f"collective {kind!r} on ranks {self.ranks} timed out after "
             f"{timeout:g}s on rank {rank} (watchdog abort; "

@@ -97,11 +97,20 @@ class FsdpRuntime:
         the caching allocator can then reuse it for the next AllGather
         instead of growing the reserved pool.
         """
+        prof = getattr(self.device, "profiler", None)
         if not self.limit_all_gathers:
+            if prof is not None:
+                prof.on_rate_limit_admit(depth=len(self._inflight), stall_s=0.0)
             return
+        stall_start = self.device.cpu_time()
         while len(self._inflight) >= self.rate_limit_inflight:
             oldest = self._inflight.popleft()
             oldest.synchronize()
+        if prof is not None:
+            prof.on_rate_limit_admit(
+                depth=len(self._inflight),
+                stall_s=self.device.cpu_time() - stall_start,
+            )
 
     def note_reshard_free(self) -> None:
         """Record a free event on the compute stream (called at reshard)."""
@@ -113,6 +122,11 @@ class FsdpRuntime:
     # ------------------------------------------------------------------
     def begin_iteration(self) -> None:
         self.iteration += 1
+        prof = getattr(self.device, "profiler", None)
+        if prof is not None:
+            # A unit whose backward never ran leaves its scope pushed;
+            # iteration boundaries are known-empty points.
+            prof.reset_scopes()
         self.exec_validator.start_iteration()
         self.prev_exec_order = self.exec_order
         self.exec_order = []
@@ -299,13 +313,32 @@ class FsdpUnit:
     # ------------------------------------------------------------------
     # Unshard with overlap + rate limiting
     # ------------------------------------------------------------------
-    def _issue_unshard(self) -> None:
+    def _issue_unshard(self, reason: str = "forward") -> None:
         runtime = self._require_runtime()
         if self.handle is None or self.handle.is_unsharded:
             return
-        runtime.admit_allgather()
-        event = self.handle.unshard(runtime.unshard_stream)
+        prof = getattr(runtime.device, "profiler", None)
+        if prof is None:
+            runtime.admit_allgather()
+            event = self.handle.unshard(runtime.unshard_stream)
+        else:
+            prof.on_unshard_issue(
+                self.label, reason=reason, time=runtime.device.cpu_time()
+            )
+            with prof.scoped(f"unshard:{self.label}@{reason}"):
+                runtime.admit_allgather()
+                event = self.handle.unshard(runtime.unshard_stream)
         self._last_unshard_event = event
+
+    def _reshard_and_note(self) -> None:
+        """Reshard the handle; on an actual free, feed the rate limiter
+        and the profiler."""
+        runtime = self._require_runtime()
+        if self.handle.reshard():
+            runtime.note_reshard_free()
+            prof = getattr(runtime.device, "profiler", None)
+            if prof is not None:
+                prof.on_reshard(self.label, runtime.device.cpu_time())
 
     def _wait_unshard_on_compute(self) -> None:
         """Compute-stream kernels must not start before *this unit's*
@@ -332,28 +365,38 @@ class FsdpUnit:
             runtime.begin_iteration()
         runtime.record_pre_forward(self)
         self.forward_ran = True
+        prof = getattr(runtime.device, "profiler", None)
+        if prof is not None:
+            # Scope everything the unit's forward does (kernels, nested
+            # units, its own unshard) under ``forward:<label>``; popped
+            # in post_forward.
+            prof.push_scope(f"forward:{self.label}")
         if self.handle is None:
             return
+        if prof is not None and runtime.forward_prefetch and not self.is_root:
+            prof.on_prefetch_outcome(
+                self.label, already_unsharded=self.handle.is_unsharded
+            )
         self._issue_unshard()
         if runtime.forward_prefetch:
             target = runtime.next_forward_unit(self)
             if target is not None:
-                target._issue_unshard()
+                target._issue_unshard(reason="forward_prefetch")
         self._wait_unshard_on_compute()
         self.handle.use_unsharded_views()
 
     def post_forward(self, output):
-        self._require_runtime()
+        runtime = self._require_runtime()
+        prof = getattr(runtime.device, "profiler", None)
+        if prof is not None:
+            prof.pop_scope(f"forward:{self.label}")
         if self.handle is None:
             return output
-        runtime = self._require_runtime()
         if self.reshard_after_forward and not self.is_root and is_grad_enabled():
-            if self.handle.reshard():
-                runtime.note_reshard_free()
+            self._reshard_and_note()
         if not is_grad_enabled():
             # Inference: free everything, no backward hooks needed.
-            if self.handle.reshard():
-                runtime.note_reshard_free()
+            self._reshard_and_note()
             return output
         self._register_pre_backward_hooks(output)
         return output
@@ -374,8 +417,21 @@ class FsdpUnit:
         if self.pre_backward_ran or self.handle is None:
             return None
         self.pre_backward_ran = True
+        prof = getattr(runtime.device, "profiler", None)
+        if prof is not None:
+            prof.on_pre_backward(self.label)
+            if runtime.backward_prefetch is not BackwardPrefetch.NONE:
+                prof.on_prefetch_outcome(
+                    self.label, already_unsharded=self.handle.is_unsharded
+                )
+            # Pushed before issuing, so a backward-prefetch AllGather's
+            # issue carries ``backward:<this unit>`` as its parent
+            # scope — this unit's gradient computation is exactly what
+            # the prefetch is meant to overlap (Section 3.3.2).  Popped
+            # in the post-backward hook.
+            prof.push_scope(f"backward:{self.label}")
         self.handle.prepare_gradient_for_backward()
-        self._issue_unshard()
+        self._issue_unshard(reason="pre_backward")
         if runtime.backward_prefetch is BackwardPrefetch.BACKWARD_PRE:
             # Issue the next unit's AllGather now, ahead of this unit's
             # ReduceScatter on the shared communication stream.  The
@@ -383,7 +439,7 @@ class FsdpUnit:
             # find the handle already unsharded and only wait).
             target = runtime.next_backward_unit(self)
             if target is not None:
-                target._issue_unshard()
+                target._issue_unshard(reason="backward_prefetch")
         self._wait_unshard_on_compute()
         return None
 
@@ -395,20 +451,30 @@ class FsdpUnit:
         runtime = self._require_runtime()
         self.post_backward_ran = True
         runtime.ensure_final_callback()
+        prof = getattr(runtime.device, "profiler", None)
+        if prof is not None:
+            prof.pop_scope(f"backward:{self.label}")
         # Free the unsharded parameters before reducing, shrinking the
         # peak: gradient memory replaces parameter memory.
-        if self.handle.reshard():
-            runtime.note_reshard_free()
-        work = self.handle.reduce_grad(
-            runtime.unshard_stream,
-            replicate_group=self.plan.replicate_group,
-            no_sync=self._no_sync,
-        )
+        self._reshard_and_note()
+        if prof is None:
+            work = self.handle.reduce_grad(
+                runtime.unshard_stream,
+                replicate_group=self.plan.replicate_group,
+                no_sync=self._no_sync,
+            )
+        else:
+            with prof.scoped(f"reduce:{self.label}"):
+                work = self.handle.reduce_grad(
+                    runtime.unshard_stream,
+                    replicate_group=self.plan.replicate_group,
+                    no_sync=self._no_sync,
+                )
         self.pending_reduce_work = work
         if runtime.backward_prefetch is BackwardPrefetch.BACKWARD_POST:
             target = runtime.next_backward_unit(self)
             if target is not None:
-                target._issue_unshard()
+                target._issue_unshard(reason="backward_prefetch")
 
 
 def _flatten_tensors(output) -> list[Tensor]:

@@ -50,6 +50,16 @@ class PerfResult:
     recoveries: int = 0
     recovered_iterations: int = 0
     recovery_overhead_s: float = 0.0
+    #: Observability metrics (only filled when ``SimConfig.profile`` is
+    #: on): per-iteration exposed/overlapped communication seconds and
+    #: rate-limiter stall, plus prefetch hit/miss counts over the whole
+    #: measured window.  The full per-unit breakdown lands in
+    #: ``extras["profiler"]``.
+    exposed_comm_s: float = 0.0
+    overlapped_comm_s: float = 0.0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    rate_limit_stall_s: float = 0.0
     extras: dict = field(default_factory=dict)
 
     def config_label(self) -> str:

@@ -121,6 +121,13 @@ class SimConfig:
     checkpoint_every: int = 1
     #: Give up after this many recoveries.
     max_recoveries: int = 4
+    #: Install a :class:`repro.profiler.ProfilerSession` for the run;
+    #: fills the observability fields of :class:`PerfResult` and stores
+    #: the full per-unit report in ``result.extras["profiler"]``.
+    profile: bool = False
+    #: Pre-built session (overrides ``profile``; lets callers keep the
+    #: session for trace export after the run).
+    profiler: Optional[object] = None
 
 
 def _wrap_model(config: SimConfig, device: Device) -> Module:
@@ -228,6 +235,12 @@ def simulate_training(config: SimConfig) -> PerfResult:
         collective_timeout=config.collective_timeout,
     )
     device = ctx.device
+    session = None
+    if config.profiler is not None or config.profile:
+        from repro.profiler import ProfilerSession
+
+        session = config.profiler or ProfilerSession()
+        session.install(device)
     result = PerfResult(
         name=config.name, world_size=config.world_size, batch_size=config.batch_size
     )
@@ -278,6 +291,8 @@ def simulate_training(config: SimConfig) -> PerfResult:
                     cross_before = sum(g.cross_host_bytes for g in groups)
                     coll_before = sum(g.collective_count for g in groups)
                     device.synchronize()
+                    if session is not None:
+                        session.begin_measurement()
                     start_time = device.now()
                     start_flops = device.flops_total
                 iteration_started.setdefault(iteration, device.now())
@@ -325,9 +340,24 @@ def simulate_training(config: SimConfig) -> PerfResult:
         result.collectives = (
             sum(g.collective_count for g in groups) - coll_before
         ) // config.iterations
+        if session is not None:
+            session.finalize()
+            totals = session.totals()
+            # Times per iteration (comparable to iteration_latency);
+            # hit/miss counts raw over the measured window.
+            result.exposed_comm_s = totals["exposed_comm_s"] / config.iterations
+            result.overlapped_comm_s = totals["overlapped_comm_s"] / config.iterations
+            result.rate_limit_stall_s = (
+                totals["rate_limit_stall_s"] / config.iterations
+            )
+            result.prefetch_hits = totals["prefetch_hits"]
+            result.prefetch_misses = totals["prefetch_misses"]
+            result.extras["profiler"] = session.summary()
     except OutOfMemoryError:
         result.oom = True
     finally:
+        if session is not None:
+            session.uninstall(device)
         if injector is not None:
             result.faults_injected = len(injector.injected)
         dist.shutdown()

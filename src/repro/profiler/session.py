@@ -1,0 +1,348 @@
+"""ProfilerSession: one object wiring all three observability layers.
+
+A session installs itself on a simulated device the same way the fault
+injector does — via attributes the runtime layers consult:
+
+- ``device.trace_hook`` / ``device.mark_hook``: every kernel and
+  collective span lands in :attr:`kernel_events` tagged with the
+  current *scope* (see below); previously-installed hooks (e.g. a
+  :class:`repro.perf.timeline.Tracer`) keep receiving events;
+- ``device.allocator.sample_hook``: every allocator event produces a
+  :class:`repro.profiler.memory.MemorySample`;
+- ``device.flight_recorder``: process groups record issue/launch of
+  every collective in the :class:`FlightRecorder` ring buffer;
+- ``device.profiler``: the FSDP runtime pushes/pops **scopes**
+  (``forward:<unit>``, ``backward:<unit>``, ``unshard:<unit>@<reason>``,
+  ``reduce:<unit>``) and reports prefetch outcomes, reshard events and
+  rate-limiter admissions.
+
+Scopes are a stack, serialized as ``"outer|inner"``; the innermost
+element attributes collectives and memory samples to a FlatParameter
+unit and phase.  :meth:`finalize` then computes per-unit exposed vs.
+overlapped communication by intersecting each unit's collective
+intervals with the default (compute) stream's busy intervals.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+from typing import Optional
+
+from repro.perf.timeline import merge_intervals
+from repro.profiler.flight_recorder import DEFAULT_FLIGHT_CAPACITY, FlightRecorder
+from repro.profiler.memory import MemoryTimeline
+from repro.profiler.stats import (
+    KernelEvent,
+    UnitProfile,
+    UnshardIssue,
+    exposed_overlapped,
+    scope_leaf,
+)
+
+__all__ = ["ProfilerSession", "profile_device"]
+
+
+def _unit_of_scope(leaf: str) -> Optional[str]:
+    """Map a scope leaf to the unit label it attributes to (or None)."""
+    if leaf.startswith("unshard:"):
+        return leaf[len("unshard:") :].split("@", 1)[0]
+    if leaf.startswith("reduce:"):
+        return leaf[len("reduce:") :]
+    if leaf.startswith("forward:") or leaf.startswith("backward:"):
+        return leaf.split(":", 1)[1]
+    return None
+
+
+class ProfilerSession:
+    """Unified observability for one (or more) simulated devices."""
+
+    def __init__(self, *, flight_capacity: int = DEFAULT_FLIGHT_CAPACITY):
+        self.flight = FlightRecorder(capacity=flight_capacity)
+        self.memory = MemoryTimeline()
+        self.units: dict[str, UnitProfile] = {}
+        self.kernel_events: list = []
+        self.marks: list = []
+        #: Unit labels in pre-backward order (per measured window).
+        self.backward_order: list = []
+        #: Rate-limiter depth observed at each AllGather admission
+        #: (pending reshard-free events; in-flight AllGathers = depth+1).
+        self.rate_limit_depths: list = []
+        self.rate_limit_stall_s = 0.0
+        #: Collective intervals regardless of unit attribution (totals).
+        self.comm_intervals: list = []
+        self._scopes: list = []
+        self._prefetched: set = set()
+        self._lock = threading.Lock()
+        # id(device) -> (device, saved hook dict)
+        self._installed: dict = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install(self, device) -> None:
+        """Attach to ``device`` (idempotent); chains existing hooks."""
+        if id(device) in self._installed:
+            return
+        saved = {
+            "trace_hook": device.trace_hook,
+            "mark_hook": device.mark_hook,
+            "profiler": getattr(device, "profiler", None),
+            "flight_recorder": getattr(device, "flight_recorder", None),
+            "sample_hook": None,
+        }
+        prev_trace = device.trace_hook
+        prev_mark = device.mark_hook
+
+        def trace(label, stream, start, end):
+            self.on_kernel(label, stream, start, end)
+            if prev_trace is not None:
+                prev_trace(label, stream, start, end)
+
+        def mark(label, time):
+            self.marks.append((label, time))
+            if prev_mark is not None:
+                prev_mark(label, time)
+
+        device.trace_hook = trace
+        device.mark_hook = mark
+        device.profiler = self
+        if getattr(device, "flight_recorder", None) is None:
+            device.flight_recorder = self.flight
+        if device.allocator is not None:
+            saved["sample_hook"] = device.allocator.sample_hook
+            device.allocator.sample_hook = self._on_alloc_sample
+        self._installed[id(device)] = (device, saved)
+
+    def uninstall(self, device=None) -> None:
+        """Restore the device's original hooks (all devices when None)."""
+        keys = [id(device)] if device is not None else list(self._installed)
+        for key in keys:
+            entry = self._installed.pop(key, None)
+            if entry is None:
+                continue
+            dev, saved = entry
+            dev.trace_hook = saved["trace_hook"]
+            dev.mark_hook = saved["mark_hook"]
+            dev.profiler = saved["profiler"]
+            dev.flight_recorder = saved["flight_recorder"]
+            if dev.allocator is not None:
+                dev.allocator.sample_hook = saved["sample_hook"]
+
+    # ------------------------------------------------------------------
+    # Scope stack
+    # ------------------------------------------------------------------
+    @property
+    def scope(self) -> str:
+        return "|".join(self._scopes)
+
+    def push_scope(self, label: str) -> None:
+        self._scopes.append(label)
+
+    def pop_scope(self, label: Optional[str] = None) -> None:
+        """Pop the topmost matching scope; tolerant of imbalance.
+
+        Backward hooks can fire in non-LIFO order under checkpoint
+        recompute, so popping a label that is not on the stack is a
+        no-op rather than an error.
+        """
+        if not self._scopes:
+            return
+        if label is None:
+            self._scopes.pop()
+            return
+        for i in range(len(self._scopes) - 1, -1, -1):
+            if self._scopes[i] == label:
+                del self._scopes[i]
+                return
+
+    def reset_scopes(self) -> None:
+        """Drop all scopes (called at iteration boundaries)."""
+        self._scopes.clear()
+
+    @contextlib.contextmanager
+    def scoped(self, label: str):
+        self.push_scope(label)
+        try:
+            yield
+        finally:
+            self.pop_scope(label)
+
+    # ------------------------------------------------------------------
+    # Event intake (hooks)
+    # ------------------------------------------------------------------
+    def on_kernel(self, label: str, stream: str, start: float, end: float) -> None:
+        if end > start:
+            self.kernel_events.append(KernelEvent(label, stream, start, end, self.scope))
+
+    def _on_alloc_sample(self, allocator, time: float, reason: str) -> None:
+        self.memory.sample(allocator, time, reason, scope=self.scope)
+
+    def on_collective(self, record) -> None:
+        """Attribute one launched collective (called by ProcessGroup)."""
+        if record.start_time is None or record.end_time is None:
+            return
+        self.comm_intervals.append((record.start_time, record.end_time))
+        label = _unit_of_scope(scope_leaf(record.scope))
+        if label is None:
+            return
+        self.unit(label).record_collective(
+            record.kind, record.nbytes, record.start_time, record.end_time, record.scope
+        )
+
+    # ------------------------------------------------------------------
+    # FSDP runtime hooks
+    # ------------------------------------------------------------------
+    def unit(self, label: str) -> UnitProfile:
+        with self._lock:
+            profile = self.units.get(label)
+            if profile is None:
+                profile = self.units[label] = UnitProfile(label)
+            return profile
+
+    def on_unshard_issue(self, label: str, *, reason: str, time: float) -> None:
+        self.unit(label).unshard_issues.append(
+            UnshardIssue(reason=reason, time=time, parent_scope=self.scope)
+        )
+        if reason.endswith("prefetch"):
+            self._prefetched.add(label)
+
+    def on_prefetch_outcome(self, label: str, *, already_unsharded: bool) -> None:
+        """Called by a unit's own pre-hook when prefetching is enabled.
+
+        Hit: the unit was gathered by an earlier prefetch issue.  Miss:
+        it was still sharded and must block on its own AllGather.  A
+        unit unsharded for some other reason (e.g. SHARD_GRAD_OP keeps
+        parameters through backward) counts as neither.
+        """
+        unit = self.unit(label)
+        if label in self._prefetched:
+            self._prefetched.discard(label)
+            unit.prefetch_hits += 1
+        elif not already_unsharded:
+            unit.prefetch_misses += 1
+
+    def on_pre_backward(self, label: str) -> None:
+        self.backward_order.append(label)
+
+    def on_reshard(self, label: str, time: float) -> None:
+        self.unit(label).reshard_times.append(time)
+
+    def on_rate_limit_admit(self, *, depth: int, stall_s: float) -> None:
+        self.rate_limit_depths.append(depth)
+        self.rate_limit_stall_s += stall_s
+        label = _unit_of_scope(scope_leaf(self.scope))
+        if label is not None:
+            self.unit(label).rate_limit_stall_s += stall_s
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def begin_measurement(self) -> None:
+        """Drop warmup-phase data; keep hooks and the flight ring live."""
+        self.kernel_events.clear()
+        self.marks.clear()
+        self.memory.clear()
+        self.units.clear()
+        self.backward_order.clear()
+        self.rate_limit_depths.clear()
+        self.rate_limit_stall_s = 0.0
+        self.comm_intervals.clear()
+        self._prefetched.clear()
+        self._finalized = False
+
+    def compute_intervals(self) -> list:
+        """Merged busy intervals of the compute (default) stream."""
+        return merge_intervals(
+            (e.start, e.end) for e in self.kernel_events if "default" in e.stream
+        )
+
+    def finalize(self) -> None:
+        """Compute exposed/overlapped splits for every unit (idempotent)."""
+        if self._finalized:
+            return
+        compute = self.compute_intervals()
+        for profile in self.units.values():
+            exposed, overlapped = exposed_overlapped(
+                ((c.start, c.end) for c in profile.comm_intervals), compute
+            )
+            profile.exposed_comm_s = exposed
+            profile.overlapped_comm_s = overlapped
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def totals(self) -> dict:
+        """Aggregate observability metrics (finalizes first)."""
+        self.finalize()
+        exposed, overlapped = exposed_overlapped(self.comm_intervals, self.compute_intervals())
+        total = exposed + overlapped
+        return {
+            "exposed_comm_s": exposed,
+            "overlapped_comm_s": overlapped,
+            "overlap_fraction": overlapped / total if total else 1.0,
+            "allgather_bytes": sum(u.allgather_bytes for u in self.units.values()),
+            "reduce_scatter_bytes": sum(u.reduce_scatter_bytes for u in self.units.values()),
+            "prefetch_hits": sum(u.prefetch_hits for u in self.units.values()),
+            "prefetch_misses": sum(u.prefetch_misses for u in self.units.values()),
+            "rate_limit_stall_s": self.rate_limit_stall_s,
+            "max_rate_limit_depth": max(self.rate_limit_depths, default=0),
+        }
+
+    def summary(self) -> dict:
+        """JSON-able report: totals, per-unit table, memory attribution."""
+        self.finalize()
+        peak = self.memory.peak("active")
+        return {
+            "totals": self.totals(),
+            "units": [
+                self.units[label].as_dict() for label in sorted(self.units)
+            ],
+            "backward_order": list(self.backward_order),
+            "memory": {
+                "samples": len(self.memory.samples),
+                "peak_active_bytes": peak.active if peak else 0,
+                "peak_scope": scope_leaf(peak.scope) if peak else "",
+                "attribution": self.memory.attribution("active", top=8),
+            },
+            "flight": {
+                "recorded": self.flight.total_recorded,
+                "in_flight": len(self.flight.in_flight()),
+            },
+        }
+
+    def to_chrome_trace(self, path: str) -> None:
+        """Write spans + instant marks + memory counter tracks."""
+        records = [
+            {
+                "name": event.label,
+                "ph": "X",
+                "ts": event.start * 1e6,
+                "dur": (event.end - event.start) * 1e6,
+                "pid": 0,
+                "tid": event.stream,
+                "args": {"scope": event.scope} if event.scope else {},
+            }
+            for event in self.kernel_events
+        ]
+        records.extend(
+            {"name": name, "ph": "i", "ts": time * 1e6, "pid": 0, "tid": "marks", "s": "g"}
+            for name, time in self.marks
+        )
+        records.extend(self.memory.counter_events())
+        with open(path, "w") as f:
+            json.dump({"traceEvents": records}, f)
+
+
+@contextlib.contextmanager
+def profile_device(device, **kwargs):
+    """Context manager: install a fresh session on ``device``, yield it."""
+    session = ProfilerSession(**kwargs)
+    session.install(device)
+    try:
+        yield session
+    finally:
+        session.uninstall(device)

@@ -1,0 +1,198 @@
+"""Flight-recorder negative controls: hang diagnosis end to end.
+
+The point of the flight recorder is the failure path: when a rank
+hangs, the dump attached to the watchdog's
+:class:`~repro.errors.CollectiveTimeoutError` must name the stalled
+collective (kind, seq id, payload) and the exact ranks missing from
+the rendezvous — and a clean run must dump an *empty* in-flight set,
+so a hang report can never be a false positive.
+
+Hangs are induced with ``repro.distributed.fault``; the threaded
+backend gives real per-rank semantics (one recorder shared by all rank
+threads), the symmetric single-process backend covers the watchdog
+wiring in the perf simulator.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import distributed as dist
+from repro.distributed import FaultEvent, FaultKind, FaultSchedule
+from repro.errors import CollectiveTimeoutError
+from repro.profiler import FlightRecorder
+
+WORLD = 4
+HUNG_RANK = 2
+
+
+def run_world(recorder, *, schedule=None, collectives=2, hang_at=None, timeout=2.0):
+    """Spawn a threaded world; each rank runs ``collectives`` AllReduces.
+
+    Workers catch their own watchdog error and return its flight dump,
+    so the test can inspect every rank's view of the failure.
+    """
+
+    def worker(rank):
+        device = dist.get_device()
+        group = dist.default_group()
+        x = repro.tensor(np.ones(8, dtype=np.float32) * (rank + 1), device=device)
+        try:
+            for _ in range(collectives):
+                group.all_reduce(x).wait()
+            device.synchronize()
+            return None
+        except CollectiveTimeoutError as error:
+            return error
+
+    return dist.spawn(
+        worker,
+        WORLD,
+        fault_schedule=schedule,
+        flight_recorder=recorder,
+        collective_timeout=timeout,
+    )
+
+
+class TestThreadedHang:
+    @pytest.fixture(scope="class")
+    def hang_results(self):
+        """One world where rank 2 hangs on its second collective."""
+        recorder = FlightRecorder()
+        schedule = FaultSchedule([
+            FaultEvent(kind=FaultKind.HANG, rank=HUNG_RANK, collective_index=1)
+        ])
+        results = run_world(recorder, schedule=schedule, timeout=1.0)
+        return recorder, results
+
+    def test_every_rank_surfaces_the_timeout(self, hang_results):
+        _, results = hang_results
+        assert all(isinstance(r, CollectiveTimeoutError) for r in results)
+        assert all(r.kind == "all_reduce" for r in results)
+
+    def test_dump_names_stalled_collective_and_missing_ranks(self, hang_results):
+        recorder, results = hang_results
+        # A peer rank's error carries the shared dump: the stalled
+        # collective is the second AllReduce (seq=1), the hung rank is
+        # the one with no record for it.
+        error = results[0]
+        assert error.flight_dump is not None
+        in_flight = error.flight_dump.in_flight
+        assert len(in_flight) == 1
+        stalled = in_flight[0]
+        assert stalled.kind == "all_reduce"
+        assert stalled.seq == 1
+        assert stalled.missing_ranks == (HUNG_RANK,)
+        assert stalled.issued_ranks == tuple(
+            r for r in range(WORLD) if r != HUNG_RANK
+        )
+        assert stalled.launched_ranks == ()
+        assert stalled.group_ranks == tuple(range(WORLD))
+
+    def test_hung_ranks_own_error_also_carries_a_dump(self, hang_results):
+        recorder, results = hang_results
+        # The hung rank's watchdog fires while peer threads are still
+        # mid-flight, so its snapshot's contents are schedule-dependent
+        # — but it must carry a dump, and once every thread has parked,
+        # the shared recorder's analysis is unambiguous: seq=1 is
+        # stalled and the hung rank is the missing one.
+        assert results[HUNG_RANK].flight_dump is not None
+        entries = recorder.in_flight()
+        assert len(entries) == 1
+        assert entries[0].missing_ranks == (HUNG_RANK,)
+
+    def test_render_is_operator_readable(self, hang_results):
+        _, results = hang_results
+        text = results[0].flight_dump.render()
+        assert "IN FLIGHT" in text
+        assert "all_reduce seq=1" in text
+        assert f"MISSING ranks [{HUNG_RANK}]" in text
+
+    def test_completed_collective_not_reported(self, hang_results):
+        recorder, _ = hang_results
+        # The first AllReduce (seq=0) completed on every rank and must
+        # stay out of the in-flight set.
+        seqs = {entry.seq for entry in recorder.in_flight()}
+        assert seqs == {1}
+        completed = [r for r in recorder.records() if r.seq == 0]
+        assert len(completed) == WORLD
+        assert all(r.launched for r in completed)
+
+
+class TestThreadedCleanRun:
+    def test_clean_run_dumps_empty_in_flight_set(self):
+        recorder = FlightRecorder()
+        results = run_world(recorder, collectives=3)
+        assert results == [None] * WORLD
+        dump = recorder.dump()
+        assert dump.in_flight == []
+        assert dump.total_recorded == WORLD * 3
+        assert "no collectives in flight" in dump.render()
+        # Every record launched, with aligned per-rank seq numbers.
+        for record in recorder.records():
+            assert record.launched
+        assert {r.seq for r in recorder.records()} == {0, 1, 2}
+
+
+class TestSingleProcessWatchdog:
+    @pytest.fixture()
+    def world(self):
+        def make(schedule=None, recorder=None, timeout=0.5):
+            dist.shutdown()
+            return dist.init_single_process(
+                WORLD,
+                materialize=False,
+                fault_schedule=schedule,
+                flight_recorder=recorder,
+                collective_timeout=timeout,
+            )
+
+        yield make
+        dist.shutdown()
+
+    def _one_all_gather(self, ctx):
+        device = ctx.device
+        group = dist.default_group()
+        shard = repro.empty(1024, device=device)
+        out = repro.empty(WORLD * 1024, device=device)
+        return group.all_gather_into_tensor(out, shard)
+
+    def test_watchdog_error_carries_dump(self, world):
+        recorder = FlightRecorder()
+        ctx = world(
+            schedule=FaultSchedule([
+                FaultEvent(kind=FaultKind.HANG, collective_index=0)
+            ]),
+            recorder=recorder,
+        )
+        with pytest.raises(CollectiveTimeoutError) as exc_info:
+            self._one_all_gather(ctx)
+        dump = exc_info.value.flight_dump
+        assert dump is not None
+        assert len(dump.in_flight) == 1
+        stalled = dump.in_flight[0]
+        assert stalled.kind == "all_gather_base"
+        assert stalled.seq == 0
+        # Symmetric backend: only the modeled rank issues; the stalled
+        # record is its issued-but-never-launched AllGather.
+        assert stalled.launched_ranks == ()
+        assert ctx.rank in stalled.issued_ranks
+
+    def test_watchdog_without_recorder_has_no_dump(self, world):
+        ctx = world(
+            schedule=FaultSchedule([
+                FaultEvent(kind=FaultKind.HANG, collective_index=0)
+            ]),
+        )
+        with pytest.raises(CollectiveTimeoutError) as exc_info:
+            self._one_all_gather(ctx)
+        assert exc_info.value.flight_dump is None
+
+    def test_clean_single_process_run_is_all_launched(self, world):
+        recorder = FlightRecorder()
+        ctx = world(recorder=recorder)
+        self._one_all_gather(ctx).wait()
+        ctx.device.synchronize()
+        assert recorder.in_flight(now=ctx.device.cpu_time()) == []
+        assert recorder.total_recorded == 1
+        assert recorder.records()[0].launched

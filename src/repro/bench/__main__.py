@@ -15,6 +15,7 @@ from repro.bench import (
     ablations,
     autotune,
     degraded,
+    elastic,
     fig2,
     fig5,
     fig6,
@@ -72,6 +73,11 @@ def main(argv: list[str]) -> None:
     print("# Degraded cluster — fault injection and elastic recovery")
     print("#" * 72)
     degraded.main()
+
+    print("\n" + "#" * 72)
+    print("# Elastic checkpointing — recovery overhead vs. interval")
+    print("#" * 72)
+    elastic.main()
 
     print("\n" + "#" * 72)
     print("# Autotune — planner choice vs. exhaustive grid sweep")

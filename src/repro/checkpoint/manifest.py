@@ -1,0 +1,176 @@
+"""Checkpoint manifest: the commit record of a distributed checkpoint.
+
+A checkpoint directory holds one shard file per saving rank plus a
+``MANIFEST.json`` written *last*.  The manifest's presence is the
+commit point of the two-phase protocol: readers that do not find a
+parseable manifest treat the whole checkpoint as uncommitted, so a
+crash between shard writes can never surface a torn checkpoint.
+
+Beyond commit marking, the manifest captures everything a restoring
+job with a *different* topology needs in order to reassemble logical
+tensors: per-unit flat-parameter layout (``UnitLayout``) including the
+per-FQN ``ParamSpec`` offsets into the unpadded flat parameter, and
+per-shard integrity checksums (``ShardEntry``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import CheckpointError
+
+__all__ = [
+    "ParamSpec",
+    "UnitLayout",
+    "ShardEntry",
+    "CheckpointManifest",
+    "MANIFEST_VERSION",
+]
+
+MANIFEST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One original parameter inside a flat parameter."""
+
+    fqn: str
+    shape: tuple[int, ...]
+    numel: int
+    offset: int  # element offset into the unpadded flat parameter
+
+    def to_json(self) -> dict:
+        return {
+            "fqn": self.fqn,
+            "shape": list(self.shape),
+            "numel": self.numel,
+            "offset": self.offset,
+        }
+
+    @staticmethod
+    def from_json(obj: dict) -> "ParamSpec":
+        return ParamSpec(
+            fqn=obj["fqn"],
+            shape=tuple(obj["shape"]),
+            numel=obj["numel"],
+            offset=obj["offset"],
+        )
+
+
+@dataclass(frozen=True)
+class UnitLayout:
+    """Sharding layout of one FSDP unit's flat parameter at save time."""
+
+    key: str  # sharded-state-dict key, e.g. "flat_param.003.block2"
+    label: str
+    total_numel: int
+    padded_numel: int
+    factor: int  # sharding factor: number of chunks the flat param is split into
+    shard_numel: int
+    dtype: str
+    params: tuple[ParamSpec, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "key": self.key,
+            "label": self.label,
+            "total_numel": self.total_numel,
+            "padded_numel": self.padded_numel,
+            "factor": self.factor,
+            "shard_numel": self.shard_numel,
+            "dtype": self.dtype,
+            "params": [p.to_json() for p in self.params],
+        }
+
+    @staticmethod
+    def from_json(obj: dict) -> "UnitLayout":
+        return UnitLayout(
+            key=obj["key"],
+            label=obj["label"],
+            total_numel=obj["total_numel"],
+            padded_numel=obj["padded_numel"],
+            factor=obj["factor"],
+            shard_numel=obj["shard_numel"],
+            dtype=obj["dtype"],
+            params=tuple(ParamSpec.from_json(p) for p in obj["params"]),
+        )
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One rank's shard file plus its declared integrity checksum."""
+
+    path: str
+    rank: int
+    nbytes: int
+    crc32: int
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "rank": self.rank,
+            "nbytes": self.nbytes,
+            "crc32": self.crc32,
+        }
+
+    @staticmethod
+    def from_json(obj: dict) -> "ShardEntry":
+        return ShardEntry(
+            path=obj["path"],
+            rank=obj["rank"],
+            nbytes=obj["nbytes"],
+            crc32=obj["crc32"],
+        )
+
+
+@dataclass
+class CheckpointManifest:
+    """The commit record for one checkpoint iteration."""
+
+    iteration: int
+    world_size: int
+    units: tuple[UnitLayout, ...] = ()
+    shards: tuple[ShardEntry, ...] = ()
+    version: int = MANIFEST_VERSION
+    extras: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": self.version,
+                "iteration": self.iteration,
+                "world_size": self.world_size,
+                "units": [u.to_json() for u in self.units],
+                "shards": [s.to_json() for s in self.shards],
+                "extras": self.extras,
+            },
+            indent=1,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "CheckpointManifest":
+        try:
+            obj = json.loads(text)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointError(f"manifest unreadable: {exc}") from exc
+        try:
+            return CheckpointManifest(
+                iteration=obj["iteration"],
+                world_size=obj["world_size"],
+                units=tuple(UnitLayout.from_json(u) for u in obj["units"]),
+                shards=tuple(ShardEntry.from_json(s) for s in obj["shards"]),
+                version=obj.get("version", MANIFEST_VERSION),
+                extras=obj.get("extras", {}),
+            )
+        except (KeyError, TypeError) as exc:
+            raise CheckpointError(f"manifest missing field: {exc}") from exc
+
+    def shard_for_rank(self, rank: int) -> ShardEntry:
+        for entry in self.shards:
+            if entry.rank == rank:
+                return entry
+        raise CheckpointError(
+            f"manifest for iteration {self.iteration} has no shard for rank {rank} "
+            f"(world size at save: {self.world_size})"
+        )

@@ -19,6 +19,7 @@ from repro.distributed.fault import (
     FaultInjector,
     FaultKind,
     FaultSchedule,
+    StorageDecision,
 )
 from repro.distributed.process_group import (
     DEFAULT_COLLECTIVE_TIMEOUT,
@@ -50,6 +51,7 @@ __all__ = [
     "FaultKind",
     "FaultEvent",
     "FaultDecision",
+    "StorageDecision",
     "FaultSchedule",
     "FaultInjector",
 ]

@@ -39,6 +39,7 @@ __all__ = [
     "FaultKind",
     "FaultEvent",
     "FaultDecision",
+    "StorageDecision",
     "FaultSchedule",
     "FaultInjector",
 ]
@@ -70,12 +71,30 @@ class FaultKind(enum.Enum):
     #: Foreign allocations occupy ``pressure_bytes`` of device memory
     #: for a window of iterations, provoking cudaMalloc retries.
     OOM_PRESSURE = "oom_pressure"
+    #: A checkpoint shard write is truncated mid-flight (writer died or
+    #: the filesystem lost the tail): the stored bytes no longer match
+    #: the checksum the manifest committed.
+    TORN_WRITE = "torn_write"
+    #: A stored checkpoint shard has one bit flipped (silent media or
+    #: transfer corruption); only a checksum verify can catch it.
+    BIT_CORRUPTION = "bit_corruption"
+    #: A checkpoint shard file disappears entirely after being written
+    #: (lost object, evicted cache tier).
+    LOST_SHARD = "lost_shard"
 
 
 #: Fault kinds that may change *when* things happen but never *what* is
 #: computed.  Schedules restricted to these kinds are loss-preserving.
 TIMING_ONLY_KINDS = frozenset(
     {FaultKind.STRAGGLER, FaultKind.DELAY, FaultKind.TRANSIENT}
+)
+
+#: Fault kinds that target checkpoint storage rather than collectives.
+#: They never perturb training numerics directly — they only surface at
+#: restore time, where the integrity-checked store falls back to the
+#: last verified-good checkpoint (recovery-semantics preserving).
+STORAGE_KINDS = frozenset(
+    {FaultKind.TORN_WRITE, FaultKind.BIT_CORRUPTION, FaultKind.LOST_SHARD}
 )
 
 
@@ -138,6 +157,26 @@ class FaultDecision:
         )
 
 
+@dataclass
+class StorageDecision:
+    """The injector's verdict for one checkpoint-shard write.
+
+    Applied by the checkpoint storage layer (`repro.checkpoint`):
+    ``torn`` truncates the stored bytes, ``corrupt_bit`` flips the
+    addressed bit, ``lost`` drops the object entirely.  All three leave
+    the *declared* checksum (computed from the intended bytes) intact,
+    so the damage is only discoverable by an integrity verify.
+    """
+
+    torn: bool = False
+    corrupt_bit: Optional[int] = None
+    lost: bool = False
+
+    @property
+    def benign(self) -> bool:
+        return not (self.torn or self.lost) and self.corrupt_bit is None
+
+
 class FaultSchedule:
     """An immutable, seed-reproducible list of fault events."""
 
@@ -165,6 +204,9 @@ class FaultSchedule:
     def crash_events(self) -> list[FaultEvent]:
         return [e for e in self.events if e.kind is FaultKind.CRASH]
 
+    def storage_events(self) -> list[FaultEvent]:
+        return [e for e in self.events if e.kind in STORAGE_KINDS]
+
     def with_events(self, *extra: FaultEvent) -> "FaultSchedule":
         return FaultSchedule(self.events + tuple(extra), seed=self.seed)
 
@@ -184,6 +226,9 @@ class FaultSchedule:
         hangs: int = 0,
         crashes: int = 0,
         pressure_events: int = 0,
+        torn_writes: int = 0,
+        corruptions: int = 0,
+        lost_shards: int = 0,
         max_delay_s: float = 5e-3,
         max_duration_factor: float = 4.0,
         max_failures: int = 3,
@@ -254,6 +299,22 @@ class FaultSchedule:
                     pressure_bytes=pressure_bytes,
                 )
             )
+        for kind, count in (
+            (FaultKind.TORN_WRITE, torn_writes),
+            (FaultKind.BIT_CORRUPTION, corruptions),
+            (FaultKind.LOST_SHARD, lost_shards),
+        ):
+            for _ in range(count):
+                # Storage faults target one rank's shard of one
+                # checkpoint iteration (iteration 0 is the initial
+                # checkpoint, so target 1..iterations).
+                events.append(
+                    FaultEvent(
+                        kind=kind,
+                        rank=rng.randrange(world_size),
+                        iteration=rng.randint(1, max(iterations, 1)),
+                    )
+                )
         return cls(events, seed=seed)
 
 
@@ -286,6 +347,12 @@ class FaultInjector:
         self._transient_left: dict[tuple[int, int], int] = {}
         # One-shot events already fired, per (event index, rank).
         self._fired: set[tuple[int, int]] = set()
+        # World incarnation counter (bumped by elastic respawns) and the
+        # incarnation in which each crash event first fired: a crash is
+        # observed by every rank of *one* incarnation, never by ranks
+        # that join later (e.g. an elastic grow replaying the iteration).
+        self._generation = 0
+        self._crash_generation: dict[int, int] = {}
         self.injected: list[InjectedFault] = []
         #: Optional ``callable(label)`` notified when a fault fires
         #: (wired to the timeline tracer's mark channel).
@@ -299,6 +366,12 @@ class FaultInjector:
 
     def collective_seq(self, rank: int) -> int:
         return self._seq.get(rank, 0)
+
+    def advance_generation(self) -> None:
+        """Mark a world respawn: crash events consumed by the previous
+        incarnation stay consumed for ranks that join afterwards."""
+        with self._lock:
+            self._generation += 1
 
     def _mark(self, label: str) -> None:
         if self.mark_hook is not None:
@@ -333,9 +406,15 @@ class FaultInjector:
             with self._lock:
                 if observer_key in self._fired:
                     continue
+                fired_in = self._crash_generation.get(index)
+                if fired_in is not None and fired_in != self._generation:
+                    # Consumed by an earlier incarnation of the world —
+                    # a rank that joined later (elastic grow) replaying
+                    # this iteration must not re-fire it.
+                    continue
                 self._fired.add(observer_key)
-                first_observer = (index, -1) not in self._fired
-                self._fired.add((index, -1))
+                first_observer = fired_in is None
+                self._crash_generation[index] = self._generation
             if first_observer:
                 self._log(
                     InjectedFault(
@@ -343,6 +422,50 @@ class FaultInjector:
                     )
                 )
             raise RankCrashedError(rank=crashed, iteration=iteration)
+
+    def on_storage_write(
+        self, *, rank: int, iteration: int, path: str = ""
+    ) -> StorageDecision:
+        """Decide the fate of one checkpoint-shard write.
+
+        ``iteration`` is the checkpoint's iteration number (passed
+        explicitly by the storage layer — it is decoupled from the
+        runtime iteration counters the collective faults consult).
+        Storage events are one-shot per (event, rank): a re-save of the
+        same iteration after recovery lands cleanly, which is what lets
+        training repair a quarantined checkpoint.
+        """
+        decision = StorageDecision()
+        for index, event in enumerate(self.schedule.events):
+            if event.kind not in STORAGE_KINDS:
+                continue
+            if not event.matches_rank(rank) or not event.in_window(iteration):
+                continue
+            key = (index, rank)
+            with self._lock:
+                if key in self._fired:
+                    continue
+                self._fired.add(key)
+            if event.kind is FaultKind.TORN_WRITE:
+                decision.torn = True
+            elif event.kind is FaultKind.BIT_CORRUPTION:
+                # Deterministic bit address: a pure function of the
+                # schedule seed and the match, reduced modulo the blob
+                # size by the storage layer.
+                decision.corrupt_bit = (
+                    self.schedule.seed * 1000003 + index * 8191 + rank * 131 + 7
+                )
+            elif event.kind is FaultKind.LOST_SHARD:
+                decision.lost = True
+            self._log(
+                InjectedFault(
+                    event.kind,
+                    rank,
+                    iteration,
+                    detail=f"storage: {path}" if path else "storage",
+                )
+            )
+        return decision
 
     def pressure_bytes(self, rank: int, iteration: int) -> int:
         """Total injected allocator pressure active for this iteration."""

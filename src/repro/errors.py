@@ -13,7 +13,10 @@ __all__ = [
     "RankCrashedError",
     "FsdpError",
     "ShardingError",
+    "ShardLayoutError",
     "DeferredInitError",
+    "CheckpointError",
+    "CheckpointCorruptionError",
     "StreamOrderViolation",
     "ExecOrderViolation",
 ]
@@ -132,8 +135,60 @@ class ShardingError(FsdpError):
     """Raised when a sharding configuration is inconsistent."""
 
 
+class ShardLayoutError(FsdpError, KeyError):
+    """A sharded state dict does not match the model's shard layout.
+
+    Raised instead of silently mis-loading when a checkpoint was taken
+    with a different world size, wrap granularity or unit composition
+    than the model being restored.  Such checkpoints must go through the
+    resharding loader (:func:`repro.checkpoint.load_resharded`), which
+    reassembles per-FQN logical tensors from the saved shard metadata.
+
+    Subclasses :class:`KeyError` for backward compatibility with callers
+    that treated a missing shard key as a plain dictionary miss.
+    """
+
+    def __init__(self, message: str, *, key: str = "", expected=None, actual=None):
+        self.key = key
+        self.expected = expected
+        self.actual = actual
+        # Bypass KeyError's repr-quoting of the message.
+        Exception.__init__(self, message)
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
 class DeferredInitError(FsdpError):
     """Raised when deferred initialization cannot record or replay."""
+
+
+class CheckpointError(ReproError):
+    """Base class for distributed-checkpoint storage failures."""
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """A checkpoint shard failed its integrity check at load time.
+
+    Carries the iteration, the storage path and the expected/actual
+    checksums.  The store quarantines the whole checkpoint and recovery
+    proceeds from the last *verified-good* iteration instead.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        iteration: int = -1,
+        path: str = "",
+        expected_crc: int = 0,
+        actual_crc: int = 0,
+    ):
+        self.iteration = iteration
+        self.path = path
+        self.expected_crc = expected_crc
+        self.actual_crc = actual_crc
+        super().__init__(message)
 
 
 class StreamOrderViolation(ReproError):

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.autograd.grad_mode import no_grad
-from repro.errors import FsdpError
+from repro.errors import FsdpError, ShardLayoutError
 from repro.nn.module import Module
 from repro.optim.optimizer import Optimizer
 from repro.tensor import Tensor, empty, tensor, zeros_like
@@ -71,10 +71,22 @@ def load_sharded_optim_state_dict(model: Module, optimizer: Optimizer, state_dic
         for index, handle in enumerate(_handles_under(model)):
             key = f"flat_param.{index:03d}.{handle.label}"
             if key not in state:
-                raise KeyError(f"sharded optimizer state dict is missing {key!r}")
+                raise ShardLayoutError(
+                    f"sharded optimizer state dict is missing {key!r}", key=key
+                )
             flat_state = optimizer.state.setdefault(id(handle.flat_param), {})
             for name, value in state[key].items():
                 if isinstance(value, Tensor):
+                    if value.numel != handle.shard_numel:
+                        raise ShardLayoutError(
+                            f"optimizer shard {key!r}[{name!r}] has {value.numel} "
+                            f"elements but the model's local shard has "
+                            f"{handle.shard_numel} — use repro.checkpoint."
+                            "load_resharded for cross-layout restores.",
+                            key=key,
+                            expected=handle.shard_numel,
+                            actual=value.numel,
+                        )
                     current = flat_state.get(name)
                     if not isinstance(current, Tensor) or current.numel != value.numel:
                         current = zeros_like(handle.flat_param.detach())

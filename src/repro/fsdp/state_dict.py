@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.autograd.grad_mode import no_grad
-from repro.errors import FsdpError
+from repro.errors import FsdpError, ShardLayoutError
 from repro.nn.module import Module
 from repro.tensor import Tensor, tensor
 
@@ -159,10 +159,30 @@ def sharded_state_dict(root: Module, *, copy: bool = False) -> "OrderedDict[str,
 
 
 def load_sharded_state_dict(root: Module, state: dict) -> None:
-    """Load shards saved by :func:`sharded_state_dict` (same layout)."""
+    """Load shards saved by :func:`sharded_state_dict` (same layout).
+
+    Raises :class:`ShardLayoutError` (a :class:`KeyError` subclass) when
+    the state dict was saved under a different layout — missing unit
+    keys or shard-size mismatches from a different world size or wrap
+    granularity.  Such checkpoints must go through
+    :func:`repro.checkpoint.load_resharded` instead.
+    """
     with no_grad():
         for index, handle in enumerate(_handles_under(root)):
             key = f"flat_param.{index:03d}.{handle.label}"
             if key not in state:
-                raise KeyError(f"sharded state dict is missing {key!r}")
-            handle._local_shard.copy_(state[key])
+                raise ShardLayoutError(
+                    f"sharded state dict is missing {key!r}", key=key
+                )
+            value = state[key]
+            if isinstance(value, Tensor) and value.numel != handle.shard_numel:
+                raise ShardLayoutError(
+                    f"shard {key!r} has {value.numel} elements but the model's "
+                    f"local shard has {handle.shard_numel} — checkpoint taken "
+                    "at a different world size or wrap granularity? Use "
+                    "repro.checkpoint.load_resharded.",
+                    key=key,
+                    expected=handle.shard_numel,
+                    actual=value.numel,
+                )
+            handle._local_shard.copy_(value)

@@ -50,6 +50,16 @@ class PerfResult:
     recoveries: int = 0
     recovered_iterations: int = 0
     recovery_overhead_s: float = 0.0
+    #: Checkpointing accounting (elastic runs with a checkpoint writer).
+    #: ``checkpoint_save_s`` is issue→durable wall time summed over
+    #: saves; ``checkpoint_stall_s`` is the part the training loop
+    #: actually waited on (zero for fully-async saves);
+    #: ``checkpoint_load_s``/``checkpoint_verify_s`` accrue on restores.
+    checkpoint_saves: int = 0
+    checkpoint_save_s: float = 0.0
+    checkpoint_stall_s: float = 0.0
+    checkpoint_load_s: float = 0.0
+    checkpoint_verify_s: float = 0.0
     #: Observability metrics (only filled when ``SimConfig.profile`` is
     #: on): per-iteration exposed/overlapped communication seconds and
     #: rate-limiter stall, plus prefetch hit/miss counts over the whole
@@ -99,6 +109,11 @@ class PerfResult:
                 f"  faults={self.faults_injected} recov={self.recoveries}"
                 f"/{self.recovered_iterations}it"
                 f" ovh={self.recovery_overhead_s * 1e3:.1f}ms"
+            )
+        if self.checkpoint_saves:
+            text += (
+                f"  ckpt={self.checkpoint_saves}"
+                f" stall={self.checkpoint_stall_s * 1e3:.1f}ms"
             )
         config = self.config_label()
         if config:

@@ -22,6 +22,7 @@ from repro.ddp import DistributedDataParallel
 from repro.distributed.fault import FaultInjector, FaultSchedule
 from repro.distributed.process_group import DEFAULT_COLLECTIVE_TIMEOUT, ReduceOp
 from repro.errors import (
+    CheckpointCorruptionError,
     CollectiveFailedError,
     CollectiveTimeoutError,
     DistributedError,
@@ -35,11 +36,6 @@ from repro.fsdp import (
     ShardingStrategy,
 )
 from repro.fsdp.deferred_init import deferred_init
-from repro.fsdp.optim_state import (
-    load_sharded_optim_state_dict,
-    sharded_optim_state_dict,
-)
-from repro.fsdp.state_dict import load_sharded_state_dict, sharded_state_dict
 from repro.hw.specs import ClusterTopology
 from repro.nn.module import Module
 from repro.optim import Adam, SGD
@@ -56,11 +52,22 @@ __all__ = [
 
 LossFn = Callable[[Module, Device], "object"]
 
-#: Errors the elastic loop treats as recoverable rank failures.
-RECOVERABLE_ERRORS = (RankCrashedError, CollectiveTimeoutError, CollectiveFailedError)
+#: Errors the elastic loop treats as recoverable rank failures.  A
+#: corrupted checkpoint is recoverable too: the store quarantines it and
+#: the respawned world restores from an older verified-good iteration.
+RECOVERABLE_ERRORS = (
+    RankCrashedError,
+    CollectiveTimeoutError,
+    CollectiveFailedError,
+    CheckpointCorruptionError,
+)
 
 #: Simulated host→device restore bandwidth for checkpoint reloads.
 CHECKPOINT_RESTORE_BANDWIDTH = 5 * GiB  # bytes/s
+
+#: Simulated checksum-verify throughput at restore time (CRC pass over
+#: every shard before trusting it — see repro.checkpoint.store).
+CHECKPOINT_VERIFY_BANDWIDTH = 10 * GiB  # bytes/s
 
 
 @dataclass
@@ -119,6 +126,12 @@ class SimConfig:
     elastic: bool = False
     #: Sharded-checkpoint cadence for the elastic loop (iterations).
     checkpoint_every: int = 1
+    #: Snapshot shards on a dedicated side stream and commit them with a
+    #: simulated background writer (overlapped with training).  False =
+    #: synchronous saves: the loop blocks until each checkpoint is
+    #: durable — the exposed stall async checkpointing removes, at the
+    #: price of a larger loss-of-work window on failure.
+    async_checkpoint: bool = True
     #: Give up after this many recoveries.
     max_recoveries: int = 4
     #: Install a :class:`repro.profiler.ProfilerSession` for the run;
@@ -197,8 +210,8 @@ def _runtime_of(wrapped: Module):
     return None
 
 
-def _restore_cost_s(wrapped: Module, optimizer) -> float:
-    """Simulated time to reload the local sharded checkpoint."""
+def _checkpoint_nbytes(wrapped: Module, optimizer) -> int:
+    """Bytes in one rank's shard of a model+optimizer checkpoint."""
     total = 0
     for unit in _all_units(wrapped):
         if unit.handle is None:
@@ -207,7 +220,12 @@ def _restore_cost_s(wrapped: Module, optimizer) -> float:
         for value in optimizer.state.get(id(unit.handle.flat_param), {}).values():
             if isinstance(value, Tensor):
                 total += value.nbytes
-    return total / CHECKPOINT_RESTORE_BANDWIDTH
+    return total
+
+
+def _restore_cost_s(wrapped: Module, optimizer) -> float:
+    """Simulated time to reload the local sharded checkpoint."""
+    return _checkpoint_nbytes(wrapped, optimizer) / CHECKPOINT_RESTORE_BANDWIDTH
 
 
 def simulate_training(config: SimConfig) -> PerfResult:
@@ -265,6 +283,12 @@ def simulate_training(config: SimConfig) -> PerfResult:
         else:
             optimizer = SGD(params, lr=1e-2)
 
+        writer = None
+        if config.elastic and config.checkpoint_every:
+            from repro.checkpoint import AsyncCheckpointWriter
+
+            writer = AsyncCheckpointWriter(device, async_=config.async_checkpoint)
+
         latency = 0.0
         flops = 0.0
         comm_before = cross_before = coll_before = 0
@@ -300,28 +324,58 @@ def simulate_training(config: SimConfig) -> PerfResult:
                 completed += 1
                 if config.checkpoint_every and completed % config.checkpoint_every == 0:
                     last_checkpoint = completed
+                    if writer is not None:
+                        writer.save(
+                            iteration=completed,
+                            nbytes=_checkpoint_nbytes(wrapped, optimizer),
+                        )
             except RECOVERABLE_ERRORS:
                 result.recoveries += 1
                 if not config.elastic or result.recoveries > config.max_recoveries:
                     raise
+                if injector is not None:
+                    injector.advance_generation()
                 runtime = _runtime_of(wrapped)
                 if runtime is not None:
                     runtime.reset_after_failure()
                 optimizer.zero_grad()
+                crash_time = device.now()
                 device.synchronize()
-                wasted_since = iteration_started.get(last_checkpoint)
+                # An async save still draining at crash time is lost:
+                # rewind to the newest *durably committed* checkpoint,
+                # not the newest issued one.
+                if writer is not None:
+                    rewind = writer.committed_iteration(crash_time) or 0
+                else:
+                    rewind = last_checkpoint
+                wasted_since = iteration_started.get(rewind)
                 if wasted_since is not None:
                     result.recovery_overhead_s += device.now() - wasted_since
                 restore = _restore_cost_s(wrapped, optimizer)
-                device.consume_cpu(restore)
-                result.recovery_overhead_s += restore
-                result.recovered_iterations += completed - last_checkpoint
-                for dropped in range(last_checkpoint, completed + 1):
+                verify = (
+                    _checkpoint_nbytes(wrapped, optimizer)
+                    * config.world_size
+                    / CHECKPOINT_VERIFY_BANDWIDTH
+                )
+                device.consume_cpu(verify + restore)
+                result.checkpoint_load_s += restore
+                result.checkpoint_verify_s += verify
+                result.recovery_overhead_s += verify + restore
+                result.recovered_iterations += completed - rewind
+                for dropped in range(rewind, completed + 1):
                     iteration_started.pop(dropped, None)
-                completed = last_checkpoint
+                completed = rewind
+                last_checkpoint = rewind
         device.synchronize()
         latency = (device.now() - start_time) / config.iterations
         flops = (device.flops_total - start_flops) / config.iterations
+        if writer is not None:
+            # Final-commit drain happens after the measured window so
+            # steady-state latency reflects the overlapped cost only.
+            writer.drain()
+            result.checkpoint_saves = writer.saves
+            result.checkpoint_save_s = writer.total_save_s
+            result.checkpoint_stall_s = writer.total_stall_s
 
         stats = device.memory_stats()
         groups = _groups_of(wrapped)
@@ -411,28 +465,51 @@ class CheckpointStore:
     distributed checkpoint directory.  ``latest`` only reports
     iterations where *every* rank's shard landed, so a crash between two
     ranks' saves can never restore a torn checkpoint.
+
+    Superseded by :class:`repro.checkpoint.DistributedCheckpointStore`
+    (integrity-checked, resharding-capable); kept as the minimal
+    in-memory flavour for tests and same-layout recovery.
     """
 
     def __init__(self):
         self._lock = threading.Lock()
         # iteration -> rank -> {"model": ..., "optim": ...}
         self._snapshots: dict[int, dict[int, dict]] = {}
+        # iteration -> world size the savers ran at
+        self._world_sizes: dict[int, int] = {}
 
-    def save(self, iteration: int, rank: int, model_state, optim_state) -> None:
+    def save(
+        self,
+        iteration: int,
+        rank: int,
+        model_state,
+        optim_state,
+        *,
+        world_size: Optional[int] = None,
+    ) -> None:
         with self._lock:
             self._snapshots.setdefault(iteration, {})[rank] = {
                 "model": model_state,
                 "optim": optim_state,
             }
+            if world_size is not None:
+                self._world_sizes[iteration] = world_size
 
-    def latest(self, world_size: int) -> Optional[int]:
-        """Latest iteration for which all ``world_size`` shards exist."""
+    def latest(self, world_size: Optional[int] = None) -> Optional[int]:
+        """Latest iteration for which every saver's shard exists.
+
+        Completeness is judged against the world size recorded *at save
+        time*: a world that shrank after a partial save can never see
+        the torn iteration reported complete just because fewer shards
+        now suffice.  The ``world_size`` argument is only a fallback for
+        iterations saved without one (legacy callers).
+        """
         with self._lock:
-            complete = [
-                iteration
-                for iteration, per_rank in self._snapshots.items()
-                if len(per_rank) >= world_size
-            ]
+            complete = []
+            for iteration, per_rank in self._snapshots.items():
+                expected = self._world_sizes.get(iteration, world_size)
+                if expected is not None and len(per_rank) >= expected:
+                    complete.append(iteration)
         return max(complete) if complete else None
 
     def load(self, iteration: int, rank: int) -> dict:
@@ -449,12 +526,19 @@ class ElasticResult:
     """Outcome of one :func:`train_elastic` run."""
 
     #: Global (rank-averaged) loss per iteration, 0..iterations-1.
+    #: Entries are ``None`` for iterations this run never executed
+    #: (e.g. a resumed run that started past them).
     losses: list = field(default_factory=list)
     restarts: int = 0
     #: Iterations that had to be re-executed after restarts.
     recovered_iterations: int = 0
     faults_injected: int = 0
     injector: Optional[FaultInjector] = None
+    #: World size of each incarnation (initial + one entry per restart).
+    world_sizes: list = field(default_factory=list)
+    #: The checkpoint store the run used (inspectable: quarantined
+    #: iterations, storage byte counters, committed manifests).
+    store: Optional[object] = None
 
 
 def train_elastic(
@@ -472,39 +556,48 @@ def train_elastic(
     max_restarts: int = 4,
     collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT,
     topology: Optional[ClusterTopology] = None,
+    store: Optional[object] = None,
+    restart_world_size: Optional[Callable[[int, int], int]] = None,
 ) -> ElasticResult:
     """Run a real-data threaded training loop with elastic recovery.
 
     The torchelastic-style control flow: ``dist.spawn`` runs the world;
     when any rank dies (crash fault, collective timeout, exhausted
-    retries) the whole world is torn down and respawned, each rank
-    restoring from the latest complete sharded checkpoint in the
-    in-memory :class:`CheckpointStore`.  The one :class:`FaultInjector`
-    is shared across restarts so one-shot faults fire exactly once.
+    retries, corrupted checkpoint) the whole world is torn down and
+    respawned, each rank restoring from the latest *verified-good*
+    checkpoint in a :class:`repro.checkpoint.DistributedCheckpointStore`
+    (two-phase committed, CRC-checked; damaged checkpoints are
+    quarantined and the scan falls back to an older good one).  The one
+    :class:`FaultInjector` is shared across restarts so one-shot faults
+    fire exactly once.
+
+    Because restores go through the resharding loader
+    (:func:`repro.checkpoint.load_resharded`), a respawned world may use
+    a *different* world size: pass ``restart_world_size(restarts,
+    current_world) -> new_world`` to shrink (lost host) or grow
+    (replacement arrived) on each restart.  ``store`` may be supplied to
+    resume from an earlier run's checkpoints — e.g. a control run at
+    world size M continuing a crashed N-rank run.
 
     ``make_loss(model, rank, iteration)`` must be a deterministic
     function of its arguments for post-recovery losses to match an
     uninterrupted run (property-tested in
     ``tests/test_elastic_recovery.py``).
     """
+    from repro import checkpoint as ckpt
     from repro.autograd.grad_mode import no_grad
 
     injector = fault_injector
     if injector is None and faults is not None:
         injector = FaultInjector(faults)
-    store = CheckpointStore()
+    if store is None:
+        store = ckpt.DistributedCheckpointStore(injector=injector)
+    elif injector is not None and store.storage.injector is None:
+        store.storage.injector = injector
     # Template weights so every (re)spawned incarnation starts from the
     # same initialization regardless of ambient RNG state.
     template = build_model()
     template_arrays = [p.detach().numpy().copy() for p in template.parameters()]
-
-    def checkpoint(wrapped, opt, iteration: int, rank: int) -> None:
-        store.save(
-            iteration,
-            rank,
-            sharded_state_dict(wrapped, copy=True),
-            sharded_optim_state_dict(wrapped, opt, copy=True),
-        )
 
     def worker(rank: int):
         model = build_model()
@@ -515,14 +608,25 @@ def train_elastic(
         params = list(wrapped.parameters())
         opt = Adam(params, lr=lr) if optimizer == "adam" else SGD(params, lr=lr)
         group = dist.default_group()
-        start = store.latest(world_size)
+        world = dist.get_world_size()
+
+        def save_checkpoint(iteration: int) -> None:
+            blob = ckpt.serialize_state(ckpt.snapshot_payload(wrapped, opt, copy=True))
+            store.save_shard(
+                iteration=iteration,
+                rank=rank,
+                world_size=world,
+                blob=blob,
+                units=ckpt.unit_layouts(wrapped),
+            )
+
+        start = store.latest()
         if start is None:
             start = 0
-            checkpoint(wrapped, opt, 0, rank)
+            save_checkpoint(0)
         else:
-            snapshot = store.load(start, rank)
-            load_sharded_state_dict(wrapped, snapshot["model"])
-            load_sharded_optim_state_dict(wrapped, opt, snapshot["optim"])
+            manifest, payloads = store.read_all(start)
+            ckpt.load_resharded(wrapped, opt, manifest=manifest, payloads=payloads)
         for iteration in range(start, iterations):
             if injector is not None:
                 injector.begin_iteration(rank, iteration)
@@ -537,9 +641,10 @@ def train_elastic(
             all_losses[iteration] = group.all_reduce_scalar(loss.item(), ReduceOp.AVG)
             done = iteration + 1
             if checkpoint_every and done % checkpoint_every == 0:
-                checkpoint(wrapped, opt, done, rank)
+                save_checkpoint(done)
 
-    result = ElasticResult(injector=injector)
+    result = ElasticResult(injector=injector, store=store)
+    result.world_sizes.append(world_size)
     all_losses: dict[int, float] = {}
     while True:
         try:
@@ -556,14 +661,18 @@ def train_elastic(
                 raise
             result.restarts += 1
             if injector is not None:
+                injector.advance_generation()
                 furthest = max(
                     injector.iteration_of(rank) for rank in range(world_size)
                 )
-                rewind = store.latest(world_size) or 0
+                rewind = store.latest() or 0
                 result.recovered_iterations += max(0, furthest - rewind)
+            if restart_world_size is not None:
+                world_size = max(1, int(restart_world_size(result.restarts, world_size)))
+            result.world_sizes.append(world_size)
             continue
         break
-    result.losses = [all_losses[i] for i in range(iterations)]
+    result.losses = [all_losses.get(i) for i in range(iterations)]
     if injector is not None:
         result.faults_injected = len(injector.injected)
     return result

@@ -278,12 +278,29 @@ class ProfilerSession:
     def totals(self) -> dict:
         """Aggregate observability metrics (finalizes first)."""
         self.finalize()
-        exposed, overlapped = exposed_overlapped(self.comm_intervals, self.compute_intervals())
+        compute = self.compute_intervals()
+        exposed, overlapped = exposed_overlapped(self.comm_intervals, compute)
         total = exposed + overlapped
+        # Checkpoint D2H snapshots run on their own stream under a
+        # ``checkpoint:`` scope; split against compute the same way as
+        # communication so the exposed-vs-overlapped checkpoint cost is
+        # a first-class line item.
+        ckpt_intervals = merge_intervals(
+            (e.start, e.end)
+            for e in self.kernel_events
+            if scope_leaf(e.scope).startswith("checkpoint:")
+        )
+        ckpt_exposed, ckpt_overlapped = exposed_overlapped(ckpt_intervals, compute)
+        ckpt_total = ckpt_exposed + ckpt_overlapped
         return {
             "exposed_comm_s": exposed,
             "overlapped_comm_s": overlapped,
             "overlap_fraction": overlapped / total if total else 1.0,
+            "checkpoint_exposed_s": ckpt_exposed,
+            "checkpoint_overlapped_s": ckpt_overlapped,
+            "checkpoint_overlap_fraction": (
+                ckpt_overlapped / ckpt_total if ckpt_total else 1.0
+            ),
             "allgather_bytes": sum(u.allgather_bytes for u in self.units.values()),
             "reduce_scatter_bytes": sum(u.reduce_scatter_bytes for u in self.units.values()),
             "prefetch_hits": sum(u.prefetch_hits for u in self.units.values()),

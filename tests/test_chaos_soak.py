@@ -1,0 +1,128 @@
+"""Chaos soak: ``train_elastic`` under randomized seeded fault campaigns.
+
+Each campaign is a :meth:`FaultSchedule.random` draw — pure function of
+its seed — mixing collective faults (stragglers, delays, transient
+failures, crashes) with storage faults (torn writes, bit corruption,
+lost shards).  The invariants:
+
+- **timing-only** schedules (no crashes, no storage damage) leave the
+  loss trajectory *bitwise* identical to a fault-free run;
+- schedules with crashes and storage damage still converge to the
+  fault-free trajectory bitwise, because recovery replays deterministic
+  batches from the last verified-good checkpoint — the recovery
+  *semantics* (restart count bounded, store left consistent) are
+  checked alongside.
+
+The default campaign is small enough for tier-1; the CI chaos-soak
+lane widens it with ``REPRO_CHAOS_SEEDS=<n>``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.distributed import FaultSchedule
+from repro import nn
+from repro.perf.trainer import train_elastic
+from repro.tensor import tensor
+
+WORLD = 3
+ITERS = 6
+D = 12
+
+_SOAK = int(os.environ.get("REPRO_CHAOS_SEEDS", "0"))
+TIMING_SEEDS = list(range(_SOAK or 2))
+CHAOS_SEEDS = list(range(100, 100 + (_SOAK or 2)))
+
+
+def build_model():
+    return nn.Sequential(nn.Linear(D, 2 * D), nn.Tanh(), nn.Linear(2 * D, D))
+
+
+def make_loss(model, rank, iteration):
+    rng = np.random.default_rng(4000 + 29 * iteration + rank)
+    x = tensor(rng.standard_normal((4, D)).astype(np.float32))
+    out = model(x)
+    return (out * out).mean()
+
+
+def run(schedule=None):
+    repro.manual_seed(1234)
+    return train_elastic(
+        build_model=build_model,
+        make_loss=make_loss,
+        world_size=WORLD,
+        iterations=ITERS,
+        faults=schedule,
+        checkpoint_every=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_losses():
+    return run().losses
+
+
+class TestTimingOnlyCampaign:
+    @pytest.mark.parametrize("seed", TIMING_SEEDS)
+    def test_losses_bitwise_identical(self, seed, baseline_losses):
+        schedule = FaultSchedule.random(
+            seed=seed,
+            world_size=WORLD,
+            iterations=ITERS,
+            stragglers=1,
+            delays=2,
+            transients=1,
+            max_delay_s=2e-3,
+        )
+        assert schedule.timing_only()
+        result = run(schedule)
+        assert result.restarts == 0
+        assert result.losses == baseline_losses
+
+
+class TestChaosCampaign:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_recovery_semantics_and_replayed_trajectory(
+        self, seed, baseline_losses
+    ):
+        schedule = FaultSchedule.random(
+            seed=seed,
+            world_size=WORLD,
+            iterations=ITERS,
+            stragglers=1,
+            delays=1,
+            transients=1,
+            crashes=1,
+            torn_writes=1,
+            corruptions=1,
+            lost_shards=1,
+            max_delay_s=2e-3,
+        )
+        assert not schedule.timing_only()
+        result = run(schedule)
+        # Recovery semantics: bounded restarts, a consistent store.
+        assert result.restarts <= 4
+        latest = result.store.latest()
+        assert latest is not None and 0 <= latest <= ITERS
+        # Deterministic replay from verified-good checkpoints restores
+        # the exact fault-free trajectory.
+        assert result.losses == baseline_losses
+
+    def test_campaigns_are_seed_deterministic(self):
+        kwargs = dict(
+            world_size=WORLD,
+            iterations=ITERS,
+            crashes=1,
+            torn_writes=1,
+            corruptions=1,
+            lost_shards=1,
+        )
+        assert FaultSchedule.random(seed=42, **kwargs) == FaultSchedule.random(
+            seed=42, **kwargs
+        )
+        assert FaultSchedule.random(seed=42, **kwargs) != FaultSchedule.random(
+            seed=43, **kwargs
+        )

@@ -1,0 +1,190 @@
+"""Per-parameter vs flat-param sharding backend comparison.
+
+The fully_shard v2 bench behind ``BENCH_perparam.json``.  Two claims
+are measured for each workload, with the flat-param backend as the
+baseline under an otherwise identical configuration:
+
+- **memory**: per-parameter dim-0 sharding stores *exactly* the model
+  — the flatten-concat padding disappears (an analytic identity
+  asserted per unit: ``flat.padded_numel == per_param.total_numel +
+  flat.padding`` and ``per_param.padding == 0``), and the simulated
+  peak falls further because gather/reduce buffers live per parameter
+  instead of as one padded flat buffer per unit;
+- **latency**: the price is more, smaller collectives per unit (one
+  all-gather / reduce-scatter per parameter instead of per flat
+  buffer), reported as a latency ratio.
+
+Workloads: the autotune bench models (minGPT, T5) wrapped per
+transformer block, plus an odd-dimension MLP whose sizes share no
+factor with the world size, so every parameter exercises the uneven
+chunking and uneven-collective paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+import repro
+from repro import distributed as dist
+from repro import nn
+from repro.fsdp.sharding import ShardingStrategy
+from repro.fsdp.wrap import ModuleWrapPolicy
+from repro.models.mingpt import GptConfig
+from repro.models.t5 import T5Config
+from repro.models.transformer import TransformerBlock
+from repro.perf.metrics import PerfResult
+from repro.perf.trainer import SimConfig, _all_units, _wrap_model, simulate_training
+
+__all__ = [
+    "bench_configs",
+    "padding_accounting",
+    "compare_backends",
+    "main",
+]
+
+BENCH_GPT = GptConfig(vocab_size=2048, block_size=128, n_layer=12, n_head=8, n_embd=512)
+BENCH_T5 = T5Config(
+    vocab_size=2048, d_model=256, d_ff=1024, num_heads=4, head_dim=64, num_layers=4
+)
+
+#: Odd-dimension MLP: 1021 and 509 are prime, so no layer divides the
+#: world size and every shard boundary lands mid-row.
+ODD_DIMS = (1024, 4096, 1021, 509, 1024)
+
+
+def _odd_mlp_builder() -> Callable[[], nn.Module]:
+    def build() -> nn.Module:
+        layers: list[nn.Module] = []
+        for d_in, d_out in zip(ODD_DIMS, ODD_DIMS[1:]):
+            layers.append(nn.Linear(d_in, d_out))
+            layers.append(nn.GELU())
+        return nn.Sequential(*layers)
+
+    return build
+
+
+def _odd_mlp_loss(batch_size: int):
+    def make_loss(model, device):
+        x = repro.randn(batch_size, ODD_DIMS[0], device=device)
+        out = model(x)
+        return nn.functional.mse_loss(out, repro.zeros_like(out))
+
+    return make_loss
+
+
+def bench_configs(world_size: int = 8) -> list[SimConfig]:
+    """Flat-param baseline configs; the comparison flips ``backend``."""
+    from repro.autotune import gpt_workload, t5_workload
+
+    block_policy = ModuleWrapPolicy((TransformerBlock,))
+    gpt = gpt_workload(
+        BENCH_GPT, batch_size=4, seq_len=128, world_size=world_size, name="minGPT"
+    ).sim_config()
+    gpt.auto_wrap_policy = block_policy
+    t5 = t5_workload(
+        BENCH_T5, batch_size=4, seq_len=64, world_size=world_size, name="T5"
+    ).sim_config()
+    t5.auto_wrap_policy = block_policy
+    odd = SimConfig(
+        name="odd-mlp",
+        build_model=_odd_mlp_builder(),
+        make_loss=_odd_mlp_loss(8),
+        batch_size=8,
+        world_size=world_size,
+        auto_wrap_policy=lambda m: isinstance(m, nn.Linear),
+        wrap_policy_label="per-linear",
+        iterations=2,
+        warmup=2,
+    )
+    return [gpt, t5, odd]
+
+
+def padding_accounting(config: SimConfig) -> dict:
+    """Analytic storage accounting for both backends of one workload.
+
+    Builds each backend's sharded model (no training) and reads the
+    handles: the flat backend's world-summed parameter storage is
+    ``sum(padded_numel)`` while the per-parameter backend stores
+    ``sum(total_numel)`` — the difference is exactly the flatten-concat
+    padding, which is the bytes-level claim the simulated peaks then
+    have to at least match in sign.
+    """
+    per_backend: dict[str, dict] = {}
+    for backend in ("flat_param", "per_param"):
+        dist.shutdown()
+        ctx = dist.init_single_process(
+            config.world_size, topology=config.topology, materialize=False
+        )
+        wrapped = _wrap_model(replace(config, backend=backend), ctx.device)
+        units = [u for u in _all_units(wrapped) if u.handle is not None]
+        itemsizes = {
+            u.handle.full_precision_dtype.itemsize for u in units
+        }
+        per_backend[backend] = {
+            "units": len(units),
+            "total_numel": sum(u.handle.total_numel for u in units),
+            "padded_numel": sum(u.handle.padded_numel for u in units),
+            "padding_elems": sum(u.handle.padding for u in units),
+            "itemsize": max(itemsizes),
+            "rank0_sharded_bytes": sum(u.handle.sharded_nbytes for u in units),
+        }
+        dist.shutdown()
+    flat, perp = per_backend["flat_param"], per_backend["per_param"]
+    return {
+        "flat_param": flat,
+        "per_param": perp,
+        "padding_bytes_eliminated": flat["padding_elems"] * flat["itemsize"],
+        # World-summed parameter storage: padded for flat, exact for
+        # per-parameter.  The delta IS the padding, by construction.
+        "world_param_bytes_flat": flat["padded_numel"] * flat["itemsize"],
+        "world_param_bytes_per_param": perp["total_numel"] * perp["itemsize"],
+    }
+
+
+def compare_backends(config: SimConfig) -> dict:
+    """Run one workload under both backends; return rows + accounting."""
+    accounting = padding_accounting(config)
+    rows: dict[str, PerfResult] = {}
+    for backend in ("flat_param", "per_param"):
+        # foreach Adam for BOTH rows: real FSDP2 is paired with
+        # multi-tensor optimizers, and enabling it on one side only
+        # would hide (or exaggerate) the per-leaf launch overhead.
+        run = replace(config, backend=backend, foreach_optimizer=True)
+        run.name = f"{config.name} {backend}"
+        rows[backend] = simulate_training(run)
+    flat, perp = rows["flat_param"], rows["per_param"]
+    return {
+        "workload": config.name,
+        "world_size": config.world_size,
+        "rows": rows,
+        "accounting": accounting,
+        "peak_reserved_delta_gib": flat.peak_reserved_gib - perp.peak_reserved_gib,
+        "peak_allocated_delta_gib": flat.peak_allocated_gib - perp.peak_allocated_gib,
+        "latency_ratio": (
+            perp.iteration_latency / flat.iteration_latency
+            if flat.iteration_latency
+            else float("inf")
+        ),
+    }
+
+
+def main(world_size: int = 8, *, verbose: bool = True) -> list[dict]:
+    from repro.bench.report import print_perf_table
+
+    comparisons = [compare_backends(config) for config in bench_configs(world_size)]
+    if verbose:
+        for comparison in comparisons:
+            rows = comparison["rows"]
+            print_perf_table(comparison["workload"], list(rows.values()))
+            acct = comparison["accounting"]
+            print(
+                f"  padding eliminated: {acct['padding_bytes_eliminated']} B; "
+                f"peak reserved delta {comparison['peak_reserved_delta_gib'] * 1024:.1f} MiB; "
+                f"latency ratio {comparison['latency_ratio']:.2f}x"
+            )
+    return comparisons
+
+
+if __name__ == "__main__":
+    main()

@@ -60,6 +60,39 @@ def unit_layouts(root: Module) -> tuple[UnitLayout, ...]:
     fqns = _module_fqns(root)
     layouts = []
     for index, handle in enumerate(_handles_under(root)):
+        if getattr(handle, "is_per_param", False):
+            # One layout per parameter, keyed by FQN.  FQNs are stable
+            # across wrap granularities, so two models that group the
+            # same parameters into different per-parameter units still
+            # produce identical layout sets — sorted for
+            # order-robustness (see ``layouts_match``).
+            per_param = []
+            for sp in handle.sharded_params:
+                fqn = _join(fqns[id(sp.module)], sp.name)
+                rows = sp.shape[0] if sp.shape else 1
+                row_numel = sp.numel // rows if rows else 0
+                base_chunk = (-(-rows // sp.sharding_factor)) * row_numel
+                per_param.append(
+                    UnitLayout(
+                        key=f"per_param.{fqn}",
+                        label=handle.label,
+                        total_numel=sp.numel,
+                        padded_numel=sp.numel,
+                        factor=sp.sharding_factor,
+                        shard_numel=min(base_chunk, sp.numel),
+                        dtype=sp.full_precision_dtype.name,
+                        params=(
+                            ParamSpec(
+                                fqn=fqn,
+                                shape=tuple(sp.shape),
+                                numel=sp.numel,
+                                offset=0,
+                            ),
+                        ),
+                    )
+                )
+            layouts.extend(sorted(per_param, key=lambda u: u.key))
+            continue
         key = f"flat_param.{index:03d}.{handle.label}"
         specs: list[ParamSpec] = []
         seen: set[tuple[str, int]] = set()
@@ -102,16 +135,23 @@ def snapshot_payload(
     """
     from repro.fsdp.optim_state import sharded_optim_state_dict
 
+    fqns = _module_fqns(root)
+    shard_index: dict[str, int] = {}
+    for index, handle in enumerate(_handles_under(root)):
+        if getattr(handle, "is_per_param", False):
+            for sp in handle.sharded_params:
+                key = f"per_param.{_join(fqns[id(sp.module)], sp.name)}"
+                shard_index[key] = handle.shard_group.rank
+        else:
+            shard_index[f"flat_param.{index:03d}.{handle.label}"] = (
+                handle.shard_group.rank
+            )
     payload: dict = {
         "model": sharded_state_dict(root, copy=copy),
-        "shard_index": {
-            f"flat_param.{index:03d}.{handle.label}": handle.shard_group.rank
-            for index, handle in enumerate(_handles_under(root))
-        },
+        "shard_index": shard_index,
     }
     if optimizer is not None:
         payload["optim"] = sharded_optim_state_dict(root, optimizer, copy=copy)
-    fqns = _module_fqns(root)
     buffers: dict[str, Tensor] = {}
     for module in root.modules():
         if id(module) not in fqns:
@@ -244,15 +284,32 @@ def layouts_match(root: Module, manifest: CheckpointManifest) -> bool:
     live = unit_layouts(root)
     if len(live) != len(manifest.units):
         return False
-    for a, b in zip(live, manifest.units):
-        if (
-            a.key != b.key
-            or a.factor != b.factor
-            or a.shard_numel != b.shard_numel
-            or a.padded_numel != b.padded_numel
-        ):
+
+    def _same(a: UnitLayout, b: UnitLayout) -> bool:
+        return (
+            a.key == b.key
+            and a.factor == b.factor
+            and a.shard_numel == b.shard_numel
+            and a.padded_numel == b.padded_numel
+        )
+
+    # Flat-param units are compared positionally (unit keys encode the
+    # wrap order); per-parameter units are compared as a keyed set —
+    # FQN keys are stable across wrap granularities, so a model that
+    # regroups the same parameters into different units still matches
+    # and takes the cheap same-FQN load path.
+    live_flat = [u for u in live if not u.key.startswith("per_param.")]
+    mani_flat = [u for u in manifest.units if not u.key.startswith("per_param.")]
+    if len(live_flat) != len(mani_flat):
+        return False
+    for a, b in zip(live_flat, mani_flat):
+        if not _same(a, b):
             return False
-    return True
+    live_pp = {u.key: u for u in live if u.key.startswith("per_param.")}
+    mani_pp = {u.key: u for u in manifest.units if u.key.startswith("per_param.")}
+    if set(live_pp) != set(mani_pp):
+        return False
+    return all(_same(live_pp[k], mani_pp[k]) for k in live_pp)
 
 
 def load_resharded(

@@ -62,6 +62,9 @@ class Device:
         # Installed by ``repro.distributed`` when a fault schedule is
         # active; process groups consult it on every collective.
         self.fault_injector = None
+        # Active kernel-coalescing accumulator (``coalesce_kernels``);
+        # ``None`` outside a coalescing region.
+        self._coalesce = None
         # Installed by ``repro.profiler.ProfilerSession``; FSDP runtime
         # and process groups consult it for scope/stat attribution.
         self.profiler = None
@@ -173,6 +176,19 @@ class Device:
         """
         self._require_sim("kernels")
         stream = stream or self.current_stream
+        if self._coalesce is not None and not cost.is_matmul:
+            entry = self._coalesce.get(id(stream))
+            if entry is None:
+                entry = self._coalesce[id(stream)] = [stream, 0.0, 0.0, dtype, {}, {}, {}]
+            entry[1] += cost.flops
+            entry[2] += cost.bytes_moved
+            for storage in reads:
+                entry[4][id(storage)] = storage
+            for storage in writes:
+                entry[5][id(storage)] = storage
+            for block in blocks:
+                entry[6][id(block)] = block
+            return self._cpu_time, self._cpu_time
         self.consume_cpu(self.kernel_model.launch_overhead())
         duration = self.kernel_model.duration(cost, dtype)
         self.flops_total += cost.flops
@@ -191,6 +207,46 @@ class Device:
         if san is not None and (reads or writes):
             san.on_access(self, stream, reads=reads, writes=writes)
         return start, end
+
+    def coalesce_kernels(self, label: str = "multi_tensor"):
+        """Fuse every elementwise kernel launched inside into one launch.
+
+        The simulator's ``multi_tensor_apply``: eager math still runs
+        per op (data effects are identical, bitwise), but instead of
+        paying launch overhead per tensor, the region issues a single
+        kernel per stream whose cost is the sum of the accumulated
+        FLOPs and HBM traffic and whose read/write sets are the unions.
+        Matmuls are never coalesced — they keep their tensor-core lane
+        and launch immediately.  Regions do not nest; an inner region
+        is a no-op inside an outer one.
+        """
+        import contextlib
+
+        @contextlib.contextmanager
+        def _guard():
+            if not self.is_sim_gpu or self._coalesce is not None:
+                yield
+                return
+            acc: dict[int, list] = {}
+            self._coalesce = acc
+            try:
+                yield
+            finally:
+                self._coalesce = None
+                for stream, flops, bytes_moved, dtype, reads, writes, blocks in acc.values():
+                    if not (flops or bytes_moved or reads or writes or blocks):
+                        continue
+                    self.launch(
+                        KernelCost(flops=flops, bytes_moved=bytes_moved),
+                        dtype,
+                        stream=stream,
+                        blocks=tuple(blocks.values()),
+                        reads=tuple(reads.values()),
+                        writes=tuple(writes.values()),
+                        label=label,
+                    )
+
+        return _guard()
 
     def new_event(self) -> Event:
         self._require_sim("events")

@@ -21,6 +21,13 @@ from repro.distributed.fault import (
     FaultSchedule,
     StorageDecision,
 )
+from repro.distributed.mesh import (
+    DeviceMesh,
+    Placement,
+    Replicate,
+    Shard,
+    init_device_mesh,
+)
 from repro.distributed.process_group import (
     DEFAULT_COLLECTIVE_TIMEOUT,
     ProcessGroup,
@@ -31,6 +38,11 @@ from repro.distributed.symmetric import SymmetricProcessGroup
 from repro.distributed.threaded import ThreadedProcessGroup
 
 __all__ = [
+    "DeviceMesh",
+    "Placement",
+    "Shard",
+    "Replicate",
+    "init_device_mesh",
     "ProcessGroup",
     "ThreadedProcessGroup",
     "SymmetricProcessGroup",

@@ -343,6 +343,26 @@ class ProcessGroup:
     ) -> Work:
         raise NotImplementedError
 
+    def reduce_scatter(
+        self,
+        output: Tensor,
+        input: Tensor,
+        input_sizes: Sequence[int],
+        op: str = ReduceOp.SUM,
+        *,
+        stream: Optional[Stream] = None,
+    ) -> Work:
+        """Reduce-scatter with *uneven* per-rank output sizes.
+
+        ``input`` is the 1-D concatenation of ``world_size`` segments of
+        ``input_sizes[r]`` elements each; after the elementwise
+        reduction rank ``r`` receives segment ``r`` in ``output``
+        (``output.numel == input_sizes[rank]``, possibly zero).  The
+        per-parameter backend uses this for exact dim-0 shards whose
+        tail chunks are short.
+        """
+        raise NotImplementedError
+
     def all_reduce(
         self, tensor: Tensor, op: str = ReduceOp.SUM, *, stream: Optional[Stream] = None
     ) -> Work:
@@ -386,4 +406,23 @@ class ProcessGroup:
             raise DistributedError(
                 f"reduce_scatter_tensor: input numel {input.numel} != "
                 f"world_size {self.world_size} * output numel {output.numel}"
+            )
+
+    def _check_reduce_scatter_uneven_shapes(
+        self, output: Tensor, input: Tensor, input_sizes: Sequence[int]
+    ) -> None:
+        if len(input_sizes) != self.world_size:
+            raise DistributedError(
+                f"reduce_scatter: {len(input_sizes)} segment sizes for a "
+                f"group of {self.world_size} ranks"
+            )
+        if sum(input_sizes) != input.numel:
+            raise DistributedError(
+                f"reduce_scatter: segment sizes sum to {sum(input_sizes)} but "
+                f"input has {input.numel} elements"
+            )
+        if output.numel != input_sizes[self.rank]:
+            raise DistributedError(
+                f"reduce_scatter: output numel {output.numel} != this rank's "
+                f"segment size {input_sizes[self.rank]}"
             )

@@ -44,6 +44,23 @@ class SymmetricProcessGroup(ProcessGroup):
         self._note_data_use(stream, reads=(input,), writes=(output,))
         return work
 
+    def reduce_scatter(
+        self, output, input, input_sizes, op=ReduceOp.SUM, *, stream=None
+    ) -> Work:
+        self._check_reduce_scatter_uneven_shapes(output, input, input_sizes)
+        sizes = list(input_sizes)
+        even = len(set(sizes)) == 1
+        kind = (
+            CollectiveKind.REDUCE_SCATTER
+            if even
+            else CollectiveKind.REDUCE_SCATTER_UNEVEN
+        )
+        nbytes = input.numel * input.dtype.itemsize
+        shard_nbytes = None if even else [s * input.dtype.itemsize for s in sizes]
+        work = self._launch_collective(kind, nbytes, stream, shard_nbytes=shard_nbytes)
+        self._note_data_use(stream, reads=(input,), writes=(output,))
+        return work
+
     def all_reduce(self, tensor, op=ReduceOp.SUM, *, stream=None) -> Work:
         nbytes = tensor.numel * tensor.dtype.itemsize
         work = self._launch_collective(CollectiveKind.ALL_REDUCE, nbytes, stream)

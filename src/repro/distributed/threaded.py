@@ -156,6 +156,38 @@ class ThreadedProcessGroup(ProcessGroup):
         self._note_data_use(stream, reads=(input,), writes=(output,))
         return work
 
+    def reduce_scatter(
+        self, output, input, input_sizes, op=ReduceOp.SUM, *, stream=None
+    ) -> Work:
+        self._check_reduce_scatter_uneven_shapes(output, input, input_sizes)
+        sizes = list(input_sizes)
+        even = len(set(sizes)) == 1
+        kind = (
+            CollectiveKind.REDUCE_SCATTER
+            if even
+            else CollectiveKind.REDUCE_SCATTER_UNEVEN
+        )
+        nbytes = input.numel * input.dtype.itemsize
+        shard_nbytes = None if even else [s * input.dtype.itemsize for s in sizes]
+        offset = sum(sizes[: self.rank])
+
+        def combine(datas):
+            if any(d is None for d in datas):
+                return None
+            total = np.sum(datas, axis=0)
+            if op == ReduceOp.AVG:
+                total = total / self.world_size
+            return total
+
+        work, reduced = self._run(
+            kind, nbytes, _payload_array(input), combine, stream, shard_nbytes=shard_nbytes
+        )
+        if reduced is not None and output.is_materialized:
+            shard = reduced[offset : offset + output.numel]
+            output._np.reshape(-1)[...] = dtypes.quantize(shard, output.dtype)
+        self._note_data_use(stream, reads=(input,), writes=(output,))
+        return work
+
     def all_reduce(self, tensor, op=ReduceOp.SUM, *, stream=None) -> Work:
         nbytes = tensor.numel * tensor.dtype.itemsize
 

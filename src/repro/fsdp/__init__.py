@@ -19,6 +19,7 @@ from repro.fsdp.flat_param import FlatParamHandle, FlatParameter
 from repro.fsdp.fully_shard import fully_shard
 from repro.fsdp.mixed_precision import BF16_MIXED, FP16_MIXED, MixedPrecision
 from repro.fsdp.offload import CPUOffload
+from repro.fsdp.per_param import PerParamHandle, ShardedParam
 from repro.fsdp.exec_order import (
     execution_order_policy,
     plan_flat_param_groups,
@@ -54,6 +55,8 @@ __all__ = [
     "fsdp_modules",
     "FlatParameter",
     "FlatParamHandle",
+    "PerParamHandle",
+    "ShardedParam",
     "ShardingStrategy",
     "ShardingPlan",
     "make_process_groups",

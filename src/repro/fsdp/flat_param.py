@@ -63,6 +63,8 @@ class ParamInfo:
 class FlatParamHandle:
     """Manages one FlatParameter's shard/unshard lifecycle."""
 
+    is_per_param = False
+
     def __init__(
         self,
         params: Sequence[tuple[Module, str, Parameter]],
@@ -495,8 +497,35 @@ class FlatParamHandle:
             self._saved_grad_shard = None
 
     # ------------------------------------------------------------------
+    # Post-backward signalling (shared surface with PerParamHandle)
+    # ------------------------------------------------------------------
+    def register_post_backward(self, callback):
+        """Fire ``callback`` when the unit's gradient is finalized.
+
+        For the flat backend that is simply the FlatParameter's
+        post-accumulate-grad hook; the per-parameter backend counts
+        individual parameter gradients instead.
+        """
+        if not self.flat_param.requires_grad:
+            return None
+        return self.flat_param.register_post_accumulate_grad_hook(callback)
+
+    def flush_post_backward(self) -> bool:
+        """The flat backend never leaves partial gradient counts."""
+        return False
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def optim_state_nbytes(self, optimizer) -> int:
+        """Bytes of optimizer state attached to the FlatParameter."""
+        state = optimizer.state.get(id(self.flat_param))
+        if not state:
+            return 0
+        return sum(
+            value.nbytes for value in state.values() if isinstance(value, Tensor)
+        )
+
     @property
     def unsharded_nbytes(self) -> int:
         return self.padded_numel * self.compute_dtype.itemsize

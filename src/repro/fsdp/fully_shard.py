@@ -6,6 +6,23 @@ installs FSDP logic as forward pre/post hooks via
 both the model structure and parameter fully-qualified names.  Apply it
 bottom-up (inner blocks first, the root module last); the root's first
 forward performs lazy runtime initialization.
+
+Two sharding backends are available:
+
+- ``backend="flat_param"`` (default): flatten-concat-chunk into one
+  FlatParameter per unit (Section 3.2.1);
+- ``backend="per_param"``: each parameter sharded individually on
+  dim 0 over a :class:`~repro.distributed.mesh.DeviceMesh` — the
+  FSDP2-style rewrite with zero padding and per-FQN state
+  (:mod:`repro.fsdp.per_param`).
+
+Every unit *claims* the parameters it shards (an ``_fsdp_param_owner``
+mark on the module and parameter objects).  The claims make nested
+per-parameter units composable (an outer unit skips what inner units
+own) and turn the two classic mis-uses — annotating the same module
+twice, or annotating a module whose parameters were already taken by
+an ancestor unit (top-down application) — into typed
+:class:`FsdpError`\\ s naming the offending module path.
 """
 
 from __future__ import annotations
@@ -15,6 +32,7 @@ from typing import Callable, Optional
 from repro import distributed as dist
 from repro.cuda.device import Device
 from repro.distributed import ProcessGroup
+from repro.distributed.mesh import DeviceMesh
 from repro.errors import FsdpError
 from repro.fsdp.api import (
     _collect_unit_params,
@@ -24,17 +42,55 @@ from repro.fsdp.api import (
 )
 from repro.fsdp.flat_param import FlatParamHandle
 from repro.fsdp.mixed_precision import MixedPrecision
+from repro.fsdp.per_param import PerParamHandle
 from repro.fsdp.runtime import BackwardPrefetch, FsdpUnit, RATE_LIMIT_INFLIGHT
-from repro.fsdp.sharding import ShardingStrategy, make_process_groups
+from repro.fsdp.sharding import ShardingPlan, ShardingStrategy, make_process_groups
 from repro.nn.module import Module
 
 __all__ = ["fully_shard"]
+
+_BACKENDS = ("flat_param", "per_param")
+
+
+def _check_ancestor_claims(module: Module) -> None:
+    """Reject annotation when an ancestor unit already owns parameters.
+
+    Applying ``fully_shard`` top-down assigns every parameter to the
+    outermost unit; a later annotation of an inner module would
+    silently become an empty container (flat backend) or double-shard
+    (per-parameter backend).  Surface the ordering mistake instead.
+    """
+    subtree_units = {
+        id(m._fsdp_unit)
+        for m in module.modules()
+        if getattr(m, "_fsdp_unit", None) is not None
+    }
+    for path, sub in module.named_modules():
+        owner = getattr(sub, "_fsdp_param_owner", None)
+        if owner is not None and id(owner) not in subtree_units:
+            where = path or "."
+            raise FsdpError(
+                f"cannot apply fully_shard to {type(module).__name__!r}: parameters "
+                f"of submodule {where!r} already belong to FSDP unit "
+                f"{owner.label!r} assigned at an ancestor module; apply "
+                "fully_shard bottom-up (inner modules first, root last)"
+            )
+
+
+def _unclaimed(triples):
+    return [
+        (mod, name, param)
+        for mod, name, param in triples
+        if getattr(param, "_fsdp_param_owner", None) is None
+    ]
 
 
 def fully_shard(
     module: Module,
     process_group: Optional[ProcessGroup] = None,
     *,
+    backend: str = "flat_param",
+    mesh: Optional[DeviceMesh] = None,
     sharding_strategy: ShardingStrategy = ShardingStrategy.FULL_SHARD,
     sharding_factor: Optional[int] = None,
     mixed_precision: Optional[MixedPrecision] = None,
@@ -45,39 +101,77 @@ def fully_shard(
     cpu_offload=None,
     device: Optional[Device] = None,
     param_init_fn: Optional[Callable[[Module], None]] = None,
+    label: Optional[str] = None,
 ) -> Module:
     """Annotate ``module`` as one FSDP unit; returns the same module."""
-    if getattr(module, "_fsdp_unit", None) is not None:
-        raise FsdpError("module is already annotated with fully_shard")
+    if backend not in _BACKENDS:
+        raise FsdpError(
+            f"unknown fully_shard backend {backend!r}; expected one of {_BACKENDS}"
+        )
+    existing = getattr(module, "_fsdp_unit", None)
+    if existing is not None:
+        raise FsdpError(
+            f"module {type(module).__name__!r} is already annotated with "
+            f"fully_shard (unit {existing.label!r}); fully_shard must be "
+            "applied at most once per module"
+        )
+    _check_ancestor_claims(module)
     device = device or dist.get_device()
 
-    plan = make_process_groups(
-        sharding_strategy, process_group, sharding_factor=sharding_factor
-    )
-    triples = _collect_unit_params(module)
+    if mesh is not None:
+        plan = ShardingPlan(sharding_strategy, mesh.shard_group, mesh.replicate_group)
+    else:
+        plan = make_process_groups(
+            sharding_strategy, process_group, sharding_factor=sharding_factor
+        )
+    unit_label = label or type(module).__name__
+
+    triples = _unclaimed(_collect_unit_params(module))
     _materialize_unit_params(triples, device, param_init_fn)
-    triples = _collect_unit_params(module)
+    triples = _unclaimed(_collect_unit_params(module))
     _move_buffers(module, device, mixed_precision)
 
-    handle: Optional[FlatParamHandle] = None
+    mp = mixed_precision
+    handle = None
     if triples:
-        mp = mixed_precision
-        handle = FlatParamHandle(
-            triples,
-            device,
-            plan.shard_group,
-            param_dtype=mp.param_dtype if mp else None,
-            reduce_dtype=mp.resolved_reduce_dtype() if mp else None,
-            keep_low_precision_grads=mp.keep_low_precision_grads if mp else False,
-            offload_params=bool(cpu_offload and cpu_offload.offload_params),
-            label=type(module).__name__,
-        )
-        # FQN preservation: the FlatParameter is registered on the
-        # annotated module itself, not on a wrapper.
-        module.register_parameter("_flat_param", handle.flat_param)
+        if backend == "per_param":
+            if cpu_offload is not None and getattr(cpu_offload, "offload_params", False):
+                raise FsdpError(
+                    "the per_param backend does not support CPU offloading"
+                )
+            handle = PerParamHandle(
+                triples,
+                device,
+                plan.shard_group,
+                mesh=mesh or DeviceMesh.from_plan(plan, device),
+                param_dtype=mp.param_dtype if mp else None,
+                reduce_dtype=mp.resolved_reduce_dtype() if mp else None,
+                keep_low_precision_grads=mp.keep_low_precision_grads if mp else False,
+                label=unit_label,
+            )
+        else:
+            handle = FlatParamHandle(
+                triples,
+                device,
+                plan.shard_group,
+                param_dtype=mp.param_dtype if mp else None,
+                reduce_dtype=mp.resolved_reduce_dtype() if mp else None,
+                keep_low_precision_grads=mp.keep_low_precision_grads if mp else False,
+                offload_params=bool(cpu_offload and cpu_offload.offload_params),
+                label=unit_label,
+            )
+            # FQN preservation: the FlatParameter is registered on the
+            # annotated module itself, not on a wrapper.
+            module.register_parameter("_flat_param", handle.flat_param)
 
-    unit = FsdpUnit(handle, plan, label=type(module).__name__)
+    unit = FsdpUnit(handle, plan, label=unit_label)
     object.__setattr__(module, "_fsdp_unit", unit)
+    for mod, _name, param in triples:
+        # Claim marks: parameter-level for collection filtering (the
+        # per-parameter backend keeps parameters registered), module-
+        # level for the bottom-up ordering diagnostics above.
+        object.__setattr__(mod, "_fsdp_param_owner", unit)
+        setattr(param, "_fsdp_param_owner", unit)
 
     config = dict(
         backward_prefetch=backward_prefetch,

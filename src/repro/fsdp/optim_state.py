@@ -44,19 +44,19 @@ def sharded_optim_state_dict(model: Module, optimizer: Optimizer, *, copy: bool 
     elastic recovery restores from.
     """
     state_out: "OrderedDict[str, dict]" = OrderedDict()
+    fqns = _module_fqns(model)
     for index, handle in enumerate(_handles_under(model)):
+        if getattr(handle, "is_per_param", False):
+            for sp in handle.sharded_params:
+                key = f"per_param.{_join(fqns[id(sp.module)], sp.name)}"
+                state_out[key] = _copy_state_entry(
+                    optimizer.state.get(id(sp.param), {}), copy
+                )
+            continue
         key = f"flat_param.{index:03d}.{handle.label}"
-        flat_state = optimizer.state.get(id(handle.flat_param), {})
-        entry: dict[str, object] = {}
-        for name, value in flat_state.items():
-            if isinstance(value, Tensor):
-                saved = value.detach()
-                if copy and saved.is_materialized:
-                    saved = tensor(saved.numpy().copy(), dtype=saved.dtype)
-                entry[name] = saved
-            else:
-                entry[name] = value
-        state_out[key] = entry
+        state_out[key] = _copy_state_entry(
+            optimizer.state.get(id(handle.flat_param), {}), copy
+        )
     param_groups = [
         {k: v for k, v in group.items() if k != "params"}
         for group in optimizer.param_groups
@@ -67,8 +67,48 @@ def sharded_optim_state_dict(model: Module, optimizer: Optimizer, *, copy: bool 
 def load_sharded_optim_state_dict(model: Module, optimizer: Optimizer, state_dict: dict) -> None:
     """Load shards saved by :func:`sharded_optim_state_dict` (same layout)."""
     state = state_dict["state"]
+    fqns = _module_fqns(model)
     with no_grad():
         for index, handle in enumerate(_handles_under(model)):
+            if getattr(handle, "is_per_param", False):
+                for sp in handle.sharded_params:
+                    key = f"per_param.{_join(fqns[id(sp.module)], sp.name)}"
+                    if key not in state:
+                        raise ShardLayoutError(
+                            f"sharded optimizer state dict is missing {key!r}",
+                            key=key,
+                        )
+                    param_state = optimizer.state.setdefault(id(sp.param), {})
+                    for name, value in state[key].items():
+                        if isinstance(value, Tensor):
+                            if value.numel != sp.shard_numel:
+                                raise ShardLayoutError(
+                                    f"optimizer shard {key!r}[{name!r}] has "
+                                    f"{value.numel} elements but the model's local "
+                                    f"shard has {sp.shard_numel} — use repro."
+                                    "checkpoint.load_resharded for cross-layout "
+                                    "restores.",
+                                    key=key,
+                                    expected=sp.shard_numel,
+                                    actual=value.numel,
+                                )
+                            current = param_state.get(name)
+                            if (
+                                not isinstance(current, Tensor)
+                                or current.numel != value.numel
+                            ):
+                                current = zeros_like(sp.sharded_data)
+                                param_state[name] = current
+                            if not current.is_materialized:
+                                raise FsdpError(
+                                    "load_sharded_optim_state_dict requires "
+                                    "materialized tensors"
+                                )
+                            if sp.shard_numel:
+                                current.copy_(value)
+                        else:
+                            param_state[name] = value
+                continue
             key = f"flat_param.{index:03d}.{handle.label}"
             if key not in state:
                 raise ShardLayoutError(
@@ -104,6 +144,44 @@ def load_sharded_optim_state_dict(model: Module, optimizer: Optimizer, state_dic
                 group[k] = v
 
 
+def _copy_state_entry(param_state: dict, copy: bool) -> dict:
+    entry: dict[str, object] = {}
+    for name, value in param_state.items():
+        if isinstance(value, Tensor):
+            saved = value.detach()
+            if copy and saved.is_materialized:
+                saved = tensor(saved.numpy().copy(), dtype=saved.dtype)
+            entry[name] = saved
+        else:
+            entry[name] = value
+    return entry
+
+
+def _gather_per_param_state(sp, value: Tensor) -> np.ndarray:
+    """AllGather one ShardedParam's optimizer state tensor to full size."""
+    if value.numel != sp.shard_numel:
+        raise FsdpError(
+            f"optimizer state tensor for {sp.name!r} has {value.numel} elements; "
+            f"expected the shard size {sp.shard_numel} — was the optimizer "
+            "built after FSDP wrapping?"
+        )
+    if sp.sharding_factor == 1:
+        return value.numpy().copy()
+    full = empty(sp.numel, dtype=value.dtype, device=sp.device)
+    offsets: list[int] = []
+    total = 0
+    for n in sp.shard_numels:
+        offsets.append(total)
+        total += n
+    views = [
+        Tensor(full._storage, (n,), offset=off)
+        for n, off in zip(sp.shard_numels, offsets)
+    ]
+    work = sp.shard_group.all_gather(views, value.detach())
+    work.wait()
+    return full.numpy().copy()
+
+
 def _gather_state_tensor(handle, value: Tensor) -> np.ndarray:
     """AllGather one sharded optimizer state tensor to full (padded) size."""
     if value.numel != handle.shard_numel:
@@ -137,6 +215,28 @@ def full_optim_state_dict(model: Module, optimizer: Optimizer) -> dict:
     fqns = _module_fqns(model)
     state_out: "OrderedDict[str, dict]" = OrderedDict()
     for handle in _handles_under(model):
+        if getattr(handle, "is_per_param", False):
+            gathered_sp: dict[int, dict[str, np.ndarray]] = {}
+            scalars_sp: dict[int, dict[str, object]] = {}
+            for info in handle.param_infos:
+                sp = handle.sharded_params[info.offset]
+                if info.offset not in gathered_sp:
+                    param_state = optimizer.state.get(id(sp.param), {})
+                    tensors: dict[str, np.ndarray] = {}
+                    scalars: dict[str, object] = {}
+                    for key, value in param_state.items():
+                        if isinstance(value, Tensor):
+                            tensors[key] = _gather_per_param_state(sp, value)
+                        else:
+                            scalars[key] = value
+                    gathered_sp[info.offset] = tensors
+                    scalars_sp[info.offset] = scalars
+                fqn = _join(fqns[id(info.module)], info.name)
+                entry: dict[str, object] = dict(scalars_sp[info.offset])
+                for key, flat in gathered_sp[info.offset].items():
+                    entry[key] = tensor(flat.reshape(info.shape))
+                state_out[fqn] = entry
+            continue
         flat_state = optimizer.state.get(id(handle.flat_param), {})
         gathered: dict[str, np.ndarray] = {}
         scalars: dict[str, object] = {}
@@ -172,6 +272,40 @@ def load_full_optim_state_dict(model: Module, optimizer: Optimizer, state_dict: 
     state = state_dict["state"]
     with no_grad():
         for handle in _handles_under(model):
+            if getattr(handle, "is_per_param", False):
+                loaded: set[int] = set()
+                for info in handle.param_infos:
+                    if info.offset in loaded:
+                        continue
+                    loaded.add(info.offset)
+                    sp = handle.sharded_params[info.offset]
+                    fqn = _join(fqns[id(info.module)], info.name)
+                    if fqn not in state:
+                        raise KeyError(f"optimizer state dict is missing {fqn!r}")
+                    param_state = optimizer.state.setdefault(id(sp.param), {})
+                    for key, value in state[fqn].items():
+                        if not isinstance(value, Tensor):
+                            param_state[key] = value
+                            continue
+                        shard = param_state.get(key)
+                        if (
+                            not isinstance(shard, Tensor)
+                            or shard.numel != sp.shard_numel
+                        ):
+                            shard = zeros_like(sp.sharded_data)
+                            param_state[key] = shard
+                        if not sp.shard_numel:
+                            continue
+                        if not shard.is_materialized:
+                            raise FsdpError(
+                                "load_full_optim_state_dict requires "
+                                "materialized tensors"
+                            )
+                        flat = value.numpy().reshape(-1)
+                        shard._np.reshape(-1)[...] = flat[
+                            sp.shard_offset : sp.shard_offset + sp.shard_numel
+                        ]
+                continue
             rank = handle.shard_group.rank
             shard_start = rank * handle.shard_numel
             shard_end = shard_start + handle.shard_numel

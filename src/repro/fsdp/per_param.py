@@ -1,0 +1,797 @@
+"""Per-parameter sharding backend (``fully_shard`` v2).
+
+Instead of flatten-concat-chunk (:mod:`repro.fsdp.flat_param`), each
+parameter is sharded individually on dim 0 across the mesh's shard
+group, the way the follow-up ``fully_shard`` rewrite (FSDP2 / DTensor)
+does it:
+
+- every parameter keeps its identity: it stays registered on its
+  module under its original FQN, and the optimizer keys state by the
+  same ``Parameter`` object across shard/unshard transitions (the
+  ``.data`` pointer swaps; the object never does);
+- sharding uses *exact* uneven dim-0 chunks (rank ``r`` holds rows
+  ``[r*ceil(n/F), min((r+1)*ceil(n/F), n))``), so there is **zero
+  padding anywhere** — the flat-param design pays up to ``F - 1``
+  padding elements per unit, which is exactly the memory delta the
+  ``BENCH_perparam`` artifact measures;
+- collectives are batched per unit and always take the fast even
+  ``*_into_tensor`` ring path: uneven per-rank segments are padded to
+  the largest segment in the *transient* staging buffers only (the
+  persistent shards stay exact), avoiding the derated uneven-collective
+  fallback of the paper's Figure 2(b);
+- the SHARDED <-> UNSHARDED lifecycle reuses the persistent-storage
+  trick from the flat handle: each parameter owns one unsharded
+  ``Storage`` whose identity never changes across release/reallocate,
+  so tensors saved by autograd during forward read fresh bytes after
+  the pre-backward AllGather refills them.
+
+The handle exposes the same surface as :class:`FlatParamHandle`
+(``unshard`` / ``reshard`` / ``reduce_grad`` / stash plumbing), so the
+:class:`~repro.fsdp.runtime.FsdpUnit` scheduling machinery — unshard
+stream, backward/forward prefetch, rate limiter, end-of-backward
+callback — drives both backends unchanged (Section 3.3 invariants are
+asserted for both in the golden-trace suite).
+
+Post-backward signalling differs: there is no single flat leaf whose
+AccumulateGrad marks the unit done.  Instead every parameter gets a
+post-accumulate-grad hook feeding a counter; when the last expected
+gradient of the unit lands, the unit callback fires (ReduceScatter
+launch).  Activation-checkpoint recomputes that finalize only a subset
+of the unit's gradients leave a partial count, which
+``flush_post_backward`` drains from the end-of-backward callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro import dtypes, ops
+from repro.autograd.grad_mode import no_grad
+from repro.cuda.device import Device
+from repro.cuda.stream import Event, Stream
+from repro.distributed import ProcessGroup, ReduceOp, Work
+from repro.distributed.mesh import DeviceMesh, Shard, chunk_bounds
+from repro.errors import FsdpError
+from repro.fsdp.flat_param import ParamInfo
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.storage import Storage
+from repro.tensor import Tensor, empty, zeros
+
+__all__ = ["ShardedParam", "PerParamHandle"]
+
+
+class _MultiHandle:
+    """Aggregates the per-parameter hook handles of one unit."""
+
+    def __init__(self, handles):
+        self._handles = list(handles)
+
+    def remove(self) -> None:
+        for h in self._handles:
+            h.remove()
+        self._handles = []
+
+
+class ShardedParam:
+    """One parameter sharded on dim 0 with the ``Shard(0)`` placement.
+
+    Holds the persistent sharded tensor (this rank's exact dim-0
+    slice, full precision) and the released unsharded storage the
+    AllGather refills before compute.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        name: str,
+        param: Parameter,
+        device: Device,
+        shard_group: ProcessGroup,
+        *,
+        compute_dtype: dtypes.DType,
+        full_precision_dtype: dtypes.DType,
+    ):
+        self.module = module
+        self.name = name
+        self.param = param
+        self.device = device
+        self.shard_group = shard_group
+        self.shape = tuple(param.shape)
+        self.numel = param.numel
+        self.full_precision_dtype = full_precision_dtype
+        self.compute_dtype = compute_dtype
+        self.placement = Shard(0)
+
+        factor = shard_group.world_size
+        rank = shard_group.rank
+        self.sharding_factor = factor
+        rows = self.shape[0] if self.shape else 1
+        row_numel = self.numel // rows if rows else 0
+        bounds = chunk_bounds(rows, factor)
+        self.shard_rows = bounds[rank]
+        self.shard_numels = [(end - start) * row_numel for start, end in bounds]
+        self.shard_numel = self.shard_numels[rank]
+        self.shard_offsets = [start * row_numel for start, _ in bounds]
+        self.shard_offset = self.shard_offsets[rank]
+        self.even = rows % factor == 0
+
+        # Gradient lifecycle state (mirrors the flat handle's stash).
+        self.saved_grad_shard: Optional[Tensor] = None
+        self.unsharded_grad_accum: Optional[Tensor] = None
+        self.grad_restored = False
+
+        self._build_storages()
+
+    @property
+    def needs_unshard(self) -> bool:
+        return (
+            self.sharding_factor > 1
+            or self.compute_dtype is not self.full_precision_dtype
+        )
+
+    def _shaped(self, flat: Tensor) -> Tensor:
+        """Dim-0 local view (``Shard(0)`` semantics) of a flat shard."""
+        if len(self.shape) <= 1:
+            return flat
+        start, end = self.shard_rows
+        return ops.view(flat, (end - start, *self.shape[1:]))
+
+    def _build_storages(self) -> None:
+        device = self.device
+        param = self.param
+        with no_grad():
+            if self.sharding_factor > 1:
+                old_storage = param._storage
+                if self.shard_numel:
+                    flat = ops.view(param.detach(), (self.numel,))
+                    sharded = ops.clone(
+                        ops.narrow(flat, 0, self.shard_offset, self.shard_numel)
+                    )
+                else:
+                    # Parameter has fewer rows than ranks: this rank's
+                    # shard is empty (no padding is ever materialized).
+                    sharded = Tensor(
+                        Storage(device, self.full_precision_dtype, 0), (0,)
+                    )
+                # The registered (visible) shard carries Shard(0)
+                # semantics: ``(local_rows, *shape[1:])``, a view over
+                # the flat buffer the collectives consume.
+                param.data = self._shaped(sharded)
+                old_storage.free()
+            else:
+                # F == 1: the full-precision "shard" is the parameter
+                # itself; nothing is freed.
+                sharded = param.detach()
+        self.sharded_data = sharded
+        self.sharded_param = self.param.data
+
+        if self.needs_unshard:
+            self._unsharded_storage = Storage(device, self.compute_dtype, self.numel)
+            self._unsharded_flat = Tensor(self._unsharded_storage, (self.numel,))
+            self.unsharded_param = Tensor(self._unsharded_storage, self.shape)
+            self._unsharded_storage.release()
+            offsets: list[int] = []
+            total = 0
+            for n in self.shard_numels:
+                offsets.append(total)
+                total += n
+            self._rank_views = [
+                Tensor(self._unsharded_storage, (n,), offset=off)
+                for n, off in zip(self.shard_numels, offsets)
+            ]
+        else:
+            self._unsharded_storage = sharded._storage
+            self._unsharded_flat = None
+            self.unsharded_param = sharded
+            self._rank_views = []
+
+        if self.compute_dtype is not self.full_precision_dtype and self.sharding_factor > 1:
+            self._mp_shard_storage: Optional[Storage] = Storage(
+                device, self.compute_dtype, self.shard_numel
+            )
+            self._mp_shard: Optional[Tensor] = Tensor(
+                self._mp_shard_storage, (self.shard_numel,)
+            )
+            self._mp_shard_storage.release()
+        else:
+            self._mp_shard_storage = None
+            self._mp_shard = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def gather(self, stream: Stream) -> None:
+        """AllGather (or cast-copy) this parameter into unsharded storage.
+
+        Caller is responsible for ``device.stream(stream)`` / no_grad.
+        """
+        if not self.needs_unshard:
+            return
+        self._unsharded_storage.reallocate()
+        if self.sharding_factor > 1:
+            source = self.sharded_data
+            if self._mp_shard is not None:
+                self._mp_shard_storage.reallocate()
+                self._mp_shard.copy_(source)
+                source = self._mp_shard
+            if self.even:
+                self.shard_group.all_gather_into_tensor(
+                    self._unsharded_flat, source, stream=stream
+                )
+            else:
+                self.shard_group.all_gather(self._rank_views, source, stream=stream)
+            if self._mp_shard is not None:
+                self._mp_shard_storage.release()
+        else:
+            # NO_SHARD with mixed precision: a cast copy into the
+            # compute-precision buffer.
+            self.unsharded_param.copy_(self.sharded_data)
+
+    def use_unsharded_view(self) -> None:
+        if self.needs_unshard:
+            self.param.data = self.unsharded_param
+
+    def reshard(self) -> bool:
+        if not self.needs_unshard:
+            return False
+        self._unsharded_storage.release()
+        self.param.data = self.sharded_param
+        return True
+
+    # ------------------------------------------------------------------
+    # Out-of-band data paths (state dict, writeback)
+    # ------------------------------------------------------------------
+    def gather_full(self) -> Tensor:
+        """AllGather the full-precision parameter into a fresh tensor."""
+        if self.sharding_factor == 1:
+            with no_grad():
+                return ops.clone(self.sharded_data)
+        with no_grad():
+            full = empty(
+                self.numel, dtype=self.full_precision_dtype, device=self.device
+            )
+            offsets: list[int] = []
+            total = 0
+            for n in self.shard_numels:
+                offsets.append(total)
+                total += n
+            views = [
+                Tensor(full._storage, (n,), offset=off)
+                for n, off in zip(self.shard_numels, offsets)
+            ]
+            work = self.shard_group.all_gather(views, self.sharded_data)
+            work.wait()
+            return ops.view(full, self.shape) if self.shape else full
+
+    def load_full(self, value: Tensor) -> None:
+        """Copy this rank's slice of a full tensor into the shard."""
+        if value.numel != self.numel:
+            raise FsdpError(
+                f"state dict tensor for {self.name!r} has {value.numel} elements, "
+                f"expected {self.numel}"
+            )
+        with no_grad():
+            if self.sharding_factor == 1:
+                self.sharded_data.copy_(value)
+            elif self.shard_numel:
+                flat = ops.view(value, (value.numel,))
+                self.sharded_data.copy_(
+                    ops.narrow(flat, 0, self.shard_offset, self.shard_numel)
+                )
+
+    def writeback(self) -> None:
+        """Persist edits made through the unsharded view into the shard."""
+        if not self.needs_unshard or not self.shard_numel:
+            return
+        with no_grad():
+            my_slice = Tensor(
+                self._unsharded_storage,
+                (self.shard_numel,),
+                offset=self.shard_offset,
+                dtype=self.compute_dtype,
+            )
+            self.sharded_data.copy_(my_slice)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedParam({self.name!r}, shape={self.shape}, "
+            f"rows={self.shard_rows}, F={self.sharding_factor})"
+        )
+
+
+class PerParamHandle:
+    """Manages the shard/unshard lifecycle of one unit's parameters.
+
+    API-compatible with :class:`FlatParamHandle` where the runtime is
+    concerned; ``is_per_param`` discriminates the two for state-dict /
+    checkpoint code that must key by FQN instead of flat offsets.
+    """
+
+    is_per_param = True
+
+    def __init__(
+        self,
+        params: Sequence[tuple[Module, str, Parameter]],
+        device: Device,
+        shard_group: ProcessGroup,
+        *,
+        mesh: Optional[DeviceMesh] = None,
+        param_dtype: Optional[dtypes.DType] = None,
+        reduce_dtype: Optional[dtypes.DType] = None,
+        keep_low_precision_grads: bool = False,
+        label: str = "",
+    ):
+        if not params:
+            raise FsdpError("PerParamHandle requires at least one parameter")
+        self.device = device
+        self.shard_group = shard_group
+        self.mesh = mesh
+        self.label = label
+
+        unique: dict[int, tuple[Module, str, Parameter]] = {}
+        bindings: list[tuple[Module, str, int]] = []
+        for module, name, param in params:
+            if id(param) not in unique:
+                unique[id(param)] = (module, name, param)
+            bindings.append((module, name, id(param)))
+
+        originals = [p for _, _, p in unique.values()]
+        full_dtype = originals[0].dtype
+        for p in originals:
+            if p.dtype is not full_dtype:
+                raise FsdpError("all parameters in one FSDP unit must share a dtype")
+            if not p.is_materialized and device.materialize_data:
+                raise FsdpError("parameters must be materialized before sharding")
+        self.full_precision_dtype = full_dtype
+        self.compute_dtype = param_dtype or full_dtype
+        self.reduce_dtype = reduce_dtype or self.compute_dtype
+        self.keep_low_precision_grads = keep_low_precision_grads
+        self.sharding_factor = shard_group.world_size
+
+        self.sharded_params: list[ShardedParam] = [
+            ShardedParam(
+                module,
+                name,
+                param,
+                device,
+                shard_group,
+                compute_dtype=self.compute_dtype,
+                full_precision_dtype=full_dtype,
+            )
+            for module, name, param in unique.values()
+        ]
+        # ``offset`` indexes into ``sharded_params`` (there is no flat
+        # buffer to offset into), letting tied bindings resolve to the
+        # same ShardedParam.
+        index_by_id = {id(sp.param): i for i, sp in enumerate(self.sharded_params)}
+        self.param_infos = [
+            ParamInfo(
+                module,
+                name,
+                self.sharded_params[index_by_id[pid]].shape,
+                self.sharded_params[index_by_id[pid]].numel,
+                index_by_id[pid],
+                name,
+            )
+            for module, name, pid in bindings
+        ]
+
+        self.is_unsharded = not self.needs_unshard
+        self._post_backward_cb: Optional[Callable] = None
+        self._expected_grads = 0
+        self._grads_seen = 0
+
+        # Batched-collective segment layout (see unshard): rank ``r``'s
+        # segment is the concatenation of every parameter's ``r``-th
+        # chunk, in sharded_params order.  ``_intra[id(sp)][r]`` is
+        # sp's offset inside segment ``r``.
+        factor = self.sharding_factor
+        running = [0] * factor
+        self._intra: dict[int, list[int]] = {}
+        for sp in self.sharded_params:
+            self._intra[id(sp)] = list(running)
+            for r in range(factor):
+                running[r] += sp.shard_numels[r]
+        self._seg_numels = running
+        self._even_batch = len(set(self._seg_numels)) == 1
+
+    # ------------------------------------------------------------------
+    # Introspection (FlatParamHandle-compatible surface)
+    # ------------------------------------------------------------------
+    @property
+    def needs_unshard(self) -> bool:
+        return (
+            self.sharding_factor > 1
+            or self.compute_dtype is not self.full_precision_dtype
+        )
+
+    @property
+    def total_numel(self) -> int:
+        return sum(sp.numel for sp in self.sharded_params)
+
+    @property
+    def padded_numel(self) -> int:
+        # Exact dim-0 chunking never materializes padding.
+        return self.total_numel
+
+    @property
+    def padding(self) -> int:
+        return 0
+
+    @property
+    def shard_numel(self) -> int:
+        """This rank's resident sharded elements (uneven across ranks)."""
+        return sum(sp.shard_numel for sp in self.sharded_params)
+
+    @property
+    def unsharded_nbytes(self) -> int:
+        return self.total_numel * self.compute_dtype.itemsize
+
+    @property
+    def sharded_nbytes(self) -> int:
+        return self.shard_numel * self.full_precision_dtype.itemsize
+
+    # ------------------------------------------------------------------
+    # Unshard / reshard
+    # ------------------------------------------------------------------
+    def unshard(self, stream: Optional[Stream] = None) -> Optional[Event]:
+        """One batched AllGather refills every parameter's storage.
+
+        The unit's parameters are copied into a single rank-major
+        staging buffer (copy-in), gathered with ONE collective, then
+        copied out into each parameter's persistent unsharded storage —
+        the FSDP2 batching that keeps the per-unit collective count
+        identical to the flat backend's despite per-parameter shards.
+
+        Same stream discipline as the flat handle: everything runs on
+        the producer/communication stream; the returned event is what
+        compute must wait on.  Ad-hoc calls (``stream=None``) insert
+        the implicit producer/consumer edges themselves.
+        """
+        if self.is_unsharded:
+            return None
+        device = self.device
+        ad_hoc = stream is None
+        if ad_hoc:
+            stream = self.shard_group.comm_stream
+            current = device.current_stream
+            if current is not None and current is not stream:
+                stream.wait_stream(current)
+        with device.stream(stream), no_grad():
+            if self.sharding_factor == 1 or len(self.sharded_params) == 1:
+                # No batching to do: a single parameter gathers straight
+                # into its persistent storage (no staging copy), and
+                # NO_SHARD only needs per-parameter cast copies.
+                for sp in self.sharded_params:
+                    sp.gather(stream)
+            else:
+                self._gather_batched(stream)
+        event = stream.record_event()
+        if ad_hoc:
+            consumer = device.current_stream or device.default_stream
+            if consumer is not stream:
+                consumer.wait_event(event)
+        self.is_unsharded = True
+        # Repoint parameters at their unsharded storage right away:
+        # unlike the flat backend's split/view placeholders, saved
+        # activations reference the parameter objects themselves, so
+        # a backward-prefetch unshard must restore the views before
+        # the unit's backward kernels read them.
+        self.use_unsharded_views()
+        return event
+
+    def _gather_batched(self, stream: Stream) -> None:
+        """Copy-in, one AllGather, copy-out (caller holds stream/no_grad).
+
+        Uneven per-rank segments (parameters whose dim 0 does not
+        divide the shard group) are padded to the largest segment *in
+        the transient staging buffers only*, so the collective is
+        always the fast even ``all_gather_into_tensor`` ring — never
+        the broadcast-per-rank uneven fallback the paper's Figure 2(b)
+        measures.  Persistent sharded storage stays exact; the pad
+        bytes exist only for the lifetime of the staging buffer.
+        """
+        device = self.device
+        factor = self.sharding_factor
+        rank = self.shard_group.rank
+        seg_max = max(self._seg_numels)
+        # Copy-in: this rank's chunks of every parameter, concatenated
+        # in sharded_params order (the layout every rank assumes).
+        if self._seg_numels[rank]:
+            shards = [sp.sharded_data for sp in self.sharded_params]
+            local = shards[0] if len(shards) == 1 else ops.cat(shards)
+        else:
+            local = empty(0, dtype=self.full_precision_dtype, device=device)
+        if local.dtype is not self.compute_dtype:
+            local = ops.cast(local, self.compute_dtype)
+        if not self._even_batch:
+            padded = zeros(seg_max, dtype=self.compute_dtype, device=device)
+            if local.numel:
+                ops.narrow(padded, 0, 0, local.numel).copy_(local)
+            local = padded
+        gathered = empty(factor * seg_max, dtype=self.compute_dtype, device=device)
+        self.shard_group.all_gather_into_tensor(gathered, local, stream=stream)
+        # Copy-out: reassemble each parameter from its per-rank chunks
+        # into the persistent unsharded storage (saved activations
+        # alias it, so the staging buffer cannot be the destination).
+        for sp in self.sharded_params:
+            sp._unsharded_storage.reallocate()
+        self._foreach_copy_out(gathered, seg_stride=seg_max)
+
+    def _foreach_copy_out(self, gathered: Tensor, *, seg_stride: int) -> None:
+        """Fused scatter of the gathered buffer into parameter storages.
+
+        One simulated kernel for the whole unit (the
+        ``torch._foreach_copy_`` idiom): per-parameter ``copy_`` calls
+        would pay a launch per parameter per rank-chunk, which at
+        transformer parameter counts costs more CPU than the collective
+        itself.
+        """
+        device = self.device
+        factor = self.sharding_factor
+        spans: list[tuple[ShardedParam, int, int, int]] = []
+        for sp in self.sharded_params:
+            intra = self._intra[id(sp)]
+            dst = 0
+            for r in range(factor):
+                n = sp.shard_numels[r]
+                if n:
+                    spans.append((sp, dst, r * seg_stride + intra[r], n))
+                    dst += n
+        if gathered.is_materialized:
+            src_np = gathered._np
+            for sp, dst_off, src_off, n in spans:
+                if sp._unsharded_flat.is_materialized:
+                    sp._unsharded_flat._np[dst_off : dst_off + n] = src_np[
+                        src_off : src_off + n
+                    ]
+        if device.is_sim_gpu:
+            from repro.hw.kernel_model import KernelCost
+
+            writes = {
+                id(sp._unsharded_storage): sp._unsharded_storage
+                for sp, _, _, _ in spans
+            }
+            moved = sum(n for _, _, _, n in spans) * self.compute_dtype.itemsize
+            device.launch(
+                KernelCost(bytes_moved=2 * moved),
+                self.compute_dtype,
+                reads=(gathered._storage,),
+                writes=tuple(writes.values()),
+                label="foreach_copy_out",
+            )
+
+    def reshard(self) -> bool:
+        if not self.needs_unshard or not self.is_unsharded:
+            return False
+        for sp in self.sharded_params:
+            sp.reshard()
+        self.is_unsharded = False
+        return True
+
+    def use_unsharded_views(self) -> None:
+        if not self.is_unsharded:
+            raise FsdpError(f"cannot create views while sharded ({self.label})")
+        for sp in self.sharded_params:
+            sp.use_unsharded_view()
+
+    def writeback_unsharded_to_shard(self) -> None:
+        if not self.needs_unshard or not self.is_unsharded:
+            return
+        for sp in self.sharded_params:
+            sp.writeback()
+
+    # ------------------------------------------------------------------
+    # Post-backward signalling
+    # ------------------------------------------------------------------
+    def register_post_backward(self, callback: Callable) -> Optional[_MultiHandle]:
+        """Fire ``callback`` when the unit's last expected gradient lands.
+
+        Each parameter's post-accumulate-grad hook bumps a counter;
+        reaching the number of ``requires_grad`` parameters triggers
+        the unit's reduction, mirroring the flat backend's single
+        post-accumulate hook on the FlatParameter.
+        """
+        targets = [sp for sp in self.sharded_params if sp.param.requires_grad]
+        if not targets:
+            return None
+        self._post_backward_cb = callback
+        self._expected_grads = len(targets)
+        handles = [
+            sp.param.register_post_accumulate_grad_hook(self._on_grad_ready)
+            for sp in targets
+        ]
+        return _MultiHandle(handles)
+
+    def _on_grad_ready(self, _variable) -> None:
+        self._grads_seen += 1
+        if self._grads_seen >= self._expected_grads:
+            self._grads_seen = 0
+            self._post_backward_cb(None)
+
+    def flush_post_backward(self) -> bool:
+        """Drain a partial gradient count (checkpoint recompute tails).
+
+        A GraphTask that finalizes only some of the unit's gradients
+        (e.g. the last activation-checkpoint recompute of a parent
+        unit) leaves the counter short of the full complement; the
+        end-of-backward callback calls this so those gradients are
+        still reduced.  Returns True when the unit callback fired.
+        """
+        if self._grads_seen == 0 or self._post_backward_cb is None:
+            return False
+        self._grads_seen = 0
+        self._post_backward_cb(None)
+        return True
+
+    # ------------------------------------------------------------------
+    # Gradient handling
+    # ------------------------------------------------------------------
+    def prepare_gradient_for_backward(self) -> None:
+        """Stash restored sharded gradients before new accumulation."""
+        for sp in self.sharded_params:
+            grad = sp.param.grad
+            if grad is not None and sp.grad_restored and self.needs_unshard:
+                with no_grad():
+                    if sp.saved_grad_shard is not None:
+                        grad = grad + sp.saved_grad_shard
+                sp.saved_grad_shard = grad
+                sp.param.grad = None
+            sp.grad_restored = False
+
+    def reduce_grad(
+        self,
+        stream: Stream,
+        *,
+        replicate_group: Optional[ProcessGroup] = None,
+        no_sync: bool = False,
+    ) -> Optional[Work]:
+        """One batched ReduceScatter (+AllReduce) on the comm stream.
+
+        Gradients of every parameter with one pending are sliced into a
+        rank-major interleaved buffer (each destination rank's segment
+        concatenates that rank's chunk of every gradient, zero-padded
+        to the largest segment when uneven) and reduced with ONE even
+        ring ``reduce_scatter_tensor``; the resulting local segment is
+        split back into per-parameter shard views.  Averaging happens
+        over the shard group in float64 elementwise, so the sharded
+        gradients stay bitwise identical to the flat backend's.
+        """
+        device = self.device
+        with no_grad():
+            pending: list[tuple[ShardedParam, Tensor]] = []
+            for sp in self.sharded_params:
+                grad = sp.param.grad
+                sp.param.grad = None
+                if grad is None:
+                    continue
+                if sp.unsharded_grad_accum is not None:
+                    grad = grad + sp.unsharded_grad_accum
+                    sp.unsharded_grad_accum = None
+                if no_sync:
+                    sp.unsharded_grad_accum = grad
+                    continue
+                pending.append((sp, grad))
+            if not pending:
+                return None
+
+            work: Optional[Work] = None
+            with device.stream(stream):
+                # Gradients were produced on the compute stream; the
+                # reductions must not start before they are final.
+                stream.wait_stream(device.default_stream)
+                if self.sharding_factor > 1:
+                    work = self._reduce_batched(pending, stream, replicate_group)
+                else:
+                    for sp, grad in pending:
+                        if grad.dtype is not self.reduce_dtype:
+                            grad = ops.cast(grad, self.reduce_dtype)
+                        new_shard = grad
+                        if replicate_group is not None and replicate_group.world_size > 1:
+                            work = replicate_group.all_reduce(
+                                new_shard, op=ReduceOp.AVG, stream=stream
+                            )
+                        if (
+                            new_shard.dtype is not self.full_precision_dtype
+                            and not self.keep_low_precision_grads
+                        ):
+                            new_shard = ops.cast(new_shard, self.full_precision_dtype)
+                        if sp.saved_grad_shard is not None:
+                            new_shard = new_shard + sp.saved_grad_shard
+                        sp.saved_grad_shard = new_shard.detach()
+        return work
+
+    def _reduce_batched(
+        self,
+        pending: list[tuple["ShardedParam", Tensor]],
+        stream: Stream,
+        replicate_group: Optional[ProcessGroup],
+    ) -> Optional[Work]:
+        """Batched grad reduction (caller holds stream/no_grad).
+
+        Like ``_gather_batched``, uneven destination segments are
+        zero-padded to the largest segment in the transient rank-major
+        input, so the collective is always the even ring
+        ``reduce_scatter_tensor`` (zeros reduce to zeros and the pad
+        tail of the output is simply never sliced out).
+        """
+        device = self.device
+        factor = self.sharding_factor
+        rank = self.shard_group.rank
+        seg = [
+            sum(sp.shard_numels[r] for sp, _ in pending) for r in range(factor)
+        ]
+        seg_max = max(seg)
+        flats = [ops.view(grad, (sp.numel,)) for sp, grad in pending]
+        pad_total = factor * seg_max - sum(seg)
+        pad_buf = (
+            zeros(pad_total, dtype=pending[0][1].dtype, device=device)
+            if pad_total
+            else None
+        )
+        chunk_list: list[Tensor] = []
+        pad_used = 0
+        for r in range(factor):
+            for (sp, _), flat in zip(pending, flats):
+                if sp.shard_numels[r]:
+                    chunk_list.append(
+                        ops.narrow(flat, 0, sp.shard_offsets[r], sp.shard_numels[r])
+                    )
+            if seg[r] < seg_max:
+                chunk_list.append(ops.narrow(pad_buf, 0, pad_used, seg_max - seg[r]))
+                pad_used += seg_max - seg[r]
+        flat_in = chunk_list[0] if len(chunk_list) == 1 else ops.cat(chunk_list)
+        if flat_in.dtype is not self.reduce_dtype:
+            flat_in = ops.cast(flat_in, self.reduce_dtype)
+        out = empty(seg_max, dtype=self.reduce_dtype, device=device)
+        work = self.shard_group.reduce_scatter_tensor(
+            out, flat_in, op=ReduceOp.AVG, stream=stream
+        )
+        if replicate_group is not None and replicate_group.world_size > 1:
+            work = replicate_group.all_reduce(out, op=ReduceOp.AVG, stream=stream)
+        if (
+            out.dtype is not self.full_precision_dtype
+            and not self.keep_low_precision_grads
+        ):
+            out = ops.cast(out, self.full_precision_dtype)
+        offset = 0
+        for sp, _ in pending:
+            new_shard = sp._shaped(ops.narrow(out, 0, offset, sp.shard_numel))
+            offset += sp.shard_numel
+            if sp.saved_grad_shard is not None:
+                # Stash-accumulate on the reduction stream (see the
+                # flat handle for the ordering rationale).
+                new_shard = new_shard + sp.saved_grad_shard
+            sp.saved_grad_shard = new_shard.detach()
+        return work
+
+    def restore_stashed_gradient(self) -> None:
+        """Move reduced shards into ``.grad`` for the optimizer."""
+        for sp in self.sharded_params:
+            if sp.saved_grad_shard is not None and sp.param.grad is None:
+                sp.param.grad = sp.saved_grad_shard
+                sp.saved_grad_shard = None
+                sp.grad_restored = True
+
+    # ------------------------------------------------------------------
+    # Out-of-band helpers
+    # ------------------------------------------------------------------
+    def optim_state_nbytes(self, optimizer) -> int:
+        """Bytes of optimizer state attached to this unit's parameters."""
+        total = 0
+        for sp in self.sharded_params:
+            state = optimizer.state.get(id(sp.param))
+            if not state:
+                continue
+            for value in state.values():
+                if isinstance(value, Tensor):
+                    total += value.nbytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PerParamHandle({self.label or 'unit'}, params={len(self.sharded_params)}, "
+            f"numel={self.total_numel}, F={self.sharding_factor}, "
+            f"unsharded={self.is_unsharded})"
+        )

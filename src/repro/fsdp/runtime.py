@@ -182,6 +182,12 @@ class FsdpRuntime:
     def _finalize_backward(self) -> None:
         """Runs at GraphTask exit: wait reductions, tidy unit state."""
         for unit in self.units:
+            # Per-parameter units whose last GraphTask finalized only a
+            # subset of their gradients (checkpoint recompute tails)
+            # still hold a partial count; fire their reduction now.
+            if unit.handle is not None:
+                unit.handle.flush_post_backward()
+        for unit in self.units:
             if unit.handle is None:
                 continue
             work = unit.pending_reduce_work
@@ -286,15 +292,13 @@ class FsdpUnit:
         self.runtime = runtime
         if self not in runtime.units:
             runtime.units.append(self)
-        if (
-            self.handle is not None
-            and self._post_backward_hook_handle is None
-            and self.handle.flat_param.requires_grad
-        ):
-            self._post_backward_hook_handle = (
-                self.handle.flat_param.register_post_accumulate_grad_hook(
-                    self._post_backward_hook
-                )
+        if self.handle is not None and self._post_backward_hook_handle is None:
+            # Backend-agnostic: the flat handle hooks its single
+            # FlatParameter, the per-parameter handle counts individual
+            # gradients; both fire ``_post_backward_hook`` when the
+            # unit's gradients are finalized.
+            self._post_backward_hook_handle = self.handle.register_post_backward(
+                self._post_backward_hook
             )
 
     def reset_iteration_state(self) -> None:

@@ -75,6 +75,19 @@ def full_state_dict(root: Module) -> "OrderedDict[str, Tensor]":
     fqns = _module_fqns(root)
     result: "OrderedDict[str, Tensor]" = OrderedDict()
     for handle in _handles_under(root):
+        if getattr(handle, "is_per_param", False):
+            gathered: dict[int, np.ndarray] = {}
+            for info in handle.param_infos:
+                fqn = _join(fqns[id(info.module)], info.name)
+                if info.offset not in gathered:
+                    full = handle.sharded_params[info.offset].gather_full()
+                    if not full.is_materialized:
+                        raise FsdpError("full_state_dict requires materialized tensors")
+                    gathered[info.offset] = full._np.reshape(info.shape).copy()
+                result[fqn] = tensor(
+                    gathered[info.offset], dtype=handle.full_precision_dtype
+                )
+            continue
         full_flat = handle.gather_full_precision()
         if not full_flat.is_materialized:
             raise FsdpError("full_state_dict requires materialized tensors")
@@ -110,6 +123,31 @@ def load_full_state_dict(root: Module, state: dict) -> None:
     fqns = _module_fqns(root)
     with no_grad():
         for handle in _handles_under(root):
+            if getattr(handle, "is_per_param", False):
+                loaded: set[int] = set()
+                for info in handle.param_infos:
+                    if info.offset in loaded:
+                        continue
+                    loaded.add(info.offset)
+                    sp = handle.sharded_params[info.offset]
+                    fqn = _join(fqns[id(info.module)], info.name)
+                    if fqn not in state:
+                        raise KeyError(f"state dict is missing {fqn!r}")
+                    value = state[fqn]
+                    flat = (
+                        value.numpy().reshape(-1)
+                        if isinstance(value, Tensor)
+                        else np.asarray(value).reshape(-1)
+                    )
+                    if not sp.sharded_data.is_materialized:
+                        raise FsdpError(
+                            "load_full_state_dict requires materialized tensors"
+                        )
+                    if sp.shard_numel:
+                        sp.sharded_data._np.reshape(-1)[...] = flat[
+                            sp.shard_offset : sp.shard_offset + sp.shard_numel
+                        ]
+                continue
             shard = handle._local_shard
             if not shard.is_materialized:
                 raise FsdpError("load_full_state_dict requires materialized tensors")
@@ -149,7 +187,19 @@ def sharded_state_dict(root: Module, *, copy: bool = False) -> "OrderedDict[str,
     recovery restores from these snapshots after a rank failure.
     """
     result: "OrderedDict[str, Tensor]" = OrderedDict()
+    fqns = _module_fqns(root)
     for index, handle in enumerate(_handles_under(root)):
+        if getattr(handle, "is_per_param", False):
+            # Per-parameter shards are keyed by FQN, not unit index:
+            # the FQN is stable across wrap granularities, which is
+            # what makes cross-granularity resharding a fast path.
+            for sp in handle.sharded_params:
+                key = f"per_param.{_join(fqns[id(sp.module)], sp.name)}"
+                shard = sp.sharded_data.detach()
+                if copy and shard.is_materialized:
+                    shard = tensor(shard.numpy().copy(), dtype=shard.dtype)
+                result[key] = shard
+            continue
         key = f"flat_param.{index:03d}.{handle.label}"
         shard = handle._local_shard.detach()
         if copy and shard.is_materialized:
@@ -167,8 +217,30 @@ def load_sharded_state_dict(root: Module, state: dict) -> None:
     granularity.  Such checkpoints must go through
     :func:`repro.checkpoint.load_resharded` instead.
     """
+    fqns = _module_fqns(root)
     with no_grad():
         for index, handle in enumerate(_handles_under(root)):
+            if getattr(handle, "is_per_param", False):
+                for sp in handle.sharded_params:
+                    key = f"per_param.{_join(fqns[id(sp.module)], sp.name)}"
+                    if key not in state:
+                        raise ShardLayoutError(
+                            f"sharded state dict is missing {key!r}", key=key
+                        )
+                    value = state[key]
+                    if isinstance(value, Tensor) and value.numel != sp.shard_numel:
+                        raise ShardLayoutError(
+                            f"shard {key!r} has {value.numel} elements but the "
+                            f"model's local shard has {sp.shard_numel} — "
+                            "checkpoint taken at a different world size? Use "
+                            "repro.checkpoint.load_resharded.",
+                            key=key,
+                            expected=sp.shard_numel,
+                            actual=value.numel,
+                        )
+                    if sp.shard_numel:
+                        sp.sharded_data.copy_(value)
+                continue
             key = f"flat_param.{index:03d}.{handle.label}"
             if key not in state:
                 raise ShardLayoutError(

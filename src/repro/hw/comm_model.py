@@ -36,6 +36,7 @@ class CollectiveKind(enum.Enum):
     ALL_GATHER_LIST = "all_gather_list"
     ALL_GATHER_UNEVEN = "all_gather_uneven"
     REDUCE_SCATTER = "reduce_scatter"
+    REDUCE_SCATTER_UNEVEN = "reduce_scatter_uneven"
     ALL_REDUCE = "all_reduce"
     BROADCAST = "broadcast"
     ALL_TO_ALL = "all_to_all"
@@ -143,6 +144,28 @@ class CommModel:
             # bandwidth term is derated (no pipelining across calls).
             # Size imbalance hurts further: the largest broadcast gates
             # the sequence while other ranks idle.
+            launch = world * self.launch_overhead
+            latency = world * ring_latency
+            mean_shard = max(1.0, sum(shard_nbytes) / world)
+            imbalance = max(shard_nbytes) / mean_shard if shard_nbytes else 1.0
+            transfer = (
+                sum(shard_nbytes)
+                / bandwidth
+                * self.uneven_bandwidth_penalty
+                * (0.5 + 0.5 * imbalance)
+                * jitter
+            )
+            return CommCost(launch, latency, transfer)
+
+        if kind is CollectiveKind.REDUCE_SCATTER_UNEVEN:
+            if shard_nbytes is None:
+                shard_nbytes = [nbytes // world] * world
+            if len(shard_nbytes) != world:
+                raise ValueError("shard_nbytes must have one entry per rank")
+            # Mirrors the uneven all-gather fallback: one reduce per
+            # output chunk instead of a single pipelined ring, so every
+            # chunk pays launch + ring latency, bandwidth is derated and
+            # the largest chunk gates the sequence.
             launch = world * self.launch_overhead
             latency = world * ring_latency
             mean_shard = max(1.0, sum(shard_nbytes) / world)

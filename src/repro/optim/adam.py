@@ -31,16 +31,41 @@ class Adam(Optimizer):
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 0.0,
+        foreach: bool = False,
     ):
         if lr < 0.0:
             raise ValueError(f"invalid learning rate: {lr}")
         if not 0.0 <= betas[0] < 1.0 or not 0.0 <= betas[1] < 1.0:
             raise ValueError(f"invalid betas: {betas}")
+        # ``foreach`` is the multi-tensor fast path: all per-parameter
+        # elementwise updates of one step fuse into a single kernel
+        # launch (``Device.coalesce_kernels``).  The math — and hence
+        # every parameter bit — is identical to the per-tensor path;
+        # only launch accounting changes.  Essential for per-parameter
+        # sharding, where the optimizer sees one leaf per parameter
+        # instead of one flat buffer per unit.
+        self.foreach = foreach
         super().__init__(
             params, dict(lr=lr, betas=betas, eps=eps, weight_decay=weight_decay)
         )
 
     def step(self) -> None:
+        if self.foreach:
+            device = self._foreach_device()
+            if device is not None:
+                with device.coalesce_kernels("adam_foreach"):
+                    self._step_impl()
+                return
+        self._step_impl()
+
+    def _foreach_device(self):
+        for group in self.param_groups:
+            for param in group["params"]:
+                if getattr(param.device, "is_sim_gpu", False):
+                    return param.device
+        return None
+
+    def _step_impl(self) -> None:
         with no_grad():
             for group in self.param_groups:
                 lr = group["lr"]
@@ -84,5 +109,5 @@ class AdamW(Adam):
 
     decoupled_weight_decay = True
 
-    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999), eps: float = 1e-8, weight_decay: float = 0.01):
-        super().__init__(params, lr=lr, betas=betas, eps=eps, weight_decay=weight_decay)
+    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999), eps: float = 1e-8, weight_decay: float = 0.01, foreach: bool = False):
+        super().__init__(params, lr=lr, betas=betas, eps=eps, weight_decay=weight_decay, foreach=foreach)

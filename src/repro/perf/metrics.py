@@ -27,6 +27,7 @@ class PerfResult:
     #: Configuration that produced this row (filled by the simulation
     #: driver) so sweep output and autotune output are comparable.
     strategy: str = ""
+    backend: str = ""
     sharding_factor: int = 0
     wrap_policy: str = ""
     rate_limit: int = 0  # 0 = limiter off
@@ -77,6 +78,8 @@ class PerfResult:
         if not self.strategy:
             return ""
         parts = [self.strategy]
+        if self.backend and self.backend != "flat_param":
+            parts.append(self.backend)
         if self.sharding_factor:
             parts.append(f"F={self.sharding_factor}")
         if self.wrap_policy:

@@ -73,6 +73,7 @@ class Tensor:
         "_accumulate_grad",
         "_base",
         "_init_records",
+        "_fsdp_param_owner",
         "__weakref__",
     )
 

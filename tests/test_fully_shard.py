@@ -64,6 +64,88 @@ class TestAnnotation:
         dist.spawn(fn, 2)
 
 
+class TestPerParamGuards:
+    """Typed ``FsdpError`` regressions for the per-parameter backend.
+
+    The two classic mis-uses — annotating a module twice, and applying
+    fully_shard top-down so an inner annotation finds its parameters
+    already claimed by an ancestor unit — must fail loudly with the
+    offending module named, not degrade into empty units or
+    double-sharding.
+    """
+
+    def test_unknown_backend_rejected(self):
+        def fn(rank):
+            with pytest.raises(FsdpError, match="unknown fully_shard backend"):
+                fully_shard(build(), backend="flat_param_v3")
+
+        dist.spawn(fn, 1)
+
+    def test_double_annotation_rejected(self):
+        def fn(rank):
+            model = build()
+            fully_shard(model, backend="per_param")
+            with pytest.raises(FsdpError, match="already annotated"):
+                fully_shard(model, backend="per_param")
+
+        dist.spawn(fn, 2)
+
+    def test_double_annotation_rejected_across_backends(self):
+        def fn(rank):
+            model = build()
+            fully_shard(model, backend="per_param")
+            with pytest.raises(FsdpError, match="already annotated"):
+                fully_shard(model)  # flat_param second
+
+        dist.spawn(fn, 2)
+
+    def test_top_down_application_rejected(self):
+        """Root first claims every parameter; a later inner annotation
+        must surface the bottom-up ordering requirement."""
+
+        def fn(rank):
+            model = build()
+            fully_shard(model, backend="per_param")
+            inner = next(iter(model.children()))
+            with pytest.raises(FsdpError, match="bottom-up"):
+                fully_shard(inner, backend="per_param")
+
+        dist.spawn(fn, 2)
+
+    def test_bottom_up_application_composes(self):
+        """The supported ordering: inner units first, root last — the
+        root unit takes only the parameters no inner unit claimed."""
+
+        def fn(rank):
+            model = build()
+            for child in list(model.children()):
+                if isinstance(child, nn.Linear):
+                    fully_shard(child, backend="per_param")
+            fully_shard(model, backend="per_param")
+            units = {
+                id(m._fsdp_unit)
+                for m in model.modules()
+                if getattr(m, "_fsdp_unit", None) is not None
+            }
+            assert len(units) == 3  # two Linear units + the root
+            assert model._fsdp_unit.handle is None  # nothing left to claim
+
+        dist.spawn(fn, 2)
+
+    def test_cpu_offload_rejected(self):
+        from repro.fsdp import CPUOffload
+
+        def fn(rank):
+            with pytest.raises(FsdpError, match="CPU offloading"):
+                fully_shard(
+                    build(),
+                    backend="per_param",
+                    cpu_offload=CPUOffload(offload_params=True),
+                )
+
+        dist.spawn(fn, 1)
+
+
 class TestExecution:
     def test_training_step_and_grads(self):
         repro.manual_seed(17)

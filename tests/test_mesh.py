@@ -1,0 +1,273 @@
+"""DeviceMesh / placement property tests (per-parameter backend).
+
+The dim-0 chunking arithmetic in :mod:`repro.distributed.mesh` is the
+foundation the per-param backend's exactness claim rests on, so its
+invariants are checked property-style over the whole input space:
+chunks partition the dimension exactly (no overlap, no gap, no
+padding), tails shrink to empty when ``size < world``, and the padding
+the *flat* layout would have added is accounted analytically.  The
+spawn-based tests then check the full shard -> unshard round trip and
+FQN preservation through ``fully_shard``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro import distributed as dist, nn
+from repro.distributed.mesh import (
+    DeviceMesh,
+    Replicate,
+    Shard,
+    chunk_bounds,
+    chunk_numels,
+    init_device_mesh,
+    local_chunk,
+    padded_chunk_rows,
+)
+from repro.errors import ShardingError
+from repro.fsdp import ShardingStrategy, fully_shard
+from repro.fsdp.state_dict import full_state_dict
+from tests.conftest import copy_weights, snapshot_weights
+
+
+# ----------------------------------------------------------------------
+# Chunking arithmetic
+# ----------------------------------------------------------------------
+class TestChunkBounds:
+    @settings(deadline=None, max_examples=200)
+    @given(size=st.integers(0, 10_000), world=st.integers(1, 64))
+    def test_bounds_partition_exactly(self, size, world):
+        """Chunks tile [0, size) in order: no gap, no overlap, no pad."""
+        bounds = chunk_bounds(size, world)
+        assert len(bounds) == world
+        cursor = 0
+        for start, end in bounds:
+            assert start == min(cursor, size)
+            assert start <= end <= size
+            cursor = max(cursor, end)
+        assert cursor == size
+        assert sum(end - start for start, end in bounds) == size
+
+    @settings(deadline=None, max_examples=200)
+    @given(size=st.integers(1, 10_000), world=st.integers(1, 64))
+    def test_even_chunk_size_is_ceil(self, size, world):
+        """Non-tail chunks are exactly ceil(size/world) rows."""
+        bounds = chunk_bounds(size, world)
+        chunk = -(-size // world)
+        for start, end in bounds[:-1]:
+            assert end - start in (chunk, 0) or end == size
+        # Rank 0 always gets the full even chunk.
+        assert bounds[0] == (0, min(chunk, size))
+
+    @settings(deadline=None, max_examples=100)
+    @given(world=st.integers(2, 64), size=st.integers(0, 63))
+    def test_small_sizes_leave_empty_tails(self, world, size):
+        """size < world: trailing ranks legitimately hold nothing."""
+        if size >= world:
+            size = size % world
+        bounds = chunk_bounds(size, world)
+        empties = sum(1 for start, end in bounds if start == end)
+        assert empties >= world - size
+        for start, end in bounds[size:]:
+            assert start == end
+
+    @settings(deadline=None, max_examples=200)
+    @given(size=st.integers(0, 10_000), world=st.integers(1, 64))
+    def test_padded_rows_accounting(self, size, world):
+        """flat-style even padding = ceil(size/world)*world - size < world."""
+        pad = padded_chunk_rows(size, world)
+        chunk = -(-size // world) if size else 0
+        assert pad == chunk * world - size
+        assert 0 <= pad < max(world, 1)
+
+    @settings(deadline=None, max_examples=100)
+    @given(
+        shape=st.lists(st.integers(1, 40), min_size=0, max_size=3),
+        world=st.integers(1, 16),
+    )
+    def test_chunk_numels_sum_to_numel(self, shape, world):
+        numels = chunk_numels(shape, world)
+        assert len(numels) == world
+        assert sum(numels) == int(np.prod(shape)) if shape else 1
+
+    @settings(deadline=None, max_examples=100)
+    @given(size=st.integers(0, 1000), world=st.integers(1, 16), data=st.data())
+    def test_local_chunk_matches_bounds(self, size, world, data):
+        rank = data.draw(st.integers(0, world - 1))
+        assert local_chunk(size, world, rank) == chunk_bounds(size, world)[rank]
+
+    def test_errors(self):
+        with pytest.raises(ShardingError):
+            chunk_bounds(-1, 4)
+        with pytest.raises(ShardingError):
+            chunk_bounds(8, 0)
+        with pytest.raises(ShardingError):
+            local_chunk(8, 4, 4)
+        with pytest.raises(ShardingError):
+            local_chunk(8, 4, -1)
+
+
+# ----------------------------------------------------------------------
+# Placements
+# ----------------------------------------------------------------------
+class TestPlacements:
+    @settings(deadline=None, max_examples=100)
+    @given(
+        shape=st.lists(st.integers(1, 20), min_size=1, max_size=3),
+        world=st.integers(1, 8),
+    )
+    def test_shard_shapes_reassemble(self, shape, world):
+        """Concatenating every rank's Shard(0) shape on dim 0 == shape."""
+        placement = Shard(0)
+        rows = 0
+        for rank in range(world):
+            local = placement.shard_shape(shape, world, rank)
+            assert local[1:] == tuple(shape[1:])
+            rows += local[0]
+        assert rows == shape[0]
+
+    def test_scalar_is_one_row(self):
+        """0-d tensors act as a single row owned by rank 0."""
+        assert Shard(0).shard_shape((), 4, 0) == (1,)
+        for rank in range(1, 4):
+            assert Shard(0).shard_shape((), 4, rank) == (0,)
+
+    def test_replicate_keeps_shape(self):
+        assert Replicate().shard_shape((3, 5), 8, 2) == (3, 5)
+
+    def test_only_dim0_supported(self):
+        with pytest.raises(ShardingError):
+            Shard(1)
+
+    def test_predicates(self):
+        assert Shard(0).is_shard and not Shard(0).is_replicate
+        assert Replicate().is_replicate and not Replicate().is_shard
+
+
+# ----------------------------------------------------------------------
+# DeviceMesh construction and group resolution
+# ----------------------------------------------------------------------
+class TestDeviceMesh:
+    def test_full_shard_mesh_is_1d(self):
+        def worker(rank):
+            mesh = init_device_mesh(dist.get_device())
+            return (
+                mesh.ndim,
+                mesh.shape,
+                mesh.dim_names,
+                mesh.replicate_group is None,
+                mesh.shard_rank,
+            )
+
+        for rank, (ndim, shape, names, no_rep, shard_rank) in enumerate(
+            dist.spawn(worker, 4)
+        ):
+            assert ndim == 1
+            assert shape == (4,)
+            assert names == ("shard",)
+            assert no_rep
+            assert shard_rank == rank
+
+    def test_hybrid_mesh_is_2d(self):
+        def worker(rank):
+            mesh = init_device_mesh(
+                dist.get_device(),
+                sharding_strategy=ShardingStrategy.HYBRID_SHARD,
+                sharding_factor=2,
+            )
+            return (
+                mesh.ndim,
+                mesh.shape,
+                mesh.dim_names,
+                mesh.size(),
+                mesh.size("shard"),
+                mesh.get_group("shard") is mesh.shard_group,
+                mesh.get_group(0) is mesh.replicate_group,
+            )
+
+        for ndim, shape, names, total, shard_n, shard_ok, rep_ok in dist.spawn(worker, 4):
+            assert ndim == 2
+            assert shape == (2, 2)
+            assert names == ("replicate", "shard")
+            assert total == 4 and shard_n == 2
+            assert shard_ok and rep_ok
+
+    def test_bad_construction(self):
+        def worker(rank):
+            device = dist.get_device()
+            group = dist.default_group()
+            with pytest.raises(ShardingError):
+                DeviceMesh(device, ())
+            with pytest.raises(ShardingError):
+                DeviceMesh(device, (group, group), ("a",))
+            with pytest.raises(ShardingError):
+                DeviceMesh(device, (group, group), ("a", "a"))
+            mesh = DeviceMesh(device, (group,), ("shard",))
+            with pytest.raises(ShardingError):
+                mesh.get_group("nope")
+            with pytest.raises(ShardingError):
+                mesh.get_group(3)
+            return True
+
+        assert all(dist.spawn(worker, 2))
+
+
+# ----------------------------------------------------------------------
+# Shard -> unshard round trip through fully_shard(backend="per_param")
+# ----------------------------------------------------------------------
+def _roundtrip_worker(build, state0, world, **kwargs):
+    def worker(rank):
+        model = build()
+        copy_weights(model, state0)
+        fully_shard(model, backend="per_param", device=dist.get_device(), **kwargs)
+        fqns = [name for name, _ in model.named_parameters()]
+        sd = {k: v.numpy().copy() for k, v in full_state_dict(model).items()}
+        shard_rows = {
+            name: p.shape[0] if p.shape else 1 for name, p in model.named_parameters()
+        }
+        return fqns, sd, shard_rows
+
+    return worker
+
+
+class TestShardRoundTrip:
+    @pytest.mark.parametrize("world", [1, 2, 4])
+    @pytest.mark.parametrize("dims", [(7, 13), (3, 2), (1, 5)])
+    def test_uneven_roundtrip_and_fqns(self, world, dims):
+        """Shard then gather reproduces the weights bitwise; FQNs and
+        state-dict keys survive ``fully_shard`` untouched — including
+        parameters with fewer rows than the shard group."""
+        d_in, d_h = dims
+
+        def build():
+            return nn.Sequential(nn.Linear(d_in, d_h), nn.Tanh(), nn.Linear(d_h, 2))
+
+        repro.manual_seed(3)
+        reference = build()
+        state0 = snapshot_weights(reference)
+        expected_fqns = [name for name, _ in reference.named_parameters()]
+
+        for fqns, sd, _ in dist.spawn(_roundtrip_worker(build, state0, world), world):
+            assert fqns == expected_fqns
+            assert set(sd.keys()) == set(state0.keys())
+            for name, original in state0.items():
+                assert np.array_equal(sd[name], original), f"{name} round trip"
+
+    def test_sharded_rows_follow_chunk_bounds(self):
+        """While sharded, each rank's visible param rows match Shard(0)."""
+        world = 4
+        rows = 7  # uneven on purpose
+
+        def build():
+            return nn.Sequential(nn.Linear(5, rows))
+
+        repro.manual_seed(3)
+        state0 = snapshot_weights(build())
+
+        results = dist.spawn(_roundtrip_worker(build, state0, world), world)
+        bounds = chunk_bounds(rows, world)
+        for rank, (_, _, shard_rows) in enumerate(results):
+            start, end = bounds[rank]
+            assert shard_rows["0.weight"] == end - start

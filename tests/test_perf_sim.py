@@ -128,3 +128,31 @@ class TestDriver:
         assert "TFLOPS/GPU" in row
         oom = dataclasses.replace(result, oom=True)
         assert "OOM" in oom.row()
+
+
+class TestPerParamTrainerGuards:
+    """backend="per_param" has no wrapper object, so wrapper-only
+    features must be rejected with a typed error, not silently dropped."""
+
+    @pytest.mark.parametrize(
+        "override, match",
+        [
+            (dict(cpu_offload=True), "cpu_offload"),
+            (dict(ignored_modules_of=lambda model: []), "ignored_modules_of"),
+            (
+                dict(accumulate_steps=2, accumulate_no_sync=True),
+                "accumulate_no_sync",
+            ),
+        ],
+        ids=["cpu_offload", "ignored_modules", "no_sync_accumulation"],
+    )
+    def test_wrapper_only_features_rejected(self, override, match):
+        from repro.errors import FsdpError
+
+        with pytest.raises(FsdpError, match=match):
+            simulate_training(small_config(backend="per_param", **override))
+
+    def test_per_param_backend_runs_clean(self):
+        result = simulate_training(small_config(backend="per_param"))
+        assert not result.oom
+        assert result.backend == "per_param"

@@ -19,12 +19,15 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Optional
 
-from repro.autograd.grad_mode import is_grad_enabled, no_grad
+from repro.autograd.grad_mode import _state, is_grad_enabled, no_grad
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.tensor import Tensor
 
 __all__ = ["Context", "Function", "Node", "AccumulateGrad", "Edge", "RemovableHandle"]
+
+# Lazily bound Tensor class (repro.tensor imports this module).
+_Tensor = None
 
 
 class RemovableHandle:
@@ -154,29 +157,41 @@ class Function:
 
     @classmethod
     def apply(cls, *args, **kwargs):
-        from repro.tensor import Tensor
+        global _Tensor
+        Tensor = _Tensor
+        if Tensor is None:
+            from repro.tensor import Tensor
 
-        tensor_inputs = [a for a in args if isinstance(a, Tensor)]
-        needs_grad = is_grad_enabled() and any(
-            t.requires_grad and t.dtype.is_floating for t in tensor_inputs
-        )
+            _Tensor = Tensor
+
+        any_grad = False
+        flags = []
+        for a in args:
+            flag = isinstance(a, Tensor) and a.requires_grad and a.dtype.is_floating
+            flags.append(flag)
+            if flag:
+                any_grad = True
+        needs_input_grad = tuple(flags)
+        needs_grad = any_grad and getattr(_state, "enabled", True)
 
         ctx = Context()
-        ctx.needs_input_grad = tuple(
-            isinstance(a, Tensor) and a.requires_grad and a.dtype.is_floating for a in args
-        )
-        with no_grad():
+        ctx.needs_input_grad = needs_input_grad
+        # Inlined no_grad(): apply() runs once per op dispatch, and the
+        # context-manager protocol is measurable there.
+        previous = getattr(_state, "enabled", True)
+        _state.enabled = False
+        try:
             outputs = cls.forward(ctx, *args, **kwargs)
+        finally:
+            _state.enabled = previous
         single = not isinstance(outputs, tuple)
         output_tuple = (outputs,) if single else outputs
 
         if needs_grad:
-            next_edges: list[Optional[Edge]] = []
-            for arg in args:
-                if isinstance(arg, Tensor) and arg.requires_grad and arg.dtype.is_floating:
-                    next_edges.append(arg._grad_edge())
-                else:
-                    next_edges.append(None)
+            next_edges: list[Optional[Edge]] = [
+                args[i]._grad_edge() if flag else None
+                for i, flag in enumerate(needs_input_grad)
+            ]
             node = Node(cls, ctx, next_edges)
             node.num_outputs = len(output_tuple)
             for i, out in enumerate(output_tuple):

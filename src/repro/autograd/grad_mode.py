@@ -1,8 +1,13 @@
-"""Gradient-mode context managers (``no_grad`` / ``enable_grad``)."""
+"""Gradient-mode context managers (``no_grad`` / ``enable_grad``).
+
+These sit on the hot path of every op dispatch (``Function.apply``
+wraps each forward in ``no_grad``), so the context managers are plain
+``__enter__``/``__exit__`` classes rather than ``contextlib`` generators
+— entering one is a couple of attribute writes, no generator frame.
+"""
 
 from __future__ import annotations
 
-import contextlib
 import threading
 
 __all__ = ["is_grad_enabled", "no_grad", "enable_grad", "set_grad_enabled"]
@@ -15,27 +20,32 @@ def is_grad_enabled() -> bool:
     return getattr(_state, "enabled", True)
 
 
-def _set(enabled: bool) -> bool:
-    previous = is_grad_enabled()
-    _state.enabled = enabled
-    return previous
+class set_grad_enabled:
+    """Context manager forcing grad mode to ``enabled``.
+
+    Re-entrant: each instance restores the mode that was active when it
+    was entered, so instances may be nested or reused sequentially.
+    """
+
+    __slots__ = ("enabled", "_previous")
+
+    def __init__(self, enabled: bool):
+        self.enabled = enabled
+        self._previous = True
+
+    def __enter__(self) -> None:
+        self._previous = getattr(_state, "enabled", True)
+        _state.enabled = self.enabled
+
+    def __exit__(self, *exc_info) -> None:
+        _state.enabled = self._previous
 
 
-@contextlib.contextmanager
-def set_grad_enabled(enabled: bool):
-    """Context manager forcing grad mode to ``enabled``."""
-    previous = _set(enabled)
-    try:
-        yield
-    finally:
-        _set(previous)
-
-
-def no_grad():
+def no_grad() -> set_grad_enabled:
     """Disable autograd recording inside the context."""
     return set_grad_enabled(False)
 
 
-def enable_grad():
+def enable_grad() -> set_grad_enabled:
     """Re-enable autograd recording inside the context."""
     return set_grad_enabled(True)

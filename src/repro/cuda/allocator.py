@@ -146,6 +146,12 @@ class CachingAllocator:
         self.capacity = capacity
         self.stats = MemoryStats()
         self._pools: dict[int, list[Block]] = {}
+        # Pooled blocks with a nonzero cross-stream retire time, by id.
+        # ``active`` = allocated + pooled-but-unretired bytes; almost all
+        # pooled blocks have ``reuse_ready_time == 0``, so tracking the
+        # exceptions keeps the stats refresh O(pending) instead of
+        # O(all cached blocks) on every allocate/free.
+        self._pending_reuse: dict[int, Block] = {}
         # Live segments by id (registered at cudaMalloc, dropped at
         # release) — backs the per-stream reserved breakdown.
         self._segments: dict[int, Segment] = {}
@@ -203,10 +209,12 @@ class CachingAllocator:
             )
         block.allocated = True
         block.requested = nbytes
-        self.stats.allocated_bytes += nbytes
-        self.stats.allocated_peak = max(self.stats.allocated_peak, self.stats.allocated_bytes)
+        stats = self.stats
+        stats.allocated_bytes += nbytes
+        if stats.allocated_bytes > stats.allocated_peak:
+            stats.allocated_peak = stats.allocated_bytes
         self._bump_active()
-        san = sanitizer.active()
+        san = sanitizer._ACTIVE
         if san is not None:
             san.on_block_alloc(self.device, stream, block)
         self._sample("alloc")
@@ -221,6 +229,8 @@ class CachingAllocator:
         block.requested = 0
         merged = self._coalesce(block)
         self._pools.setdefault(merged.segment.stream_id, []).append(merged)
+        if merged.reuse_ready_time > 0.0:
+            self._pending_reuse[id(merged)] = merged
         self._bump_active()
         self._sample("free")
 
@@ -279,20 +289,26 @@ class CachingAllocator:
         pool = self._pools.get(stream.stream_id)
         if not pool:
             return None
-        now = self.device.cpu_time()
+        now = self.device._cpu_time
         best: Optional[Block] = None
         best_index = -1
+        best_size = 0
         for index, block in enumerate(pool):
-            if block.size < size:
+            block_size = block.size
+            if block_size < size or (best is not None and block_size >= best_size):
                 continue
             if block.reuse_ready_time > now:
                 # Cross-stream use has not retired yet; unsafe to reuse.
                 continue
-            if best is None or block.size < best.size:
-                best, best_index = block, index
+            best, best_index, best_size = block, index, block_size
+            if block_size == size:
+                # Exact fit: nothing later in the pool can beat it, and
+                # ties resolve to the earliest pooled block either way.
+                break
         if best is None:
             return None
         pool.pop(best_index)
+        self._pending_reuse.pop(id(best), None)
         self.stats.num_block_reuses += 1
         self._maybe_split(best, size, stream)
         return best
@@ -314,6 +330,8 @@ class CachingAllocator:
         block.next = rest
         block.size = size
         self._pools.setdefault(block.segment.stream_id, []).append(rest)
+        if rest.reuse_ready_time > 0.0:
+            self._pending_reuse[id(rest)] = rest
 
     def _try_cuda_malloc(self, size: int, stream: "Stream") -> Optional[Block]:
         is_small = size <= _SMALL_BLOCK_LIMIT
@@ -374,6 +392,7 @@ class CachingAllocator:
                 if whole_segment_free and (retired or not require_retired):
                     self.stats.reserved_bytes -= block.segment.size
                     self._segments.pop(block.segment.segment_id, None)
+                    self._pending_reuse.pop(id(block), None)
                     released += 1
                 else:
                     kept.append(block)
@@ -396,6 +415,7 @@ class CachingAllocator:
         neighbor = block.prev
         if neighbor is not None and not neighbor.allocated:
             pool.remove(neighbor)
+            self._pending_reuse.pop(id(neighbor), None)
             neighbor.next = block.next
             if block.next is not None:
                 block.next.prev = neighbor
@@ -405,6 +425,7 @@ class CachingAllocator:
         neighbor = block.next
         if neighbor is not None and not neighbor.allocated:
             pool.remove(neighbor)
+            self._pending_reuse.pop(id(neighbor), None)
             block.next = neighbor.next
             if neighbor.next is not None:
                 neighbor.next.prev = block
@@ -414,13 +435,28 @@ class CachingAllocator:
 
     def _bump_active(self) -> None:
         self._refresh_active()
-        self.stats.active_peak = max(self.stats.active_peak, self.stats.active_bytes)
+        stats = self.stats
+        if stats.active_bytes > stats.active_peak:
+            stats.active_peak = stats.active_bytes
 
     def _refresh_active(self) -> None:
-        now = self.device.cpu_time()
+        stats = self.stats
+        pending_reuse = self._pending_reuse
+        if not pending_reuse:
+            stats.active_bytes = stats.allocated_bytes
+            return
+        now = self.device._cpu_time
         pending = 0
-        for pool in self._pools.values():
-            for block in pool:
-                if block.reuse_ready_time > now:
-                    pending += block.size
-        self.stats.active_bytes = self.stats.allocated_bytes + pending
+        retired = None
+        for key, block in pending_reuse.items():
+            if block.allocated or block.reuse_ready_time <= now:
+                if retired is None:
+                    retired = [key]
+                else:
+                    retired.append(key)
+            else:
+                pending += block.size
+        if retired is not None:
+            for key in retired:
+                del pending_reuse[key]
+        stats.active_bytes = stats.allocated_bytes + pending

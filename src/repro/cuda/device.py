@@ -27,6 +27,66 @@ __all__ = ["Device", "cpu_device", "meta_device"]
 _device_counter = itertools.count()
 
 
+class _StreamGuard:
+    """Plain-class context manager for :meth:`Device.stream`.
+
+    Entered on every FSDP unshard/reshard; avoids the generator frame a
+    ``contextlib`` manager would allocate per use.
+    """
+
+    __slots__ = ("_device", "_stream", "_previous")
+
+    def __init__(self, device: "Device", stream: "Stream"):
+        self._device = device
+        self._stream = stream
+        self._previous = None
+
+    def __enter__(self) -> "Stream":
+        self._previous = self._device.current_stream
+        self._device.current_stream = self._stream
+        return self._stream
+
+    def __exit__(self, *exc_info) -> None:
+        self._device.current_stream = self._previous
+
+
+class _CoalesceGuard:
+    """Plain-class context manager for :meth:`Device.coalesce_kernels`."""
+
+    __slots__ = ("_device", "_label", "_acc")
+
+    def __init__(self, device: "Device", label: str):
+        self._device = device
+        self._label = label
+        self._acc = None
+
+    def __enter__(self) -> None:
+        device = self._device
+        if not device.is_sim_gpu or device._coalesce is not None:
+            return
+        self._acc = device._coalesce = {}
+
+    def __exit__(self, *exc_info) -> None:
+        acc = self._acc
+        if acc is None:
+            return
+        device = self._device
+        device._coalesce = None
+        self._acc = None
+        for stream, flops, bytes_moved, dtype, reads, writes, blocks in acc.values():
+            if not (flops or bytes_moved or reads or writes or blocks):
+                continue
+            device.launch(
+                KernelCost(flops=flops, bytes_moved=bytes_moved),
+                dtype,
+                stream=stream,
+                blocks=tuple(blocks.values()),
+                reads=tuple(reads.values()),
+                writes=tuple(writes.values()),
+                label=self._label,
+            )
+
+
 class Device:
     """A simulated execution device."""
 
@@ -41,6 +101,11 @@ class Device:
         if kind not in ("sim_gpu", "cpu", "meta"):
             raise DeviceError(f"unknown device kind: {kind!r}")
         self.kind = kind
+        # Plain attributes (not properties): consulted on every op
+        # dispatch and storage allocation.
+        self.is_sim_gpu = kind == "sim_gpu"
+        self.is_meta = kind == "meta"
+        self.is_cpu = kind == "cpu"
         self.index = next(_device_counter) if index is None else index
         self.spec = spec
         # When False, tensors on this device carry no real data: shapes,
@@ -87,18 +152,6 @@ class Device:
     # ------------------------------------------------------------------
     # Identity
     # ------------------------------------------------------------------
-    @property
-    def is_sim_gpu(self) -> bool:
-        return self.kind == "sim_gpu"
-
-    @property
-    def is_meta(self) -> bool:
-        return self.kind == "meta"
-
-    @property
-    def is_cpu(self) -> bool:
-        return self.kind == "cpu"
-
     def __repr__(self) -> str:
         if self.kind == "sim_gpu":
             return f"device(sim_gpu:{self.index})"
@@ -174,8 +227,11 @@ class Device:
         the stream-order sanitizer); their blocks are recorded too, so
         callers pass either form.
         """
-        self._require_sim("kernels")
-        stream = stream or self.current_stream
+        kernel_model = self.kernel_model
+        if kernel_model is None:
+            self._require_sim("kernels")
+        if stream is None:
+            stream = self.current_stream
         if self._coalesce is not None and not cost.is_matmul:
             entry = self._coalesce.get(id(stream))
             if entry is None:
@@ -189,23 +245,32 @@ class Device:
             for block in blocks:
                 entry[6][id(block)] = block
             return self._cpu_time, self._cpu_time
-        self.consume_cpu(self.kernel_model.launch_overhead())
-        duration = self.kernel_model.duration(cost, dtype)
+        # Hottest function in the simulator: inline consume_cpu (the
+        # overhead is a positive constant) and touch attributes once.
+        self._cpu_time += self.spec.kernel_launch_cpu
+        duration = kernel_model.duration(cost, dtype)
         self.flops_total += cost.flops
         self.kernels_launched += 1
         start, end = stream.enqueue(duration, label=label)
-        seen = set()
-        for block in blocks:
-            self.allocator.record_use(block, stream, end)
-            seen.add(id(block))
-        for storage in (*reads, *writes):
-            block = getattr(storage, "block", None)
-            if block is not None and storage.device is self and id(block) not in seen:
-                self.allocator.record_use(block, stream, end)
+        allocator = self.allocator
+        seen = None
+        if blocks:
+            seen = set()
+            for block in blocks:
+                allocator.record_use(block, stream, end)
                 seen.add(id(block))
-        san = sanitizer.active()
-        if san is not None and (reads or writes):
-            san.on_access(self, stream, reads=reads, writes=writes)
+        if reads or writes:
+            for storage in reads:
+                block = storage.block
+                if block is not None and storage.device is self and (seen is None or id(block) not in seen):
+                    allocator.record_use(block, stream, end)
+            for storage in writes:
+                block = storage.block
+                if block is not None and storage.device is self and (seen is None or id(block) not in seen):
+                    allocator.record_use(block, stream, end)
+            san = sanitizer._ACTIVE
+            if san is not None:
+                san.on_access(self, stream, reads=reads, writes=writes)
         return start, end
 
     def coalesce_kernels(self, label: str = "multi_tensor"):
@@ -220,33 +285,7 @@ class Device:
         and launch immediately.  Regions do not nest; an inner region
         is a no-op inside an outer one.
         """
-        import contextlib
-
-        @contextlib.contextmanager
-        def _guard():
-            if not self.is_sim_gpu or self._coalesce is not None:
-                yield
-                return
-            acc: dict[int, list] = {}
-            self._coalesce = acc
-            try:
-                yield
-            finally:
-                self._coalesce = None
-                for stream, flops, bytes_moved, dtype, reads, writes, blocks in acc.values():
-                    if not (flops or bytes_moved or reads or writes or blocks):
-                        continue
-                    self.launch(
-                        KernelCost(flops=flops, bytes_moved=bytes_moved),
-                        dtype,
-                        stream=stream,
-                        blocks=tuple(blocks.values()),
-                        reads=tuple(reads.values()),
-                        writes=tuple(writes.values()),
-                        label=label,
-                    )
-
-        return _guard()
+        return _CoalesceGuard(self, label)
 
     def new_event(self) -> Event:
         self._require_sim("events")
@@ -259,18 +298,7 @@ class Device:
         FSDP routes AllGather destinations to the producer stream
         (Section 3.4).
         """
-        import contextlib
-
-        @contextlib.contextmanager
-        def _guard():
-            previous = self.current_stream
-            self.current_stream = stream
-            try:
-                yield stream
-            finally:
-                self.current_stream = previous
-
-        return _guard()
+        return _StreamGuard(self, stream)
 
     # ------------------------------------------------------------------
     # Memory

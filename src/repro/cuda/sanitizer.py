@@ -91,7 +91,7 @@ class LaunchRecord:
 
 
 class _StreamState:
-    __slots__ = ("key", "seq", "clock", "last")
+    __slots__ = ("key", "seq", "clock", "clock_shared", "last")
 
     def __init__(self, key: int):
         self.key = key
@@ -99,8 +99,32 @@ class _StreamState:
         self.seq = 0
         #: Vector clock: other-stream kernels ordered before future work here.
         self.clock: dict[int, int] = {}
+        #: True while ``clock`` is aliased by a recorded event's snapshot
+        #: (copy-on-write: the dict is copied on the next update instead
+        #: of on every ``record_event``).
+        self.clock_shared = False
         #: The most recently enqueued kernel (the one access checks attribute).
         self.last: Optional[LaunchRecord] = None
+
+    def advance(self, key: int, seq: int) -> None:
+        """Raise ``clock[key]`` to ``seq``, unsharing first if snapshot."""
+        clock = self.clock
+        if clock.get(key, 0) < seq:
+            if self.clock_shared:
+                clock = self.clock = dict(clock)
+                self.clock_shared = False
+            clock[key] = seq
+
+    def merge(self, other: dict[int, int]) -> None:
+        """Merge another clock into this one (copy-on-write aware)."""
+        clock = self.clock
+        shared = self.clock_shared
+        for key, seq in other.items():
+            if clock.get(key, 0) < seq:
+                if shared:
+                    clock = self.clock = dict(clock)
+                    self.clock_shared = shared = False
+                clock[key] = seq
 
 
 class _StorageShadow:
@@ -166,42 +190,49 @@ class StreamOrderSanitizer:
             if host:
                 # The launching CPU thread already observed everything in
                 # the host clock; the new kernel inherits that ordering.
-                _merge(state.clock, host)
+                state.merge(host)
             state.last = LaunchRecord(
                 stream.name, state.key, state.seq, label, getattr(_tls, "site", None)
             )
 
     def on_record_event(self, stream: "Stream", event: "Event") -> None:
+        # An event snapshot is the stream's clock plus its own frontier.
+        # Instead of copying the dict per event (O(streams) each, which
+        # made long soaks quadratic), the snapshot aliases the live dict
+        # and the stream copies it lazily on its next clock update.
         with self._lock:
             state = self._state(stream)
-            clock = dict(state.clock)
-            clock[state.key] = state.seq
-            self._events[event] = clock
+            state.clock_shared = True
+            self._events[event] = (state.clock, state.key, state.seq)
 
-    def _event_clock(self, event: "Event") -> dict[int, int]:
+    def _event_clock(self, event: "Event") -> tuple[dict[int, int], Optional[int], int]:
         clock = self._events.get(event)
         if clock is None:
             # Recorded before the sanitizer was enabled: conservatively
             # treat it as covering everything enqueued so far on its
             # device (avoids false positives at the enable boundary).
-            clock = {}
+            base = {}
             for stream in getattr(event.device, "streams", ()):
                 state = self._streams.get(stream)
                 if state is not None:
-                    clock[state.key] = state.seq
+                    base[state.key] = state.seq
+            clock = (base, None, 0)
         return clock
 
     def on_wait_event(self, stream: "Stream", event: "Event") -> None:
         with self._lock:
-            _merge(self._state(stream).clock, self._event_clock(event))
+            state = self._state(stream)
+            base, key, seq = self._event_clock(event)
+            state.merge(base)
+            if key is not None:
+                state.advance(key, seq)
 
     def on_wait_stream(self, stream: "Stream", other: "Stream") -> None:
         with self._lock:
             state = self._state(stream)
             other_state = self._state(other)
-            _merge(state.clock, other_state.clock)
-            if state.clock.get(other_state.key, 0) < other_state.seq:
-                state.clock[other_state.key] = other_state.seq
+            state.merge(other_state.clock)
+            state.advance(other_state.key, other_state.seq)
 
     def _host(self, device: "Device") -> dict[int, int]:
         host = self._hosts.get(device)
@@ -213,7 +244,11 @@ class StreamOrderSanitizer:
     def on_host_sync_event(self, event: "Event") -> None:
         """The CPU observed ``event`` complete (synchronize or query)."""
         with self._lock:
-            _merge(self._host(event.device), self._event_clock(event))
+            host = self._host(event.device)
+            base, key, seq = self._event_clock(event)
+            _merge(host, base)
+            if key is not None and host.get(key, 0) < seq:
+                host[key] = seq
 
     def on_host_sync_stream(self, stream: "Stream") -> None:
         with self._lock:

@@ -50,15 +50,17 @@ class Stream:
         if duration < 0:
             raise ValueError("kernel duration must be non-negative")
         if issue_time is None:
-            issue_time = self.device.cpu_time()
-        start = max(self.ready_time, issue_time)
+            issue_time = self.device._cpu_time
+        start = self.ready_time
+        if issue_time > start:
+            start = issue_time
         end = start + duration
         self.ready_time = end
         self.kernels_enqueued += 1
-        san = _sanitizer.active()
+        san = _sanitizer._ACTIVE
         if san is not None:
             san.on_kernel(self, label)
-        hook = getattr(self.device, "trace_hook", None)
+        hook = self.device.trace_hook
         if hook is not None:
             hook(label, self.name, start, end)
         return start, end

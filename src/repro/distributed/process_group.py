@@ -117,6 +117,9 @@ class ProcessGroup:
         # observed complete by the CPU, keyed by a launch token.
         self._pending_ops: dict[int, tuple[str, Event]] = {}
         self._op_counter = 0
+        # The group's membership is fixed, so whether it crosses hosts
+        # is too — computed once instead of per collective.
+        self._spans_hosts = len(comm_model.topology.hosts_spanned(self.ranks)) > 1
 
     @property
     def world_size(self) -> int:
@@ -152,7 +155,7 @@ class ProcessGroup:
             timeout=self.timeout,
             pending_ops=self.pending_collectives() + 1,
         )
-        recorder = getattr(self.device, "flight_recorder", None)
+        recorder = self.device.flight_recorder
         if recorder is not None:
             error.flight_dump = recorder.dump(now=self.device.cpu_time())
         return error
@@ -165,7 +168,7 @@ class ProcessGroup:
         logical collective, so every rank of an SPMD program stays
         aligned regardless of how many retries any rank performed.
         """
-        injector = getattr(self.device, "fault_injector", None)
+        injector = self.device.fault_injector
         if injector is None:
             return FaultDecision()
         attempt = 0
@@ -262,8 +265,7 @@ class ProcessGroup:
             per_rank = nbytes * (world - 1) / world
         self.bytes_sent += int(per_rank)
         self.collective_count += 1
-        topo = self.comm_model.topology
-        if len(topo.hosts_spanned(self.ranks)) > 1:
+        if self._spans_hosts:
             self.cross_host_bytes += int(per_rank)
 
     def _launch_collective(
@@ -296,8 +298,8 @@ class ProcessGroup:
         if collective_start is not None:
             issue = max(issue, collective_start)
         issue += decision.delay_s
-        recorder = getattr(device, "flight_recorder", None)
-        profiler = getattr(device, "profiler", None)
+        recorder = device.flight_recorder
+        profiler = device.profiler
         record = None
         if recorder is not None:
             record = recorder.record_issue(

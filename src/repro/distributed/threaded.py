@@ -80,8 +80,8 @@ class ThreadedProcessGroup(ProcessGroup):
             combined = combine_data(datas) if combine_data is not None else None
             return (max(times), combined)
 
-        recorder = getattr(device, "flight_recorder", None)
-        profiler = getattr(device, "profiler", None)
+        recorder = device.flight_recorder
+        profiler = device.profiler
         record = None
         if recorder is not None:
             # Issue is recorded *before* the rendezvous: a rank blocked

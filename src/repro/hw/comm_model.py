@@ -59,6 +59,12 @@ class CommCost:
 class CommModel:
     """Analytic collective costs over a :class:`ClusterTopology`.
 
+    Costs are memoized: training loops price the same few hundred
+    ``(kind, nbytes, ranks, concurrent_groups)`` shapes every iteration,
+    so after the first iteration each collective costs one dict lookup
+    instead of a full topology walk (``ring_bandwidth`` visits every
+    rank).  Disable with ``cache=False`` for differential testing.
+
     Args:
         topology: cluster the collectives run on.
         launch_overhead: fixed CPU+enqueue cost per collective; the
@@ -66,6 +72,8 @@ class CommModel:
         step_latency: per-ring-step latency (link + protocol).
         uneven_bandwidth_penalty: bandwidth derating of the broadcast
             fallback used for uneven inputs.
+        cache: memoize :meth:`cost` results (deterministic model, pure
+            function of the key — safe to share across groups).
     """
 
     def __init__(
@@ -75,11 +83,14 @@ class CommModel:
         launch_overhead: float = 60e-6,
         step_latency: float = 4e-6,
         uneven_bandwidth_penalty: float = 1.6,
+        cache: bool = True,
     ):
         self.topology = topology
         self.launch_overhead = launch_overhead
         self.step_latency = step_latency
         self.uneven_bandwidth_penalty = uneven_bandwidth_penalty
+        self.cache_enabled = cache
+        self._cost_cache: dict[tuple, CommCost] = {}
 
     # ------------------------------------------------------------------
     # Cost entry points
@@ -110,6 +121,45 @@ class CommModel:
         Returns:
             A :class:`CommCost` breakdown; ``.total`` is the duration.
         """
+        if self.cache_enabled:
+            key = (
+                kind,
+                nbytes,
+                tuple(ranks),
+                concurrent_groups,
+                None if shard_nbytes is None else tuple(shard_nbytes),
+            )
+            cached = self._cost_cache.get(key)
+            if cached is None:
+                cached = self._compute_cost(
+                    kind,
+                    nbytes,
+                    key[2],
+                    concurrent_groups=concurrent_groups,
+                    shard_nbytes=shard_nbytes,
+                )
+                self._cost_cache[key] = cached
+            return cached
+        return self._compute_cost(
+            kind,
+            nbytes,
+            ranks,
+            concurrent_groups=concurrent_groups,
+            shard_nbytes=shard_nbytes,
+        )
+
+    def clear_cache(self) -> None:
+        self._cost_cache.clear()
+
+    def _compute_cost(
+        self,
+        kind: CollectiveKind,
+        nbytes: int,
+        ranks: Sequence[int],
+        *,
+        concurrent_groups: int = 1,
+        shard_nbytes: Sequence[int] | None = None,
+    ) -> CommCost:
         world = len(ranks)
         if world <= 0:
             raise ValueError("collective requires at least one rank")
@@ -126,7 +176,12 @@ class CommModel:
             return CommCost(self.launch_overhead, ring_latency, transfer)
 
         if kind is CollectiveKind.ALL_GATHER_LIST:
-            base = self.cost(CollectiveKind.ALL_GATHER_BASE, nbytes, ranks, concurrent_groups=concurrent_groups)
+            base = self.cost(
+                CollectiveKind.ALL_GATHER_BASE,
+                nbytes,
+                tuple(ranks),
+                concurrent_groups=concurrent_groups,
+            )
             # Copies between the consolidated buffer and the list of
             # output tensors: read + write of the full payload through
             # HBM, plus one small launch per output tensor.
@@ -199,10 +254,21 @@ class CommModel:
         return self.cost(kind, nbytes, ranks, **kwargs).total
 
     def bus_bandwidth(self, kind: CollectiveKind, nbytes: int, ranks: Sequence[int], **kwargs) -> float:
-        """Achieved algorithm bandwidth in bytes/s, as NCCL tests report."""
+        """Achieved bus bandwidth in bytes/s, per the nccl-tests busBw
+        convention: ``busBw = nbytes * factor / time`` with a per-kind
+        factor reflecting the bytes each rank actually moves over its
+        links — ``(n-1)/n`` for all-gather / reduce-scatter / all-to-all,
+        ``2(n-1)/n`` for all-reduce (ring RS + AG passes the data
+        twice), ``1`` for broadcast.
+        """
         duration = self.time(kind, nbytes, ranks, **kwargs)
         world = len(ranks)
         if world <= 1:
             return 0.0
-        effective = nbytes * (world - 1) / world
-        return effective / duration
+        if kind is CollectiveKind.ALL_REDUCE:
+            factor = 2.0 * (world - 1) / world
+        elif kind is CollectiveKind.BROADCAST:
+            factor = 1.0
+        else:
+            factor = (world - 1) / world
+        return nbytes * factor / duration

@@ -39,13 +39,31 @@ class KernelCost:
 
 
 class KernelCostModel:
-    """Maps :class:`KernelCost` declarations to durations on a GPU."""
+    """Maps :class:`KernelCost` declarations to durations on a GPU.
 
-    def __init__(self, gpu: GpuSpec):
+    Durations are memoized on ``(cost, dtype)`` — :class:`KernelCost`
+    is a frozen dataclass, and models see the same few hundred shapes
+    every training iteration.  Disable with ``cache=False`` for
+    differential testing of the uncached path.
+    """
+
+    def __init__(self, gpu: GpuSpec, *, cache: bool = True):
         self.gpu = gpu
+        self.cache_enabled = cache
+        self._duration_cache: dict[tuple, float] = {}
 
     def duration(self, cost: KernelCost, dtype: dtypes.DType) -> float:
         """Simulated kernel duration in seconds."""
+        if self.cache_enabled:
+            key = (cost, dtype.name)
+            cached = self._duration_cache.get(key)
+            if cached is None:
+                cached = self._compute_duration(cost, dtype)
+                self._duration_cache[key] = cached
+            return cached
+        return self._compute_duration(cost, dtype)
+
+    def _compute_duration(self, cost: KernelCost, dtype: dtypes.DType) -> float:
         gpu = self.gpu
         compute_time = 0.0
         if cost.flops:
@@ -59,6 +77,9 @@ class KernelCostModel:
             compute_time = cost.flops / rate
         memory_time = cost.bytes_moved / gpu.mem_bandwidth if cost.bytes_moved else 0.0
         return max(compute_time, memory_time, gpu.kernel_min_duration)
+
+    def clear_cache(self) -> None:
+        self._duration_cache.clear()
 
     def launch_overhead(self) -> float:
         """CPU time consumed issuing one kernel."""

@@ -8,6 +8,7 @@ with oversubscription above the pod level.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -200,8 +201,6 @@ class ClusterTopology:
         """Multiplicative slowdown from stragglers at a world size."""
         if group_size <= 1:
             return 1.0
-        import math
-
         return 1.0 + self.jitter_per_log2_ranks * math.log2(group_size)
 
     def _check_rank(self, rank: int) -> None:

@@ -167,15 +167,17 @@ class Module:
         raise NotImplementedError(f"{type(self).__name__} must implement forward()")
 
     def __call__(self, *args, **kwargs):
-        for hook in list(self._forward_pre_hooks.values()):
-            result = hook(self, args)
-            if result is not None:
-                args = result if isinstance(result, tuple) else (result,)
+        if self._forward_pre_hooks:
+            for hook in list(self._forward_pre_hooks.values()):
+                result = hook(self, args)
+                if result is not None:
+                    args = result if isinstance(result, tuple) else (result,)
         output = self.forward(*args, **kwargs)
-        for hook in list(self._forward_hooks.values()):
-            result = hook(self, args, output)
-            if result is not None:
-                output = result
+        if self._forward_hooks:
+            for hook in list(self._forward_hooks.values()):
+                result = hook(self, args, output)
+                if result is not None:
+                    output = result
         return output
 
     # ------------------------------------------------------------------

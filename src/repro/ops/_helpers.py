@@ -30,20 +30,23 @@ def resolve_device(inputs: Sequence[Tensor]) -> Device:
     """The common device of ``inputs`` (scalars ride along)."""
     device = None
     for t in inputs:
-        if t.device.is_sim_gpu or t.device.is_meta:
-            if device is not None and device is not t.device and t.numel > 1:
-                raise RuntimeError(
-                    f"tensors on different devices: {device} vs {t.device}"
-                )
+        d = t._storage.device
+        if d.is_sim_gpu or d.is_meta:
+            if device is not None and device is not d and t.numel > 1:
+                raise RuntimeError(f"tensors on different devices: {device} vs {d}")
             if device is None or not device.is_sim_gpu:
-                device = t.device
-    return device or (inputs[0].device if inputs else cpu_device())
+                device = d
+    return device or (inputs[0]._storage.device if inputs else cpu_device())
 
 
 def elementwise_cost(*tensors: Tensor, flops_per_element: float = 1.0) -> KernelCost:
     """Bandwidth-bound cost of an elementwise kernel over ``tensors``."""
-    nbytes = sum(t.nbytes for t in tensors)
-    numel = max((t.numel for t in tensors), default=0)
+    nbytes = 0
+    numel = 0
+    for t in tensors:
+        nbytes += t.nbytes
+        if t.numel > numel:
+            numel = t.numel
     return KernelCost(flops=numel * flops_per_element, bytes_moved=nbytes)
 
 
@@ -58,27 +61,30 @@ def make_result(
     stream=None,
 ) -> Tensor:
     """Allocate, cost and (when possible) compute an op's output."""
-    device = device or resolve_device(inputs)
+    if device is None:
+        device = resolve_device(inputs)
     materialize = (
         compute is not None
         and device.materialize_data
-        and all(t.is_materialized for t in inputs)
+        and all(t._storage.data is not None for t in inputs)
     )
+    shape = tuple(shape)
     numel = math.prod(shape) if shape else 1
     storage = Storage(device, dtype, numel, materialize=materialize)
-    out = Tensor(storage, tuple(shape))
+    out = Tensor(storage, shape)
     if device.is_sim_gpu:
-        launch_cost = cost or elementwise_cost(*inputs, out)
+        if cost is None:
+            cost = elementwise_cost(*inputs, out)
         device.launch(
-            launch_cost,
+            cost,
             dtype,
             stream=stream,
             reads=tuple(t._storage for t in inputs),
-            writes=(out._storage,),
+            writes=(storage,),
         )
     if materialize:
         result = compute()
-        out._np[...] = dtypes.quantize(np.asarray(result), dtype).reshape(out.shape)
+        out._np[...] = dtypes.quantize(np.asarray(result), dtype).reshape(shape)
     return out
 
 

@@ -13,13 +13,25 @@ from repro.tensor import Tensor
 __all__ = ["matmul", "linear", "matmul_flops", "linear_flops"]
 
 
+_batch_shape_cache: dict[tuple, tuple[int, ...]] = {}
+
+
+def _batch_shape(a_shape, b_shape) -> tuple[int, ...]:
+    """Broadcast batch dims, memoized (same shapes every iteration)."""
+    key = (a_shape, b_shape)
+    batch = _batch_shape_cache.get(key)
+    if batch is None:
+        batch = _batch_shape_cache[key] = tuple(np.broadcast_shapes(a_shape, b_shape))
+    return batch
+
+
 def matmul_flops(a_shape: tuple[int, ...], b_shape: tuple[int, ...]) -> float:
     """FLOPs of ``a @ b`` (2 * batch * m * k * n)."""
     m, k = a_shape[-2], a_shape[-1]
     k2, n = b_shape[-2], b_shape[-1]
     if k != k2:
         raise ValueError(f"matmul shape mismatch: {a_shape} @ {b_shape}")
-    batch_shape = np.broadcast_shapes(a_shape[:-2], b_shape[:-2])
+    batch_shape = _batch_shape(tuple(a_shape[:-2]), tuple(b_shape[:-2]))
     batch = math.prod(batch_shape) if batch_shape else 1
     return 2.0 * batch * m * k * n
 
@@ -29,8 +41,8 @@ def linear_flops(batch_elems: int, in_features: int, out_features: int) -> float
 
 
 def _matmul_out_shape(a_shape, b_shape) -> tuple[int, ...]:
-    batch = np.broadcast_shapes(a_shape[:-2], b_shape[:-2])
-    return tuple(batch) + (a_shape[-2], b_shape[-1])
+    batch = _batch_shape(tuple(a_shape[:-2]), tuple(b_shape[:-2]))
+    return batch + (a_shape[-2], b_shape[-1])
 
 
 class _Matmul(Function):

@@ -56,18 +56,39 @@ class TraceEvent:
 
 
 class Tracer:
-    """Collects kernel/collective events from one device."""
+    """Collects kernel/collective events from one device.
+
+    Events are buffered as plain tuples on the hot path (``record`` runs
+    once per simulated kernel); :class:`TraceEvent` objects are
+    materialized lazily the first time ``events`` is read.  Zero-duration
+    events — e.g. collectives whose transfer rounds to nothing — are
+    recorded as instant *marks* rather than silently dropped, so event
+    counts reconcile with the flight recorder's issue counts.
+    """
 
     def __init__(self):
-        self.events: list[TraceEvent] = []
+        self._raw: list[tuple[str, str, float, float]] = []
+        self._materialized: Optional[list[TraceEvent]] = None
         #: Instant annotations ``(name, time)`` — fault injections,
-        #: watchdog aborts, retries.
+        #: watchdog aborts, retries, zero-duration kernels.
         self.marks: list[tuple[str, float]] = []
         self.enabled = True
 
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Recorded events as :class:`TraceEvent` objects (lazy)."""
+        cached = self._materialized
+        if cached is None or len(cached) != len(self._raw):
+            cached = [TraceEvent(*raw) for raw in self._raw]
+            self._materialized = cached
+        return cached
+
     def record(self, name: str, stream: str, start: float, end: float) -> None:
-        if self.enabled and end > start:
-            self.events.append(TraceEvent(name, stream, start, end))
+        if self.enabled:
+            if end > start:
+                self._raw.append((name, stream, start, end))
+            else:
+                self.marks.append((name, start))
 
     def record_mark(self, name: str, time: float) -> None:
         """Record an instant event (rendered as a Chrome-trace arrow)."""
@@ -75,7 +96,8 @@ class Tracer:
             self.marks.append((name, time))
 
     def clear(self) -> None:
-        self.events.clear()
+        self._raw.clear()
+        self._materialized = None
         self.marks.clear()
 
     def sanitizer_marks(self) -> list[tuple[str, float]]:
@@ -100,7 +122,9 @@ class Tracer:
     def busy_intervals(self, stream_filter) -> list[tuple[float, float]]:
         """Merged busy intervals of streams matching ``stream_filter``."""
         return merge_intervals(
-            (e.start, e.end) for e in self.events if stream_filter(e.stream)
+            (start, end)
+            for name, stream, start, end in self._raw
+            if stream_filter(stream)
         )
 
     # ------------------------------------------------------------------
@@ -182,15 +206,14 @@ def trace_device(device: Device) -> Tracer:
 def overlap_fraction(tracer: Tracer) -> float:
     """Fraction of communication time hidden under computation.
 
-    Both sides are merged to disjoint intervals first, then intersected
-    with a two-pointer sweep — doubly-covered time (e.g. concurrent
-    kernels on overlapping compute events) is counted once, never
-    twice, so the fraction is guaranteed to stay in ``[0, 1]``.
+    Both sides are disjoint, sorted intervals (``busy_intervals``
+    merges), intersected with a two-pointer sweep — doubly-covered time
+    (e.g. concurrent kernels on overlapping compute events) is counted
+    once, never twice, so the fraction is guaranteed to stay in
+    ``[0, 1]``.
     """
-    comm = merge_intervals(
-        tracer.busy_intervals(lambda s: "unshard" in s or "comm" in s)
-    )
-    compute = merge_intervals(tracer.busy_intervals(lambda s: "default" in s))
+    comm = tracer.busy_intervals(lambda s: "unshard" in s or "comm" in s)
+    compute = tracer.busy_intervals(lambda s: "default" in s)
     comm_total = sum(end - start for start, end in comm)
     if comm_total == 0:
         return 1.0

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from repro import distributed as dist
+from repro.cuda import sanitizer as _sanitizer
 from repro.cuda.device import Device
 from repro.ddp import DistributedDataParallel
 from repro.distributed.fault import FaultInjector, FaultSchedule
@@ -149,6 +150,15 @@ class SimConfig:
     #: Pre-built session (overrides ``profile``; lets callers keep the
     #: session for trace export after the run).
     profiler: Optional[object] = None
+    #: Steady-state fast-forward for timing-only (meta/abstract) runs:
+    #: once two consecutive measured iterations advance every simulator
+    #: clock and counter by the *same* delta, the remaining iterations
+    #: are extrapolated instead of re-executed.  Automatically disabled
+    #: whenever anything observes per-event state (tracing, profiler,
+    #: flight recorder, sanitizer, fault injection, checkpointing, or
+    #: materialized data), so traced timelines and real-data losses
+    #: always come from the full event-by-event simulation.
+    fast_forward: bool = True
 
 
 def _wrap_model(config: SimConfig, device: Device) -> Module:
@@ -264,6 +274,106 @@ def _run_iteration(config: SimConfig, wrapped: Module, device: Device, optimizer
     optimizer.zero_grad()
 
 
+def _fast_forward_safe(config: SimConfig, device: Device, injector, session, writer) -> bool:
+    """True when skipping iterations cannot change any observable output.
+
+    Anything that records *per-event* state (rather than aggregate
+    clocks and counters) forces the full simulation: trace/mark hooks,
+    the profiler, the flight recorder, the stream-order sanitizer, fault
+    injection and elastic checkpointing.  Materialized data disables it
+    too — real losses must come from actually executing every op.
+    """
+    return (
+        config.fast_forward
+        and not device.materialize_data
+        and injector is None
+        and session is None
+        and writer is None
+        and not config.elastic
+        and device.trace_hook is None
+        and device.mark_hook is None
+        and device.profiler is None
+        and device.flight_recorder is None
+        and device.fault_injector is None
+        and _sanitizer._ACTIVE is None
+    )
+
+
+def _sim_fingerprint(device: Device, groups) -> tuple:
+    """Snapshot of every clock and cumulative counter the run reports."""
+    stats = device.allocator.stats
+    return (
+        device._cpu_time,
+        tuple((s.ready_time, s.kernels_enqueued) for s in device.streams),
+        device.flops_total,
+        device.kernels_launched,
+        tuple((g.bytes_sent, g.cross_host_bytes, g.collective_count) for g in groups),
+        # Allocator state must be *unchanged* across an iteration for the
+        # system to be periodic (every temporary freed, no new segments,
+        # no new peaks, no retries).
+        (
+            stats.allocated_bytes,
+            stats.reserved_bytes,
+            stats.allocated_peak,
+            stats.active_peak,
+            stats.reserved_peak,
+            stats.num_alloc_retries,
+            stats.num_cuda_mallocs,
+            len(device.allocator._segments),
+        ),
+    )
+
+
+def _iteration_delta(before: tuple, after: tuple) -> Optional[tuple]:
+    """Per-iteration advance between two fingerprints, or ``None`` if the
+    iteration changed structure (new streams, allocator drift)."""
+    if len(before[1]) != len(after[1]) or before[5] != after[5]:
+        return None
+    return (
+        after[0] - before[0],
+        tuple((rb - ra, kb - ka) for (ra, ka), (rb, kb) in zip(before[1], after[1])),
+        after[2] - before[2],
+        after[3] - before[3],
+        tuple(
+            (bb - ba, cb - ca, nb - na)
+            for (ba, ca, na), (bb, cb, nb) in zip(before[4], after[4])
+        ),
+    )
+
+
+def _deltas_match(a: tuple, b: tuple) -> bool:
+    """Two consecutive iteration deltas agree (ints exact, floats to a
+    relative tolerance that absorbs summation rounding)."""
+    import math
+
+    def close(x: float, y: float) -> bool:
+        return x == y or math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-12)
+
+    if a[3] != b[3] or len(a[1]) != len(b[1]) or len(a[4]) != len(b[4]):
+        return False
+    if not close(a[0], b[0]) or not close(a[2], b[2]):
+        return False
+    for (ra, ka), (rb, kb) in zip(a[1], b[1]):
+        if ka != kb or not close(ra, rb):
+            return False
+    return a[4] == b[4]
+
+
+def _apply_fast_forward(device: Device, groups, delta: tuple, iterations: int) -> None:
+    """Advance every clock and counter by ``iterations`` steady-state steps."""
+    cpu_d, stream_d, flops_d, kernels_d, comm_d = delta
+    device._cpu_time += cpu_d * iterations
+    for stream, (ready_d, enq_d) in zip(device.streams, stream_d):
+        stream.ready_time += ready_d * iterations
+        stream.kernels_enqueued += enq_d * iterations
+    device.flops_total += flops_d * iterations
+    device.kernels_launched += kernels_d * iterations
+    for group, (bytes_d, cross_d, count_d) in zip(groups, comm_d):
+        group.bytes_sent += bytes_d * iterations
+        group.cross_host_bytes += cross_d * iterations
+        group.collective_count += count_d * iterations
+
+
 def _runtime_of(wrapped: Module):
     for unit in _all_units(wrapped):
         if unit.runtime is not None:
@@ -355,6 +465,9 @@ def simulate_training(config: SimConfig) -> PerfResult:
         completed = 0
         last_checkpoint = 0
         measuring = False
+        ff_enabled = _fast_forward_safe(config, device, injector, session, writer)
+        ff_prev_fp = None
+        ff_prev_delta = None
         # Simulated start time of each iteration's first execution, so a
         # rewind knows how much wall (simulated) time it discards.
         iteration_started: dict[int, float] = {}
@@ -381,6 +494,22 @@ def simulate_training(config: SimConfig) -> PerfResult:
                 iteration_started.setdefault(iteration, device.now())
                 _run_iteration(config, wrapped, device, optimizer)
                 completed += 1
+                if ff_enabled and measuring and completed < total:
+                    fp = _sim_fingerprint(device, groups)
+                    if ff_prev_fp is not None:
+                        delta = _iteration_delta(ff_prev_fp, fp)
+                        if (
+                            delta is not None
+                            and ff_prev_delta is not None
+                            and _deltas_match(ff_prev_delta, delta)
+                        ):
+                            remaining = total - completed
+                            _apply_fast_forward(device, groups, delta, remaining)
+                            result.extras["fast_forwarded_iterations"] = remaining
+                            completed = total
+                            continue
+                        ff_prev_delta = delta
+                    ff_prev_fp = fp
                 if config.checkpoint_every and completed % config.checkpoint_every == 0:
                     last_checkpoint = completed
                     if writer is not None:

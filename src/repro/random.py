@@ -40,18 +40,31 @@ class Generator:
 
 
     def get_state(self):
-        """Snapshot of the generator state (for checkpoint replay)."""
-        import copy
+        """Snapshot of the generator state (for checkpoint replay).
 
+        A ``SeedSequence`` is fully described by its constructor inputs
+        plus the spawn counter, so the snapshot rebuilds one instead of
+        deep-copying (activation checkpointing snapshots twice per
+        checkpointed region, making this a hot path).
+        """
         with _lock:
-            return copy.deepcopy(self._seed_seq)
+            ss = self._seed_seq
+            return np.random.SeedSequence(
+                entropy=ss.entropy,
+                spawn_key=ss.spawn_key,
+                pool_size=ss.pool_size,
+                n_children_spawned=ss.n_children_spawned,
+            )
 
     def set_state(self, state) -> None:
         """Restore a snapshot taken by :meth:`get_state`."""
-        import copy
-
         with _lock:
-            self._seed_seq = copy.deepcopy(state)
+            self._seed_seq = np.random.SeedSequence(
+                entropy=state.entropy,
+                spawn_key=state.spawn_key,
+                pool_size=state.pool_size,
+                n_children_spawned=state.n_children_spawned,
+            )
 
 
 _default = Generator(0)

@@ -27,7 +27,7 @@ __all__ = ["Storage"]
 class Storage:
     """A flat buffer of ``numel`` elements of ``dtype`` on ``device``."""
 
-    __slots__ = ("device", "dtype", "numel", "data", "block", "freed", "__weakref__")
+    __slots__ = ("device", "dtype", "numel", "nbytes", "data", "block", "freed", "__weakref__")
 
     def __init__(
         self,
@@ -41,11 +41,11 @@ class Storage:
         self.device = device
         self.dtype = dtype
         self.numel = int(numel)
+        self.nbytes = self.numel * dtype.itemsize
         self.block = None
         self.freed = False
         if device.is_sim_gpu:
-            stream = device.current_stream
-            self.block = device.allocator.allocate(self.nbytes, stream)
+            self.block = device.allocator.allocate(self.nbytes, device.current_stream)
         if data is not None:
             if data.size != self.numel:
                 raise ValueError(f"data has {data.size} elements, expected {self.numel}")
@@ -59,10 +59,6 @@ class Storage:
                 self.data = np.zeros(self.numel, dtype=dtype.np_dtype)
             else:
                 self.data = None
-
-    @property
-    def nbytes(self) -> int:
-        return self.numel * self.dtype.itemsize
 
     @property
     def is_materialized(self) -> bool:

@@ -29,6 +29,7 @@ from repro import random as rrandom
 from repro.autograd.function import AccumulateGrad, Edge, RemovableHandle
 from repro.autograd.grad_mode import is_grad_enabled, no_grad
 from repro.cuda.device import Device, cpu_device
+from repro.hw.kernel_model import KernelCost
 from repro.storage import Storage
 
 __all__ = [
@@ -63,6 +64,8 @@ class Tensor:
         "_storage",
         "_offset",
         "shape",
+        "numel",
+        "nbytes",
         "dtype",
         "requires_grad",
         "grad",
@@ -89,8 +92,13 @@ class Tensor:
     ):
         self._storage = storage
         self._offset = offset
-        self.shape = tuple(shape)
+        shape = tuple(shape)
+        self.shape = shape
+        # numel/nbytes are plain attributes, not properties: they're read
+        # on every op dispatch and only change when .data is reassigned.
+        self.numel = math.prod(shape) if shape else 1
         self.dtype = dtype or storage.dtype
+        self.nbytes = self.numel * self.dtype.itemsize
         self.requires_grad = requires_grad
         self.grad: Optional[Tensor] = None
         self.grad_fn = None
@@ -109,10 +117,6 @@ class Tensor:
         return self._storage.device
 
     @property
-    def numel(self) -> int:
-        return int(math.prod(self.shape)) if self.shape else 1
-
-    @property
     def ndim(self) -> int:
         return len(self.shape)
 
@@ -127,10 +131,6 @@ class Tensor:
     @property
     def is_meta(self) -> bool:
         return self.device.is_meta
-
-    @property
-    def nbytes(self) -> int:
-        return self.numel * self.dtype.itemsize
 
     @property
     def _np(self) -> np.ndarray:
@@ -185,7 +185,9 @@ class Tensor:
         self._storage = other._storage
         self._offset = other._offset
         self.shape = other.shape
+        self.numel = other.numel
         self.dtype = other.dtype
+        self.nbytes = other.nbytes
         self._base = other._base
 
     # ------------------------------------------------------------------
@@ -512,8 +514,6 @@ class Tensor:
         """
         device = self.device
         if device.is_sim_gpu:
-            from repro.hw.kernel_model import KernelCost
-
             reads = (
                 (src._storage,)
                 if src is not None and src._storage.device is device
@@ -639,10 +639,16 @@ def _wrap(value, like: Tensor) -> Tensor:
     if isinstance(value, Tensor):
         return value
     if isinstance(value, (int, float, np.integer, np.floating)):
+        device = like.device
+        if not device.materialize_data:
+            # Abstract/meta mode: no consumer will ever read the scalar's
+            # bytes (all math is skipped on unmaterialized inputs), so
+            # skip the numpy round-trip and allocate an empty storage.
+            return Tensor(Storage(device, like.dtype, 1, materialize=False), ())
         return tensor(
             np.asarray(value, dtype=like.dtype.np_dtype),
             dtype=like.dtype,
-            device=like.device,
+            device=device,
         )
     if isinstance(value, np.ndarray):
         return tensor(value, device=like.device)

@@ -1,0 +1,267 @@
+"""Engine-speed overhaul invariants.
+
+Three families of differential tests guard the optimization work:
+
+- **Fast-forward**: the trainer's steady-state extrapolation must
+  reproduce the full event-by-event run's metrics, engage only when
+  nothing observes per-event state, and report how much it skipped.
+- **Meta vs data**: timing-only (abstract) execution must produce an
+  event-for-event identical timeline to data-carrying execution — the
+  speed of meta mode buys nothing if its timelines drift.
+- **Cache parity**: memoized cost models must leave traced timelines
+  bitwise identical to the uncached models, with and without the
+  stream-order sanitizer watching.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+import repro
+from repro import distributed as dist, dtypes
+from repro.cuda import sanitizer
+from repro.fsdp import FullyShardedDataParallel as FSDP, ModuleWrapPolicy
+from repro.hw.comm_model import CommModel
+from repro.hw.kernel_model import KernelCostModel
+from repro.hw.specs import cluster_of
+from repro.models import GptConfig, MinGPT, T5_TINY, T5Model
+from repro.models.transformer import TransformerBlock
+from repro.nn import functional as F
+from repro.perf import SimConfig, simulate_training
+from repro.perf.timeline import trace_device
+from repro.perf.trainer import _fast_forward_safe
+from repro.perf.workloads import gpt_builder, gpt_loss_fn
+
+TINY = GptConfig(
+    vocab_size=512, block_size=32, n_layer=4, n_head=4, n_embd=64, checkpoint_blocks=False
+)
+
+SANITIZER_LANE = os.environ.get("REPRO_SANITIZER", "") not in ("", "0")
+
+
+def tiny_config(**overrides) -> SimConfig:
+    base = SimConfig(
+        name="gpt-tiny",
+        build_model=gpt_builder(TINY),
+        make_loss=gpt_loss_fn(TINY, 2, 32),
+        batch_size=2,
+        world_size=8,
+        auto_wrap_policy=ModuleWrapPolicy({TransformerBlock}),
+        iterations=8,
+        warmup=1,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+# ----------------------------------------------------------------------
+# Steady-state fast-forward
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(SANITIZER_LANE, reason="sanitizer disables fast-forward")
+class TestFastForward:
+    def test_matches_full_simulation(self):
+        full = simulate_training(tiny_config(fast_forward=False))
+        fast = simulate_training(tiny_config())
+
+        assert "fast_forwarded_iterations" not in full.extras
+        # 8 measured iterations: two establish the steady-state delta,
+        # one confirms it, the rest are extrapolated.
+        assert fast.extras["fast_forwarded_iterations"] >= 4
+
+        assert fast.iteration_latency == pytest.approx(
+            full.iteration_latency, rel=1e-9
+        )
+        assert fast.collectives == full.collectives
+        assert fast.comm_gib == pytest.approx(full.comm_gib, rel=1e-12)
+        assert fast.cross_host_gib == pytest.approx(full.cross_host_gib, rel=1e-12)
+        assert fast.tflops_per_gpu == pytest.approx(full.tflops_per_gpu, rel=1e-9)
+        # Memory is periodic in steady state: peaks are bitwise equal.
+        assert fast.peak_allocated_gib == full.peak_allocated_gib
+        assert fast.peak_reserved_gib == full.peak_reserved_gib
+        assert fast.num_alloc_retries == full.num_alloc_retries
+
+    def test_deterministic_across_runs(self):
+        a = simulate_training(tiny_config())
+        b = simulate_training(tiny_config())
+        assert a.iteration_latency == b.iteration_latency
+        assert a.extras.get("fast_forwarded_iterations") == b.extras.get(
+            "fast_forwarded_iterations"
+        )
+
+    def test_disabled_under_profiler(self):
+        """A profiler observes every event: no iteration may be skipped."""
+        result = simulate_training(tiny_config(profile=True))
+        assert "fast_forwarded_iterations" not in result.extras
+
+    def test_disabled_by_config_flag(self):
+        result = simulate_training(tiny_config(fast_forward=False))
+        assert "fast_forwarded_iterations" not in result.extras
+
+
+class TestFastForwardGuard:
+    """`_fast_forward_safe` must veto every per-event observer."""
+
+    def setup_method(self):
+        dist.shutdown()
+        self.ctx = dist.init_single_process(4, materialize=False)
+        self.config = tiny_config()
+
+    def teardown_method(self):
+        dist.shutdown()
+
+    def _safe(self, injector=None, session=None, writer=None) -> bool:
+        return _fast_forward_safe(
+            self.config, self.ctx.device, injector, session, writer
+        )
+
+    def test_clean_device_is_safe(self):
+        if SANITIZER_LANE:
+            assert not self._safe()  # sanitizer observes every launch
+        else:
+            assert self._safe()
+
+    @pytest.mark.skipif(SANITIZER_LANE, reason="sanitizer already vetoes")
+    def test_observers_veto(self):
+        device = self.ctx.device
+        tracer = trace_device(device)
+        assert not self._safe()  # trace hook installed
+        device.trace_hook = None
+        assert not self._safe()  # mark hook still installed
+        device.mark_hook = None
+        assert self._safe()
+        del tracer
+
+        device.materialize_data = True
+        assert not self._safe()  # data mode: losses must be bitwise
+        device.materialize_data = False
+
+        assert not self._safe(injector=object())
+        assert not self._safe(session=object())
+        assert not self._safe(writer=object())
+        assert not _fast_forward_safe(
+            dataclasses.replace(self.config, elastic=True),
+            device,
+            None,
+            None,
+            None,
+        )
+        with sanitizer.enabled():
+            assert not self._safe()
+        assert self._safe()
+
+
+# ----------------------------------------------------------------------
+# Meta (timing-only) vs data execution: identical timelines
+# ----------------------------------------------------------------------
+def _gpt_loss(model, device):
+    ids = repro.zeros(2, 32, dtype=dtypes.int64, device=device)
+    labels = repro.zeros(2, 32, dtype=dtypes.int64, device=device)
+    return F.cross_entropy(model(ids), labels)
+
+
+def _t5_loss(model, device):
+    src = repro.zeros(2, 16, dtype=dtypes.int64, device=device)
+    tgt = repro.zeros(2, 16, dtype=dtypes.int64, device=device)
+    labels = repro.zeros(2, 16, dtype=dtypes.int64, device=device)
+    return F.cross_entropy(model(src, tgt), labels)
+
+
+def _traced_timeline(materialize: bool, build_model, loss_fn):
+    """Trace two steady-state iterations of FSDP on every rank.
+
+    Runs the threaded backend (the only one that can move real data)
+    with ``world_size=2`` and returns each rank's raw timeline.
+    """
+
+    def run(rank):
+        device = dist.get_device()
+        repro.manual_seed(7)
+        wrapped = FSDP(
+            build_model(),
+            device=device,
+            auto_wrap_policy=ModuleWrapPolicy({TransformerBlock}),
+        )
+        loss_fn(wrapped, device).backward()  # warmup (lazy init)
+        wrapped.zero_grad()
+        tracer = trace_device(device)
+        for _ in range(2):
+            loss_fn(wrapped, device).backward()
+            wrapped.zero_grad()
+        return list(tracer._raw), list(tracer.marks)
+
+    dist.shutdown()
+    return dist.spawn(run, 2, materialize=materialize)
+
+
+class TestMetaDataTimelineParity:
+    """Meta mode skips data movement and math, never timing.
+
+    The satellite claim: a meta-mode run's timeline is event-for-event
+    identical — same labels, same streams, same float start/end — to
+    the data-mode run, so sweeps can run in meta mode and still be
+    trusted against traced (data) validations.
+    """
+
+    def test_mingpt_identical_timeline(self):
+        data = _traced_timeline(True, lambda: MinGPT(TINY), _gpt_loss)
+        meta = _traced_timeline(False, lambda: MinGPT(TINY), _gpt_loss)
+        assert meta == data
+
+    def test_t5_identical_timeline(self):
+        data = _traced_timeline(True, lambda: T5Model(T5_TINY), _t5_loss)
+        meta = _traced_timeline(False, lambda: T5Model(T5_TINY), _t5_loss)
+        assert meta == data
+
+
+# ----------------------------------------------------------------------
+# Memoized vs uncached cost models: identical traced runs
+# ----------------------------------------------------------------------
+def _traced_symmetric(build_model, loss_fn, *, cached: bool):
+    """Trace two iterations on the symmetric backend, with the comm and
+    kernel cost models either memoized (the default) or cache-disabled.
+    """
+    dist.shutdown()
+    topo = cluster_of(8)
+    ctx = dist.init_single_process(
+        8,
+        materialize=False,
+        topology=topo,
+        comm_model=CommModel(topo, cache=cached),
+    )
+    try:
+        ctx.device.kernel_model = KernelCostModel(ctx.device.spec, cache=cached)
+        repro.manual_seed(7)
+        wrapped = FSDP(
+            build_model(),
+            device=ctx.device,
+            auto_wrap_policy=ModuleWrapPolicy({TransformerBlock}),
+        )
+        loss_fn(wrapped, ctx.device).backward()
+        wrapped.zero_grad()
+        tracer = trace_device(ctx.device)
+        for _ in range(2):
+            loss_fn(wrapped, ctx.device).backward()
+            wrapped.zero_grad()
+        return list(tracer._raw), list(tracer.marks)
+    finally:
+        dist.shutdown()
+
+
+class TestCostModelCacheParity:
+    def test_golden_timeline_invariant_to_caching(self):
+        cached = _traced_symmetric(lambda: MinGPT(TINY), _gpt_loss, cached=True)
+        uncached = _traced_symmetric(lambda: MinGPT(TINY), _gpt_loss, cached=False)
+        assert cached == uncached
+
+    def test_sanitizer_clean_with_and_without_caches(self):
+        """The sanitizer suite's invariant holds under both cost paths."""
+        for cached in (True, False):
+            run = lambda: _traced_symmetric(  # noqa: E731
+                lambda: MinGPT(TINY), _gpt_loss, cached=cached
+            )
+            if SANITIZER_LANE:
+                events, _ = run()  # conftest already enabled it
+            else:
+                with sanitizer.enabled():
+                    events, _ = run()
+            assert events  # ran to completion, no StreamOrderViolation

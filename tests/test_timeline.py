@@ -179,3 +179,110 @@ class TestOverlap:
             results[prefetch] = overlap_fraction(tracer)
             dist.shutdown()
         assert results[BackwardPrefetch.BACKWARD_PRE] >= results[BackwardPrefetch.NONE] - 0.05
+
+
+# ----------------------------------------------------------------------
+# overlap_fraction property: bounded on adversarial traces
+# ----------------------------------------------------------------------
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.hw.comm_model import CollectiveKind, CommModel  # noqa: E402
+from repro.hw.specs import cluster_of  # noqa: E402
+from repro.profiler import FlightRecorder  # noqa: E402
+
+
+@st.composite
+def _intervals(draw, stream: str):
+    """Adversarial (name, stream, start, end) tuples.
+
+    Drawn starts cluster in a narrow range so overlapping, nested,
+    duplicated and zero-length intervals are all common.
+    """
+    count = draw(st.integers(0, 12))
+    out = []
+    for _ in range(count):
+        start = draw(st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False))
+        dur = draw(st.floats(0.0, 5.0, allow_nan=False, allow_infinity=False))
+        out.append(("op", stream, start, start + dur))
+    return out
+
+
+class TestOverlapFractionProperty:
+    @given(comm=_intervals("pg-comm"), compute=_intervals("default"))
+    def test_fraction_bounded(self, comm, compute):
+        tracer = Tracer()
+        for name, stream, start, end in comm + compute:
+            tracer.record(name, stream, start, end)
+        fraction = overlap_fraction(tracer)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_internally_overlapping_comm_not_double_counted(self):
+        """Regression: re-merging each side must precede intersection.
+
+        Three mutually-overlapping comm intervals fully covered by one
+        compute interval must yield exactly 1.0 — intersecting the raw
+        (unmerged) comm list against compute counts the doubly-covered
+        span twice and reports > 1.
+        """
+        tracer = Tracer()
+        for start, end in [(0.0, 10.0), (2.0, 4.0), (3.0, 8.0)]:
+            tracer.record("all_gather_base", "unshard", start, end)
+        tracer.record("kernel", "default", 0.0, 10.0)
+        assert overlap_fraction(tracer) == 1.0
+
+    def test_concurrent_compute_streams_count_once(self):
+        tracer = Tracer()
+        tracer.record("comm", "pg-comm", 0.0, 4.0)
+        # Two default-stream contexts busy over the same span.
+        tracer.record("kernel", "default", 0.0, 2.0)
+        tracer.record("kernel", "default-2", 1.0, 2.0)
+        assert overlap_fraction(tracer) == pytest.approx(0.5)
+
+    def test_no_comm_is_fully_overlapped(self):
+        tracer = Tracer()
+        tracer.record("kernel", "default", 0.0, 1.0)
+        assert overlap_fraction(tracer) == 1.0
+
+
+class TestZeroDurationEvents:
+    def test_zero_duration_recorded_as_mark(self):
+        tracer = Tracer()
+        tracer.record("kernel", "default", 1.0, 2.0)
+        tracer.record("broadcast", "pg-comm", 3.0, 3.0)
+        assert len(tracer.events) == 1
+        assert tracer.marks == [("broadcast", 3.0)]
+
+    def test_counts_reconcile_with_flight_recorder(self):
+        """Every issued collective appears in the trace — as an event
+        when it has duration, as an instant mark when its simulated
+        cost rounds to zero — so trace counts always reconcile with
+        the flight recorder's issue count.
+        """
+        dist.shutdown()
+        recorder = FlightRecorder()
+        # A free comm model: zero launch and step latency makes
+        # zero-byte collectives take exactly 0 simulated seconds.
+        free = CommModel(cluster_of(8), launch_overhead=0.0, step_latency=0.0)
+        ctx = dist.init_single_process(
+            8, materialize=False, comm_model=free, flight_recorder=recorder
+        )
+        tracer = trace_device(ctx.device)
+        try:
+            group = dist.default_group()
+            payload = repro.empty(64, device=ctx.device)
+            gathered = repro.empty(8 * 64, device=ctx.device)
+            group.all_gather_into_tensor(gathered, payload).wait()
+            group.all_reduce(payload).wait()
+            # Zero-byte broadcasts: zero transfer + zero launch = an
+            # instant, recorded as a mark rather than dropped.
+            empty_msg = repro.empty(0, device=ctx.device)
+            group.broadcast(empty_msg, src=0).wait()
+            group.broadcast(empty_msg, src=0).wait()
+        finally:
+            dist.shutdown()
+
+        kinds = {kind.value for kind in CollectiveKind}
+        events = sum(1 for e in tracer.events if e.name in kinds)
+        marks = sum(1 for name, _ in tracer.marks if name in kinds)
+        assert marks >= 2  # the zero-byte broadcasts landed as marks
+        assert events + marks == len(recorder)

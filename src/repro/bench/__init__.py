@@ -5,6 +5,26 @@ individual figures via ``python -m repro.bench.fig2`` etc.  The pytest
 wrappers in ``benchmarks/`` run reduced sweeps with shape assertions.
 """
 
-from repro.bench import ablations, fig2, fig5, fig6, fig7, fig8, scale, traffic
+from repro.bench import (
+    ablations,
+    fig2,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    scale,
+    serving,
+    xhost_traffic,
+)
 
-__all__ = ["fig2", "fig5", "fig6", "fig7", "fig8", "scale", "ablations", "traffic"]
+__all__ = [
+    "fig2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "scale",
+    "ablations",
+    "serving",
+    "xhost_traffic",
+]

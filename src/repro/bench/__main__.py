@@ -22,8 +22,16 @@ from repro.bench import (
     fig7,
     fig8,
     profile,
-    traffic,
+    serving,
+    xhost_traffic,
 )
+
+# Deprecation alias: the §3.2.2 byte-table bench was renamed from
+# ``traffic`` to ``xhost_traffic`` (the serving subsystem owns the name
+# "traffic" now, see repro.serve.traffic).  Kept one release so
+# ``from repro.bench.__main__ import traffic`` and figure scripts keep
+# working; importing ``repro.bench.traffic`` itself warns.
+traffic = xhost_traffic
 
 
 def main(argv: list[str]) -> None:
@@ -43,7 +51,7 @@ def main(argv: list[str]) -> None:
     print("\n" + "#" * 72)
     print("# Section 3.2.2 — cross-host traffic closed forms")
     print("#" * 72)
-    traffic.main()
+    xhost_traffic.main()
 
     print("\n" + "#" * 72)
     print("# Figure 6 — model scale, prefetching, rate limiting")
@@ -88,6 +96,11 @@ def main(argv: list[str]) -> None:
     print("# Profiler — per-unit exposed vs. overlapped communication")
     print("#" * 72)
     profile.main()
+
+    print("\n" + "#" * 72)
+    print("# Serving fleet — continuous batching, SLO, elastic autoscaling")
+    print("#" * 72)
+    serving.main(fast=fast)
 
     print(f"\nall figures regenerated in {time.time() - start:.0f}s")
 

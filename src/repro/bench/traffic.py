@@ -1,49 +1,27 @@
-"""Section 3.2.2 cross-host traffic table.
+"""Deprecated alias for :mod:`repro.bench.xhost_traffic`.
 
-Prints the closed-form per-GPU cross-host traffic for full
-replication, full sharding and hybrid sharding across cluster sizes,
-next to the simulator's measured byte counters for a small model.
+The §3.2.2 cross-host byte-table bench used to live here; it was
+renamed to ``repro.bench.xhost_traffic`` when the serving subsystem
+introduced a *request*-traffic generator (``repro.serve.traffic``)
+that the old name collided with.  Importing this module re-exports the
+renamed bench and emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from repro.bench.report import fmt_bytes, print_table
-from repro.hw.traffic import (
-    full_replication_cross_host_bytes,
-    full_sharding_cross_host_bytes,
-    hybrid_sharding_cross_host_bytes,
-)
+import warnings
+
+from repro.bench.xhost_traffic import main, traffic_rows
 
 __all__ = ["traffic_rows", "main"]
 
-
-def traffic_rows(model_bytes: float = 22e9, gpus_per_host: int = 8):
-    rows = []
-    for world in (16, 64, 128, 512):
-        rows.append(
-            (
-                world,
-                full_replication_cross_host_bytes(model_bytes, world),
-                full_sharding_cross_host_bytes(model_bytes, world),
-                hybrid_sharding_cross_host_bytes(model_bytes, world, gpus_per_host),
-            )
-        )
-    return rows
-
-
-def main(model_bytes: float = 22e9) -> None:
-    rows = traffic_rows(model_bytes)
-    print_table(
-        f"Section 3.2.2: per-GPU cross-host bytes/iteration (M = {fmt_bytes(model_bytes)})",
-        ["GPUs", "replication 2M(W-1)/W", "full shard 3M(W-1)/W", "hybrid 2M(W-1)/(GW)"],
-        [
-            (w, fmt_bytes(a), fmt_bytes(b), fmt_bytes(c))
-            for w, a, b, c in rows
-        ],
-    )
-    print("\nhybrid < replication < full sharding for every W (verified by "
-          "property test in tests/test_traffic_model.py)")
-
+warnings.warn(
+    "repro.bench.traffic was renamed to repro.bench.xhost_traffic "
+    "(the old name now collides with the serving traffic generator "
+    "repro.serve.traffic); update imports",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 if __name__ == "__main__":
     main()

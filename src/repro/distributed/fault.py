@@ -317,6 +317,86 @@ class FaultSchedule:
                 )
         return cls(events, seed=seed)
 
+    @classmethod
+    def serving_campaign(
+        cls,
+        *,
+        seed: int,
+        replicas: int,
+        batches: int,
+        crashes: int = 1,
+        hangs: int = 1,
+        delays: int = 2,
+        transients: int = 1,
+        storage_faults: int = 1,
+        max_delay_s: float = 5e-3,
+        max_duration_factor: float = 3.0,
+        max_failures: int = 2,
+    ) -> "FaultSchedule":
+        """Degraded-fleet schedule for a :class:`repro.serve` run.
+
+        The serving fleet maps its counters onto the injector's rank/
+        iteration vocabulary: the replica id is the rank and a
+        replica's batch index is the iteration (equivalently its
+        collective sequence number — one representative collective per
+        batch).  Collective-scoped faults therefore target the initial
+        replica ids (``0..replicas-1``) within the first ``batches``
+        batches; storage faults match ``rank=None`` because they hit
+        *provisioning* (replacement replicas carry fresh, unpredictable
+        ids) at one of the first few provision sequence numbers.
+        """
+        rng = random.Random(seed)
+        events: list[FaultEvent] = []
+        for _ in range(crashes):
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.CRASH,
+                    rank=rng.randrange(replicas),
+                    iteration=rng.randrange(1, max(batches, 2)),
+                )
+            )
+        for _ in range(hangs):
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.HANG,
+                    rank=rng.randrange(replicas),
+                    collective_index=rng.randrange(max(batches, 1)),
+                )
+            )
+        for _ in range(delays):
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.DELAY,
+                    rank=rng.randrange(replicas),
+                    collective_index=rng.randrange(max(batches, 1)),
+                    delay_s=rng.uniform(1e-4, max_delay_s),
+                    duration_factor=rng.uniform(1.0, max_duration_factor),
+                )
+            )
+        for _ in range(transients):
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.TRANSIENT,
+                    rank=rng.randrange(replicas),
+                    collective_index=rng.randrange(max(batches, 1)),
+                    failures=rng.randint(1, max_failures),
+                )
+            )
+        storage_kinds = (
+            FaultKind.TORN_WRITE,
+            FaultKind.BIT_CORRUPTION,
+            FaultKind.LOST_SHARD,
+        )
+        for _ in range(storage_faults):
+            events.append(
+                FaultEvent(
+                    kind=storage_kinds[rng.randrange(len(storage_kinds))],
+                    rank=None,
+                    iteration=rng.randint(1, 4),
+                )
+            )
+        return cls(events, seed=seed)
+
 
 @dataclass
 class InjectedFault:
@@ -385,6 +465,37 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Iteration-boundary faults (crashes, memory pressure)
     # ------------------------------------------------------------------
+    def begin_replica_batch(self, rank: int, iteration: int) -> bool:
+        """Independent-worlds variant of :meth:`begin_iteration`.
+
+        Serving fleets (``repro.serve``) map the replica id to ``rank``
+        and the replica's batch index to ``iteration``.  Unlike a
+        training world — where any worker death tears down every rank —
+        replicas are *separate* sharded worlds, so a CRASH event kills
+        only the matched rank.  Returns True when this rank must die
+        now (one-shot per event and rank, like all one-shot faults).
+        """
+        self._iteration[rank] = iteration
+        fired: Optional[InjectedFault] = None
+        with self._lock:
+            for index, event in enumerate(self.schedule.events):
+                if event.kind is not FaultKind.CRASH:
+                    continue
+                if not event.matches_rank(rank) or not event.in_window(iteration):
+                    continue
+                key = (index, rank)
+                if key in self._fired:
+                    continue
+                self._fired.add(key)
+                fired = InjectedFault(
+                    FaultKind.CRASH, rank, iteration, detail="replica crash"
+                )
+                break
+        if fired is None:
+            return False
+        self._log(fired)
+        return True
+
     def begin_iteration(self, rank: int, iteration: int) -> None:
         """Advance the rank's iteration counter and fire crash faults.
 

@@ -179,6 +179,18 @@ class DHEN(nn.Module):
         flat = x.view(batch, config.d_model * config.num_features)
         return self.head(flat).view(batch)
 
+    def predict(self, sparse_ids: Tensor, dense_features: Tensor) -> Tensor:
+        """Inference entry point: CTR probabilities under ``no_grad``.
+
+        This is what a serving replica calls per batch — no autograd
+        graph, no gradient buffers, and (under FSDP) no ReduceScatter:
+        the runtime reshards immediately after the forward.
+        """
+        from repro.autograd.grad_mode import no_grad
+
+        with no_grad():
+            return F.sigmoid(self.forward(sparse_ids, dense_features))
+
     def loss(self, sparse_ids: Tensor, dense_features: Tensor, labels: Tensor) -> Tensor:
         """Binary cross entropy with logits (CTR prediction)."""
         logits = self.forward(sparse_ids, dense_features)

@@ -1,6 +1,6 @@
 """Performance simulation: drivers, metrics, workload factories."""
 
-from repro.perf.metrics import GiB, PerfResult
+from repro.perf.metrics import GiB, LatencyHistogram, PerfResult, nearest_rank
 from repro.perf.timeline import Tracer, merge_intervals, overlap_fraction, trace_device
 from repro.perf.trainer import (
     CheckpointStore,
@@ -14,6 +14,8 @@ from repro.perf import workloads
 
 __all__ = [
     "PerfResult",
+    "LatencyHistogram",
+    "nearest_rank",
     "GiB",
     "SimConfig",
     "simulate_training",

@@ -2,12 +2,174 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
-__all__ = ["PerfResult", "GiB"]
+__all__ = ["PerfResult", "LatencyHistogram", "nearest_rank", "GiB"]
 
 GiB = float(2**30)
+
+
+def nearest_rank(sorted_samples, q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sequence.
+
+    The ground-truth definition every streaming estimate in this repo
+    is tested against: the ``ceil(q/100 * n)``-th smallest sample.
+    """
+    n = len(sorted_samples)
+    if n == 0:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 < q <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    rank = max(1, math.ceil(q / 100.0 * n))
+    return sorted_samples[rank - 1]
+
+
+class LatencyHistogram:
+    """Streaming percentile tracker (p50/p95/p99) for latency samples.
+
+    The shared histogram behind every latency report in this repo
+    (serving SLOs in ``repro.serve.metrics``, benchmark tables in
+    ``repro.bench``).  Two regimes:
+
+    - **exact** — until ``exact_limit`` samples have been seen, every
+      sample is kept and percentiles are computed by nearest rank,
+      *bitwise* equal to sorted-list ground truth (property-tested in
+      ``tests/test_perf_metrics.py``);
+    - **bucketed** — beyond the limit, samples fold into geometric
+      buckets of relative width ``resolution``; a percentile then
+      returns its bucket's upper edge, an overestimate by at most one
+      bucket (relative error ≤ ``resolution``), so SLO checks never
+      pass on an underestimate.
+
+    Samples must be non-negative (latencies).  Memory is O(exact_limit
+    + occupied buckets) regardless of sample count.
+    """
+
+    #: Values at or below this floor share bucket 0 (sub-microsecond
+    #: latencies are below any SLO resolution this repo cares about).
+    FLOOR = 1e-6
+
+    def __init__(self, *, exact_limit: int = 4096, resolution: float = 0.01):
+        if exact_limit < 1:
+            raise ValueError("exact_limit must be >= 1")
+        if resolution <= 0.0:
+            raise ValueError("resolution must be positive")
+        self.exact_limit = exact_limit
+        self.resolution = resolution
+        self._log_base = math.log1p(resolution)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self.min = math.inf
+        self._exact: Optional[list[float]] = []
+        self._buckets: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def exact(self) -> bool:
+        """Whether percentiles are still bitwise-exact."""
+        return self._exact is not None
+
+    def add(self, value: float) -> None:
+        if value < 0.0:
+            raise ValueError(f"latency sample must be >= 0, got {value}")
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        if value < self.min:
+            self.min = value
+        if self._exact is not None:
+            self._exact.append(value)
+            if len(self._exact) > self.exact_limit:
+                for sample in self._exact:
+                    self._fold(sample)
+                self._exact = None
+        else:
+            self._fold(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _index(self, value: float) -> int:
+        if value <= self.FLOOR:
+            return 0
+        return 1 + int(math.log(value / self.FLOOR) / self._log_base)
+
+    def _upper_edge(self, index: int) -> float:
+        if index == 0:
+            return self.FLOOR
+        return self.FLOOR * math.exp(index * self._log_base)
+
+    def _fold(self, value: float) -> None:
+        index = self._index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    # ------------------------------------------------------------------
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (q in (0, 100]) of all samples so far."""
+        if self.count == 0:
+            raise ValueError("percentile of empty histogram")
+        if self._exact is not None:
+            return nearest_rank(sorted(self._exact), q)
+        if not 0.0 < q <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {q}")
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                # Never report past the true maximum (the top bucket's
+                # edge can overshoot it by up to one resolution step).
+                return min(self._upper_edge(index), self.max)
+        return self.max  # pragma: no cover - rank <= count by construction
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's samples into this one.
+
+        Exactness is preserved only while the combined count fits the
+        exact window; merging a bucketed histogram forces this one to
+        fold too (resolutions must match for the buckets to align).
+        """
+        if other.count == 0:
+            return
+        if other._exact is not None:
+            self.extend(other._exact)
+            return
+        if other.resolution != self.resolution:
+            raise ValueError("cannot merge histograms with different resolutions")
+        if self._exact is not None:
+            for sample in self._exact:
+                self._fold(sample)
+            self._exact = None
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        self.count += other.count
+        self.total += other.total
+        self.max = max(self.max, other.max)
+        self.min = min(self.min, other.min)
+
+    def summary(self) -> dict:
+        """JSON-able digest: count, mean, p50/p95/p99, min/max."""
+        if self.count == 0:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                    "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "min": self.min,
+            "max": self.max,
+        }
 
 
 @dataclass
@@ -71,6 +233,16 @@ class PerfResult:
     prefetch_hits: int = 0
     prefetch_misses: int = 0
     rate_limit_stall_s: float = 0.0
+    #: Serving metrics (only filled when the row came from a
+    #: ``repro.serve`` fleet simulation): per-request latency
+    #: percentiles against the SLO plus admission/queue counters.  The
+    #: full serving report lands in ``extras["serving"]``.
+    requests_served: int = 0
+    requests_shed: int = 0
+    requests_timed_out: int = 0
+    latency_p50_s: float = 0.0
+    latency_p95_s: float = 0.0
+    latency_p99_s: float = 0.0
     extras: dict = field(default_factory=dict)
 
     def config_label(self) -> str:
@@ -117,6 +289,13 @@ class PerfResult:
             text += (
                 f"  ckpt={self.checkpoint_saves}"
                 f" stall={self.checkpoint_stall_s * 1e3:.1f}ms"
+            )
+        if self.requests_served:
+            text += (
+                f"  served={self.requests_served}"
+                f" shed={self.requests_shed} timeout={self.requests_timed_out}"
+                f" p50={self.latency_p50_s * 1e3:.1f}ms"
+                f" p99={self.latency_p99_s * 1e3:.1f}ms"
             )
         config = self.config_label()
         if config:

@@ -175,13 +175,16 @@ class Tracer:
                     row[i] = glyph
             lines.append(f"{stream:>14} |{''.join(row)}|")
         lines.append(
-            f"{'':>14}  {'#'}=compute  A=all-gather  R=reduce-scatter/all-reduce  o=other"
+            f"{'':>14}  {'#'}=compute  A=all-gather  R=reduce-scatter/all-reduce"
+            "  S=serve  o=other"
         )
         return "\n".join(lines)
 
 
 def _glyph_for(name: str) -> str:
     lowered = name.lower()
+    if lowered.startswith("serve:"):
+        return "S"
     if "all_gather" in lowered:
         return "A"
     if "reduce" in lowered:

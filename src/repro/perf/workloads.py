@@ -33,6 +33,7 @@ __all__ = [
     "t5_loss_fn",
     "dhen_builder",
     "dhen_loss_fn",
+    "dhen_infer_fn",
     "dhen_ignored_modules",
     "regnet_builder",
     "regnet_loss_fn",
@@ -118,6 +119,23 @@ def dhen_loss_fn(config: DhenConfig, batch: int):
         return F.mse_loss(probs, labels)
 
     return make_loss
+
+
+def dhen_infer_fn(config: DhenConfig):
+    """Inference-batch runner for serving replicas (repro.serve).
+
+    Returns ``make_batch(model, device, batch_size)``: one eval-mode
+    CTR forward with shape-only inputs of the requested batch size.
+    The caller is responsible for ``no_grad``/``model.eval()``; this
+    runner only builds inputs and invokes the wrapped model.
+    """
+
+    def make_batch(model: Module, device: Device, batch: int):
+        sparse_ids = empty(batch, config.num_features, dtype=dtypes.int64, device=device)
+        dense = empty(batch, config.num_dense_features, device=device)
+        return F.sigmoid(model(sparse_ids, dense))
+
+    return make_batch
 
 
 # ----------------------------------------------------------------------

@@ -52,6 +52,12 @@ def _unit_of_scope(leaf: str) -> Optional[str]:
         return leaf[len("reduce:") :]
     if leaf.startswith("forward:") or leaf.startswith("backward:"):
         return leaf.split(":", 1)[1]
+    if leaf.startswith("serve:batch@"):
+        # Serving batch spans: collectives issued directly under the
+        # span (e.g. DHEN's sparse all-to-all) attribute to a synthetic
+        # per-replica serving unit; FSDP's own unshard/reduce scopes
+        # nest deeper and keep their per-unit attribution.
+        return "serve@" + leaf[len("serve:batch@") :]
     return None
 
 
@@ -136,10 +142,13 @@ class ProfilerSession:
     # ------------------------------------------------------------------
     @property
     def scope(self) -> str:
-        return "|".join(self._scopes)
+        return "|".join(label for label, _ in self._scopes)
 
-    def push_scope(self, label: str) -> None:
-        self._scopes.append(label)
+    def push_scope(self, label: str, *, pinned: bool = False) -> None:
+        """Push a scope; ``pinned`` scopes survive iteration-boundary
+        resets (outer spans like ``serve:batch@<replica>`` that enclose
+        whole iterations rather than living inside one)."""
+        self._scopes.append((label, pinned))
 
     def pop_scope(self, label: Optional[str] = None) -> None:
         """Pop the topmost matching scope; tolerant of imbalance.
@@ -154,17 +163,17 @@ class ProfilerSession:
             self._scopes.pop()
             return
         for i in range(len(self._scopes) - 1, -1, -1):
-            if self._scopes[i] == label:
+            if self._scopes[i][0] == label:
                 del self._scopes[i]
                 return
 
     def reset_scopes(self) -> None:
-        """Drop all scopes (called at iteration boundaries)."""
-        self._scopes.clear()
+        """Drop unpinned scopes (called at iteration boundaries)."""
+        self._scopes = [entry for entry in self._scopes if entry[1]]
 
     @contextlib.contextmanager
-    def scoped(self, label: str):
-        self.push_scope(label)
+    def scoped(self, label: str, *, pinned: bool = False):
+        self.push_scope(label, pinned=pinned)
         try:
             yield
         finally:

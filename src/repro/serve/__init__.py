@@ -1,0 +1,76 @@
+"""repro.serve: multi-tenant inference serving on the simulator core.
+
+The training side of the repo reproduces the paper's FSDP results; this
+package answers the follow-on production question — *what does it cost
+to serve the sharded model?* — with a discrete-event serving fleet:
+
+- :mod:`repro.serve.traffic` — seedable request streams (diurnal
+  curves, Poisson arrivals via thinning, bursts, Zipf hot-key skew);
+- :mod:`repro.serve.replica` — sharded inference replicas whose batch
+  latency is measured from the real simulator (eval-mode FSDP forward,
+  either backend), then interpolated at fleet scale;
+- :mod:`repro.serve.queue` / :mod:`repro.serve.batcher` — bounded
+  admission queues and the batching policies the bench compares
+  (fixed-size, continuous, token-bucket);
+- :mod:`repro.serve.autoscale` — tick-driven elastic scaling with
+  immediate capacity repair after faults;
+- :mod:`repro.serve.fleet` — the event loop tying it together, with
+  fault injection through the same :class:`FaultInjector` training
+  uses;
+- :mod:`repro.serve.metrics` — SLO accounting (p50/p95/p99, QPS/GPU,
+  shed/timeout counters) rendered as PerfResult rows and bench JSON.
+
+Quick start::
+
+    from repro.serve import (
+        FleetConfig, ReplicaSpec, ServiceModel, TrafficConfig,
+        simulate_serving,
+    )
+
+    spec = ReplicaSpec(name="dhen", build_model=..., make_batch=...,
+                       gpus=8, max_batch=32)
+    result = simulate_serving(FleetConfig(
+        service=ServiceModel(spec),
+        traffic=TrafficConfig(seed=0, duration_s=30.0, base_qps=400.0),
+        replicas=4,
+    ))
+    print(result.qps, result.latency_p99_s)
+"""
+
+from repro.serve.autoscale import AutoscaleConfig, Autoscaler
+from repro.serve.batcher import (
+    BatchPolicy,
+    ContinuousBatcher,
+    FixedSizeBatcher,
+    TokenBucketBatcher,
+    make_policy,
+)
+from repro.serve.fleet import FleetConfig, ServingFleet, simulate_serving
+from repro.serve.metrics import ServeMetrics, ServeResult, TickSample
+from repro.serve.queue import RequestQueue
+from repro.serve.replica import Replica, ReplicaSpec, ReplicaState, ServiceModel
+from repro.serve.traffic import Request, TrafficConfig, TrafficGenerator
+
+__all__ = [
+    "AutoscaleConfig",
+    "Autoscaler",
+    "BatchPolicy",
+    "ContinuousBatcher",
+    "FixedSizeBatcher",
+    "TokenBucketBatcher",
+    "make_policy",
+    "FleetConfig",
+    "ServingFleet",
+    "simulate_serving",
+    "ServeMetrics",
+    "ServeResult",
+    "TickSample",
+    "RequestQueue",
+    "Replica",
+    "ReplicaSpec",
+    "ReplicaState",
+    "ServiceModel",
+    "Request",
+    "TrafficConfig",
+    "TrafficGenerator",
+]

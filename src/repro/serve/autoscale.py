@@ -1,0 +1,123 @@
+"""Elastic autoscaling policy for the serving fleet.
+
+The controller mirrors the shape of production serving autoscalers: it
+observes the fleet once per control tick (queue pressure and the
+window's p99 against the SLO), demands *sustained* evidence before
+acting, and backs off for a cooldown after every action so provisioning
+latency — which it cannot observe directly — has time to land.
+
+Two signals can trigger a scale-up:
+
+- **queue pressure** — queued requests per effective replica (live
+  plus already-starting) exceeds ``target_queue_per_replica``;
+- **SLO breach** — the window p99 exceeds ``p99_slo_s``.
+
+Either signal sustained for ``breach_ticks`` consecutive ticks grows
+the fleet by ``grow_step``.  A fleet below ``min_replicas`` (a crash
+ate capacity) is repaired *immediately*, bypassing both the sustain
+requirement and the cooldown — exactly the elastic-recovery path the
+chaos campaigns exercise.  Scale-down requires ``idle_ticks`` of low
+queue pressure **and** a comfortable p99 margin, and releases one
+replica at a time.
+
+The policy is deliberately deterministic — pure function of the
+observed tick stream — so fleet simulations stay bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["AutoscaleConfig", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    min_replicas: int = 1
+    max_replicas: int = 8
+    #: Queue-pressure threshold (requests per effective replica).
+    target_queue_per_replica: float = 8.0
+    #: Window-p99 SLO; None disables the latency signal.
+    p99_slo_s: Optional[float] = None
+    #: Consecutive breached ticks required before growing.
+    breach_ticks: int = 2
+    #: Consecutive idle ticks required before shrinking.
+    idle_ticks: int = 8
+    #: Queue pressure below which a tick counts as idle.
+    idle_queue_per_replica: float = 1.0
+    #: Ticks to hold after any action (provisioning needs time to land).
+    cooldown_ticks: int = 4
+    #: Replicas added per scale-up action.
+    grow_step: int = 1
+
+    def __post_init__(self):
+        if self.min_replicas < 1 or self.max_replicas < self.min_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+        if self.breach_ticks < 1 or self.idle_ticks < 1 or self.grow_step < 1:
+            raise ValueError("breach_ticks, idle_ticks, grow_step must be >= 1")
+
+
+class Autoscaler:
+    """Tick-driven grow/shrink decisions for one fleet."""
+
+    def __init__(self, config: AutoscaleConfig):
+        self.config = config
+        self._breached = 0
+        self._idle = 0
+        self._cooldown = 0
+
+    def decide(
+        self,
+        *,
+        live: int,
+        starting: int,
+        queue_depth: int,
+        window_p99_s: float,
+    ) -> int:
+        """Replicas to add (>0), remove (<0), or hold (0) this tick."""
+        config = self.config
+        effective = live + starting
+        # Capacity repair: a fleet below its floor is an emergency
+        # (a crash or watchdog kill ate replicas) — refill immediately,
+        # ignoring sustain counters and cooldown.
+        if effective < config.min_replicas:
+            self._breached = 0
+            self._idle = 0
+            self._cooldown = config.cooldown_ticks
+            return config.min_replicas - effective
+
+        pressure = queue_depth / max(effective, 1)
+        breach = pressure > config.target_queue_per_replica
+        if config.p99_slo_s is not None and window_p99_s > config.p99_slo_s:
+            breach = True
+        idle = (
+            pressure < config.idle_queue_per_replica
+            and not breach
+            and (
+                config.p99_slo_s is None
+                or window_p99_s < 0.5 * config.p99_slo_s
+            )
+        )
+
+        self._breached = self._breached + 1 if breach else 0
+        self._idle = self._idle + 1 if idle else 0
+
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return 0
+
+        if breach and self._breached >= config.breach_ticks:
+            grow = min(config.grow_step, config.max_replicas - effective)
+            if grow > 0:
+                self._breached = 0
+                self._cooldown = config.cooldown_ticks
+                return grow
+            return 0
+
+        if idle and self._idle >= config.idle_ticks and effective > config.min_replicas:
+            self._idle = 0
+            self._cooldown = config.cooldown_ticks
+            return -1
+
+        return 0

@@ -126,3 +126,85 @@ class TestChaosCampaign:
         assert FaultSchedule.random(seed=42, **kwargs) != FaultSchedule.random(
             seed=43, **kwargs
         )
+
+
+SERVE_SEEDS = list(range(200, 200 + (_SOAK or 2)))
+
+
+class TestServingFleetCampaign:
+    """Degraded serving fleet: crashes, hangs, delays, damaged images.
+
+    Mirrors the training campaigns above for ``repro.serve``: each seed
+    draws a :meth:`FaultSchedule.serving_campaign` and drives an
+    autoscaled fleet through it.  The fleet must stay deterministic,
+    end at (or above) its replica floor, keep goodput high, and — when
+    a replica-killing fault fired with a pre-fault baseline to compare
+    against — restore served QPS after repair.
+    """
+
+    REPLICAS = 3
+    BATCHES = 400
+
+    def _run(self, seed):
+        from repro.serve import AutoscaleConfig, FleetConfig, TrafficConfig, simulate_serving
+        from tests.test_serve_fleet import stub_service
+
+        service = stub_service()
+        capacity = service.throughput()
+        schedule = FaultSchedule.serving_campaign(
+            seed=seed, replicas=self.REPLICAS, batches=self.BATCHES
+        )
+        return simulate_serving(
+            FleetConfig(
+                service=service,
+                traffic=TrafficConfig(
+                    seed=seed,
+                    duration_s=4.0,
+                    base_qps=0.5 * capacity * self.REPLICAS,
+                    deadline_s=1.0,
+                ),
+                replicas=self.REPLICAS,
+                policy="continuous:8",
+                queue_depth=512,
+                autoscale=AutoscaleConfig(
+                    min_replicas=self.REPLICAS,
+                    max_replicas=self.REPLICAS + 2,
+                    cooldown_ticks=2,
+                ),
+                control_interval_s=0.05,
+                hang_timeout_s=0.1,
+                schedule=schedule,
+            )
+        )
+
+    @pytest.mark.parametrize("seed", SERVE_SEEDS)
+    def test_fleet_survives_campaign(self, seed):
+        result = self._run(seed)
+        # The campaign actually bit: at least one replica-killing or
+        # timing fault fired.
+        assert result.crashes + result.hangs + result.retries >= 1
+        # The autoscaler repaired every kill: the fleet ends at (or
+        # above) its configured floor.
+        final = result.samples[-1]
+        assert final.live + final.starting >= self.REPLICAS
+        # Served work stayed useful despite re-routing and retries.
+        assert result.served > 0
+        assert result.goodput >= 0.8
+        # When a kill fired late enough to have a pre-fault baseline,
+        # post-repair QPS must re-attain it.
+        ratio = result.recovery_ratio()
+        if ratio is not None:
+            assert ratio >= 0.85, ratio
+
+    @pytest.mark.parametrize("seed", SERVE_SEEDS[:1])
+    def test_fleet_campaign_deterministic(self, seed):
+        assert self._run(seed).to_dict() == self._run(seed).to_dict()
+
+    def test_serving_campaigns_are_seed_deterministic(self):
+        kwargs = dict(replicas=3, batches=100)
+        assert FaultSchedule.serving_campaign(
+            seed=7, **kwargs
+        ) == FaultSchedule.serving_campaign(seed=7, **kwargs)
+        assert FaultSchedule.serving_campaign(
+            seed=7, **kwargs
+        ) != FaultSchedule.serving_campaign(seed=8, **kwargs)

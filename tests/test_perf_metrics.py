@@ -1,0 +1,167 @@
+"""Property tests for the shared percentile helper (repro.perf.metrics).
+
+``LatencyHistogram`` is the one histogram behind every latency report
+(serving SLOs, benchmark tables), so its two regimes are locked down
+against sorted-list ground truth:
+
+- below ``exact_limit`` samples, percentiles are *bitwise* nearest-rank
+  (the exact-small-n guarantee the serving tests rely on);
+- beyond the limit, the bucketed estimate brackets the true value:
+  never below it, and above by at most one bucket's relative width.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf.metrics import LatencyHistogram, nearest_rank
+
+latencies = st.floats(
+    min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+percentiles = st.sampled_from([1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0])
+
+
+def ground_truth(samples, q):
+    return nearest_rank(sorted(samples), q)
+
+
+class TestNearestRank:
+    def test_single_sample(self):
+        assert nearest_rank([42.0], 50) == 42.0
+        assert nearest_rank([42.0], 99) == 42.0
+
+    def test_matches_numpy_on_round_ranks(self):
+        # For q*n/100 integral, nearest-rank equals the classic
+        # inclusive definition.
+        samples = sorted(range(100))
+        assert nearest_rank(samples, 50) == 49
+        assert nearest_rank(samples, 99) == 98
+        assert nearest_rank(samples, 100) == 99
+
+    def test_rejects_empty_and_bad_q(self):
+        with pytest.raises(ValueError):
+            nearest_rank([], 50)
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 0.0)
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 101.0)
+
+
+class TestExactRegime:
+    @given(st.lists(latencies, min_size=1, max_size=200), percentiles)
+    @settings(max_examples=200, deadline=None)
+    def test_bitwise_nearest_rank(self, samples, q):
+        hist = LatencyHistogram(exact_limit=4096)
+        hist.extend(samples)
+        assert hist.exact
+        assert hist.percentile(q) == ground_truth(samples, q)
+
+    @given(st.lists(latencies, min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_count_mean_extrema(self, samples):
+        hist = LatencyHistogram()
+        hist.extend(samples)
+        assert hist.count == len(samples)
+        assert hist.max == max(samples)
+        assert hist.min == min(samples)
+        assert hist.mean == pytest.approx(float(np.mean(samples)), rel=1e-9, abs=1e-12)
+
+    def test_insertion_order_irrelevant(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        samples = [0.5, 0.01, 3.0, 0.01, 7.5, 0.2]
+        a.extend(samples)
+        b.extend(reversed(samples))
+        for q in (50, 95, 99):
+            assert a.percentile(q) == b.percentile(q)
+
+
+class TestBucketedRegime:
+    @given(
+        st.lists(
+            st.floats(min_value=1e-5, max_value=100.0, allow_nan=False),
+            min_size=40,
+            max_size=120,
+        ),
+        percentiles,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_brackets_ground_truth(self, samples, q):
+        # Tiny exact window so the fold path is exercised.
+        hist = LatencyHistogram(exact_limit=8, resolution=0.01)
+        hist.extend(samples)
+        assert not hist.exact
+        true = ground_truth(samples, q)
+        got = hist.percentile(q)
+        # Bucketed percentiles report the bucket's upper edge: never an
+        # underestimate, and high by at most one relative-width step.
+        assert got >= true * (1.0 - 1e-12)
+        assert got <= min(true * (1.0 + hist.resolution) + 1e-12, hist.max)
+
+    def test_fold_preserves_count_and_total(self):
+        hist = LatencyHistogram(exact_limit=4)
+        samples = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6]
+        hist.extend(samples)
+        assert not hist.exact
+        assert hist.count == len(samples)
+        assert hist.total == pytest.approx(sum(samples))
+
+    def test_sub_floor_values_share_bucket_zero(self):
+        hist = LatencyHistogram(exact_limit=1)
+        hist.extend([0.0, 1e-9, 1e-7])
+        assert hist.percentile(99) <= LatencyHistogram.FLOOR
+
+
+class TestMerge:
+    def test_exact_merge_stays_exact(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.extend([1.0, 2.0])
+        b.extend([3.0])
+        a.merge(b)
+        assert a.exact
+        assert a.percentile(100) == 3.0
+        assert a.count == 3
+
+    def test_bucketed_merge_accumulates(self):
+        a = LatencyHistogram(exact_limit=2)
+        b = LatencyHistogram(exact_limit=2)
+        a.extend([0.1, 0.2, 0.3])
+        b.extend([0.4, 0.5, 0.6])
+        a.merge(b)
+        assert a.count == 6
+        assert a.max == 0.6
+        assert a.percentile(100) == pytest.approx(0.6, rel=0.02)
+
+    def test_resolution_mismatch_rejected(self):
+        a = LatencyHistogram(exact_limit=1, resolution=0.01)
+        b = LatencyHistogram(exact_limit=1, resolution=0.02)
+        a.extend([1.0, 2.0])
+        b.extend([1.0, 2.0])
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestValidation:
+    def test_negative_sample_rejected(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.add(-1.0)
+
+    def test_empty_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(50)
+
+    def test_empty_summary_is_zeroes(self):
+        assert LatencyHistogram().summary()["count"] == 0
+
+    def test_summary_keys(self):
+        hist = LatencyHistogram()
+        hist.extend([0.01, 0.02, 0.05])
+        s = hist.summary()
+        assert s["count"] == 3
+        assert s["p50"] == 0.02
+        assert s["p99"] == 0.05
+        assert s["max"] == 0.05

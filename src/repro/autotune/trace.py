@@ -58,11 +58,24 @@ class OpRecord:
 
 @dataclass
 class UnitTotals:
-    """Per-FSDP-unit aggregation of trace records."""
+    """Per-FSDP-unit aggregation of trace records.
+
+    ``elems`` is split by liveness: ``saved_elems`` survive until the
+    unit's backward, ``transient_elems`` (the ``saved=False`` records —
+    e.g. pre-softmax attention scores) are freed as soon as the unit's
+    forward moves on.  The compiler's reorder pass needs the split to
+    prove a pipelined unshard memory-safe: only the saved part
+    accumulates across units, while the transient part spikes inside
+    one unit's forward.  Folding both into ``elems`` (the old
+    behaviour) over-constrained reorderings by pretending transient
+    spikes persist.
+    """
 
     elems: float = 0.0
     matmul_flops: float = 0.0
     kernels: int = 0
+    saved_elems: float = 0.0
+    transient_elems: float = 0.0
 
 
 @dataclass
@@ -159,7 +172,28 @@ class ModelTrace:
             bucket.elems += record.elems
             bucket.matmul_flops += record.matmul_flops
             bucket.kernels += record.kernels
+            if record.saved:
+                bucket.saved_elems += record.elems
+            else:
+                bucket.transient_elems += record.elems
         return totals
+
+    def unit_liveness(
+        self, unit_paths: Sequence[str], *, elem_size: int = 4
+    ) -> dict[str, tuple[int, int]]:
+        """Per-unit ``(saved_bytes, transient_bytes)`` activation map.
+
+        The shape :class:`repro.compile.CaptureHook` consumes (keyed by
+        unit label = module path, '' = root) to annotate captured
+        forward-compute nodes for the memory-budget proof.
+        """
+        return {
+            path: (
+                int(totals.saved_elems * elem_size),
+                int(totals.transient_elems * elem_size),
+            )
+            for path, totals in self.per_unit(unit_paths).items()
+        }
 
     def total_matmul_flops(self) -> float:
         return sum(r.matmul_flops for r in self.records)

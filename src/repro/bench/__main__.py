@@ -14,6 +14,7 @@ import time
 from repro.bench import (
     ablations,
     autotune,
+    compile as compile_bench,
     degraded,
     elastic,
     fig2,
@@ -96,6 +97,11 @@ def main(argv: list[str]) -> None:
     print("# Profiler — per-unit exposed vs. overlapped communication")
     print("#" * 72)
     profile.main()
+
+    print("\n" + "#" * 72)
+    print("# Compiler — eager vs compiled exposed communication")
+    print("#" * 72)
+    compile_bench.main()
 
     print("\n" + "#" * 72)
     print("# Serving fleet — continuous batching, SLO, elastic autoscaling")

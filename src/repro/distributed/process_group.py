@@ -378,6 +378,39 @@ class ProcessGroup:
     ) -> Work:
         raise NotImplementedError
 
+    def all_gather_into_tensor_coalesced(
+        self,
+        pairs: Sequence[tuple[Tensor, Tensor]],
+        *,
+        stream: Optional[Stream] = None,
+    ) -> Work:
+        """Gather several ``(output, input)`` pairs with ONE collective.
+
+        Semantically identical to issuing ``all_gather_into_tensor`` per
+        pair (each output is the rank-major concatenation of the pair's
+        inputs), but the launch overhead and ring latency are paid once
+        for the whole bucket — the Figure-2 payoff the compile passes
+        target.  The fault injector is consulted once: a bucket is one
+        logical collective, keeping SPMD fault sequences aligned.
+        """
+        raise NotImplementedError
+
+    def reduce_scatter_tensor_coalesced(
+        self,
+        pairs: Sequence[tuple[Tensor, Tensor]],
+        op: str = ReduceOp.SUM,
+        *,
+        stream: Optional[Stream] = None,
+    ) -> Work:
+        """Reduce-scatter several ``(output, input)`` pairs at once.
+
+        Bitwise identical to per-pair ``reduce_scatter_tensor``: the
+        reduction is elementwise, so reducing the concatenation of the
+        inputs and slicing per-pair rank segments yields exactly the
+        same values as separate collectives.
+        """
+        raise NotImplementedError
+
     def all_to_all_bytes(self, nbytes: int, *, stream: Optional[Stream] = None) -> Work:
         """Cost-only all-to-all of ``nbytes`` total payload.
 
@@ -409,6 +442,19 @@ class ProcessGroup:
                 f"reduce_scatter_tensor: input numel {input.numel} != "
                 f"world_size {self.world_size} * output numel {output.numel}"
             )
+
+    def _check_coalesced_pairs(
+        self, pairs: Sequence[tuple[Tensor, Tensor]], *, kind: str
+    ) -> None:
+        if not pairs:
+            raise DistributedError(f"{kind}: empty coalescing bucket")
+        check = (
+            self._check_all_gather_shapes
+            if kind == "all_gather_into_tensor_coalesced"
+            else self._check_reduce_scatter_shapes
+        )
+        for output, input in pairs:
+            check(output, input)
 
     def _check_reduce_scatter_uneven_shapes(
         self, output: Tensor, input: Tensor, input_sizes: Sequence[int]

@@ -44,6 +44,34 @@ class SymmetricProcessGroup(ProcessGroup):
         self._note_data_use(stream, reads=(input,), writes=(output,))
         return work
 
+    def all_gather_into_tensor_coalesced(self, pairs, *, stream=None) -> Work:
+        self._check_coalesced_pairs(pairs, kind="all_gather_into_tensor_coalesced")
+        for output, _ in pairs:
+            if output.is_materialized and self.world_size > 1:
+                raise DistributedError(
+                    "SymmetricProcessGroup cannot produce real gathered data; "
+                    "use the threaded backend for materialized tensors"
+                )
+        nbytes = sum(o.numel * i.dtype.itemsize for o, i in pairs)
+        work = self._launch_collective(CollectiveKind.ALL_GATHER_BASE, nbytes, stream)
+        self._note_data_use(
+            stream,
+            reads=tuple(i for _, i in pairs),
+            writes=tuple(o for o, _ in pairs),
+        )
+        return work
+
+    def reduce_scatter_tensor_coalesced(self, pairs, op=ReduceOp.SUM, *, stream=None) -> Work:
+        self._check_coalesced_pairs(pairs, kind="reduce_scatter_tensor_coalesced")
+        nbytes = sum(i.numel * i.dtype.itemsize for _, i in pairs)
+        work = self._launch_collective(CollectiveKind.REDUCE_SCATTER, nbytes, stream)
+        self._note_data_use(
+            stream,
+            reads=tuple(i for _, i in pairs),
+            writes=tuple(o for o, _ in pairs),
+        )
+        return work
+
     def reduce_scatter(
         self, output, input, input_sizes, op=ReduceOp.SUM, *, stream=None
     ) -> Work:

@@ -156,6 +156,69 @@ class ThreadedProcessGroup(ProcessGroup):
         self._note_data_use(stream, reads=(input,), writes=(output,))
         return work
 
+    def all_gather_into_tensor_coalesced(self, pairs, *, stream=None) -> Work:
+        self._check_coalesced_pairs(pairs, kind="all_gather_into_tensor_coalesced")
+        nbytes = sum(o.numel * i.dtype.itemsize for o, i in pairs)
+        payloads = [_payload_array(i) for _, i in pairs]
+        data = None if any(p is None for p in payloads) else np.concatenate(payloads)
+
+        def combine(datas):
+            if any(d is None for d in datas):
+                return None
+            return list(datas)  # keep per-rank arrays; sliced per pair below
+
+        work, per_rank = self._run(
+            CollectiveKind.ALL_GATHER_BASE, nbytes, data, combine, stream
+        )
+        if per_rank is not None:
+            offset = 0
+            for output, input in pairs:
+                n = input.numel
+                if output.is_materialized:
+                    gathered = np.concatenate([d[offset : offset + n] for d in per_rank])
+                    output._np.reshape(-1)[...] = dtypes.quantize(gathered, output.dtype)
+                offset += n
+        self._note_data_use(
+            stream,
+            reads=tuple(i for _, i in pairs),
+            writes=tuple(o for o, _ in pairs),
+        )
+        return work
+
+    def reduce_scatter_tensor_coalesced(self, pairs, op=ReduceOp.SUM, *, stream=None) -> Work:
+        self._check_coalesced_pairs(pairs, kind="reduce_scatter_tensor_coalesced")
+        nbytes = sum(i.numel * i.dtype.itemsize for _, i in pairs)
+        payloads = [_payload_array(i) for _, i in pairs]
+        data = None if any(p is None for p in payloads) else np.concatenate(payloads)
+
+        def combine(datas):
+            if any(d is None for d in datas):
+                return None
+            # Elementwise reduction of the concatenation == per-pair
+            # reductions, so coalescing is bitwise-neutral.
+            total = np.sum(datas, axis=0)
+            if op == ReduceOp.AVG:
+                total = total / self.world_size
+            return total
+
+        work, reduced = self._run(
+            CollectiveKind.REDUCE_SCATTER, nbytes, data, combine, stream
+        )
+        if reduced is not None:
+            offset = 0
+            for output, input in pairs:
+                n = output.numel
+                if output.is_materialized:
+                    shard = reduced[offset + self.rank * n : offset + (self.rank + 1) * n]
+                    output._np.reshape(-1)[...] = dtypes.quantize(shard, output.dtype)
+                offset += input.numel
+        self._note_data_use(
+            stream,
+            reads=tuple(i for _, i in pairs),
+            writes=tuple(o for o, _ in pairs),
+        )
+        return work
+
     def reduce_scatter(
         self, output, input, input_sizes, op=ReduceOp.SUM, *, stream=None
     ) -> Work:

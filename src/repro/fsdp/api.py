@@ -52,6 +52,9 @@ class FullyShardedDataParallel(nn.Module):
         param_init_fn: Optional[Callable[[Module], None]] = None,
         ignored_modules: Optional[list[Module]] = None,
         label: Optional[str] = None,
+        compile: bool = False,
+        compile_bucket_elems: Optional[int] = None,
+        compile_memory_budget: Optional[int] = None,
     ):
         super().__init__()
         device = device or dist.get_device()
@@ -68,6 +71,9 @@ class FullyShardedDataParallel(nn.Module):
             cpu_offload=cpu_offload,
             device=device,
             param_init_fn=param_init_fn,
+            compile=compile,
+            compile_bucket_elems=compile_bucket_elems,
+            compile_memory_budget=compile_memory_budget,
         )
 
         # Units report themselves by dotted module path (falling back to
@@ -241,12 +247,22 @@ def _units_under(root: Module) -> list[FsdpUnit]:
 def _init_runtime_for_root(
     root_module: Module, root_unit: FsdpUnit, device: Device, config: dict
 ) -> None:
+    compile_settings = None
+    if config.get("compile"):
+        from repro.compile import CompileSettings
+
+        compile_settings = CompileSettings(
+            enabled=True,
+            bucket_elems=config.get("compile_bucket_elems"),
+            memory_budget=config.get("compile_memory_budget"),
+        )
     runtime = FsdpRuntime(
         device,
         backward_prefetch=config["backward_prefetch"],
         forward_prefetch=config["forward_prefetch"],
         limit_all_gathers=config["limit_all_gathers"],
         rate_limit_inflight=config["rate_limit_inflight"],
+        compile_settings=compile_settings,
     )
     root_unit.is_root = True
     # The paper intentionally keeps the outermost unit's parameters in

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro import dtypes, ops
 from repro.autograd.grad_mode import no_grad
@@ -39,7 +39,23 @@ from repro.nn.parameter import Parameter
 from repro.storage import Storage
 from repro.tensor import Tensor
 
-__all__ = ["FlatParameter", "FlatParamHandle", "ParamInfo"]
+__all__ = ["FlatParameter", "FlatParamHandle", "ParamInfo", "ReduceJob"]
+
+
+@dataclass
+class ReduceJob:
+    """One unit's staged contribution to a coalesced ReduceScatter.
+
+    ``output``/``input`` are the pair handed to
+    ``reduce_scatter_tensor_coalesced``; ``finish(work, stream)`` runs
+    after the bucket collective is enqueued (same stream context) and
+    performs the per-unit tail: hybrid-shard AllReduce, precision cast
+    back, stash-accumulate.  It returns the Work the unit should track.
+    """
+
+    output: Tensor
+    input: Tensor
+    finish: "Callable[[Optional[Work], Stream], Optional[Work]]"
 
 
 class FlatParameter(Parameter):
@@ -288,6 +304,39 @@ class FlatParamHandle:
         self.is_unsharded = True
         return event
 
+    def unshard_pair(self, stream: Stream) -> Optional[tuple[Tensor, Tensor]]:
+        """Stage this handle for a *bucketed* AllGather.
+
+        The compiled executor merges several units' gathers into one
+        ``all_gather_into_tensor_coalesced``; this performs everything
+        the eager :meth:`unshard` does up to the collective (mixed-
+        precision cast, unsharded storage reallocation) and returns the
+        ``(output, input)`` pair for the bucket.  The caller holds
+        ``device.stream(stream)`` / ``no_grad`` and must call
+        :meth:`unshard_commit` after enqueueing the collective.
+
+        Returns None when this handle cannot join a bucket (already
+        unsharded, unsharded with ``F == 1``, or CPU offload) — the
+        caller falls back to a plain :meth:`unshard`.
+        """
+        if self.is_unsharded or self.sharding_factor <= 1 or self.offload_params:
+            return None
+        source = self._local_shard
+        if self._mp_shard is not None:
+            self._mp_shard_storage.reallocate()
+            self._mp_shard.copy_(source)
+            gather_input = self._mp_shard
+        else:
+            gather_input = source
+        self._unsharded_storage.reallocate()
+        return (self._unsharded_flat, gather_input)
+
+    def unshard_commit(self) -> None:
+        """Finish a bucketed unshard once the collective is enqueued."""
+        if self._mp_shard is not None:
+            self._mp_shard_storage.release()
+        self.is_unsharded = True
+
     def reshard(self) -> bool:
         """Free the unsharded storage; point the FlatParameter at its shard.
 
@@ -435,6 +484,55 @@ class FlatParamHandle:
         # into ``.grad`` for the optimizer.
         self._saved_grad_shard = new_shard.detach()
         return work
+
+    def reduce_grad_pair(
+        self, *, replicate_group: Optional[ProcessGroup] = None
+    ) -> Optional[ReduceJob]:
+        """Stage this unit's gradient reduction for a coalesced bucket.
+
+        Performs everything :meth:`reduce_grad` does before the
+        ReduceScatter (accumulate pending contributions, cast to the
+        reduce dtype, allocate the destination shard) and defers the
+        rest into the returned job's ``finish``.  The caller holds
+        ``device.stream(stream)`` / ``no_grad`` and has already ordered
+        the stream after the compute stream.
+
+        Returns None when no bucket collective is needed (no gradient,
+        ``F == 1``, or CPU offload); the caller falls back to
+        :meth:`reduce_grad`, which handles those cases eagerly.
+        """
+        if self.sharding_factor <= 1 or self.offload_params:
+            return None
+        grad = self.flat_param.grad
+        if grad is None:
+            return None
+        self.flat_param.grad = None
+        if self._unsharded_grad_accum is not None:
+            grad = grad + self._unsharded_grad_accum
+            self._unsharded_grad_accum = None
+        if grad.dtype is not self.reduce_dtype:
+            grad = ops.cast(grad, self.reduce_dtype)
+        from repro.tensor import empty
+
+        new_shard = empty(self.shard_numel, dtype=self.reduce_dtype, device=self.device)
+
+        def finish(work: Optional[Work], stream: Stream) -> Optional[Work]:
+            shard = new_shard
+            if replicate_group is not None and replicate_group.world_size > 1:
+                work = replicate_group.all_reduce(shard, op=ReduceOp.AVG, stream=stream)
+            if (
+                shard.dtype is not self.full_precision_dtype
+                and not self.keep_low_precision_grads
+            ):
+                shard = ops.cast(shard, self.full_precision_dtype)
+            if self._saved_grad_shard is not None:
+                # Stash-accumulate on the reduction stream (see
+                # reduce_grad for the ordering rationale).
+                shard = shard + self._saved_grad_shard
+            self._saved_grad_shard = shard.detach()
+            return work
+
+        return ReduceJob(new_shard, grad, finish)
 
     def _h2d_copy(self, device_dst: Tensor, host_src: Tensor, stream: Stream) -> None:
         """Host-to-device copy over PCIe (data + simulated transfer time)."""

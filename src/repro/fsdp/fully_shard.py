@@ -102,6 +102,9 @@ def fully_shard(
     device: Optional[Device] = None,
     param_init_fn: Optional[Callable[[Module], None]] = None,
     label: Optional[str] = None,
+    compile: bool = False,
+    compile_bucket_elems: Optional[int] = None,
+    compile_memory_budget: Optional[int] = None,
 ) -> Module:
     """Annotate ``module`` as one FSDP unit; returns the same module."""
     if backend not in _BACKENDS:
@@ -178,6 +181,9 @@ def fully_shard(
         forward_prefetch=forward_prefetch,
         limit_all_gathers=limit_all_gathers,
         rate_limit_inflight=rate_limit_inflight,
+        compile=compile,
+        compile_bucket_elems=compile_bucket_elems,
+        compile_memory_budget=compile_memory_budget,
     )
 
     def _pre_hook(mod: Module, args):

@@ -52,7 +52,7 @@ from repro.cuda.stream import Event, Stream
 from repro.distributed import ProcessGroup, ReduceOp, Work
 from repro.distributed.mesh import DeviceMesh, Shard, chunk_bounds
 from repro.errors import FsdpError
-from repro.fsdp.flat_param import ParamInfo
+from repro.fsdp.flat_param import ParamInfo, ReduceJob
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 from repro.storage import Storage
@@ -492,6 +492,12 @@ class PerParamHandle:
         measures.  Persistent sharded storage stays exact; the pad
         bytes exist only for the lifetime of the staging buffer.
         """
+        gathered, local, seg_max = self._batched_copy_in()
+        self.shard_group.all_gather_into_tensor(gathered, local, stream=stream)
+        self._batched_copy_out(gathered, seg_max)
+
+    def _batched_copy_in(self) -> tuple[Tensor, Tensor, int]:
+        """Stage the rank-major AllGather input (caller holds stream/no_grad)."""
         device = self.device
         factor = self.sharding_factor
         rank = self.shard_group.rank
@@ -511,13 +517,61 @@ class PerParamHandle:
                 ops.narrow(padded, 0, 0, local.numel).copy_(local)
             local = padded
         gathered = empty(factor * seg_max, dtype=self.compute_dtype, device=device)
-        self.shard_group.all_gather_into_tensor(gathered, local, stream=stream)
+        return gathered, local, seg_max
+
+    def _batched_copy_out(self, gathered: Tensor, seg_max: int) -> None:
         # Copy-out: reassemble each parameter from its per-rank chunks
         # into the persistent unsharded storage (saved activations
         # alias it, so the staging buffer cannot be the destination).
         for sp in self.sharded_params:
             sp._unsharded_storage.reallocate()
         self._foreach_copy_out(gathered, seg_stride=seg_max)
+
+    def unshard_pair(self, stream: Stream) -> Optional[tuple[Tensor, Tensor]]:
+        """Stage this handle for a *bucketed* AllGather.
+
+        Mirrors :meth:`FlatParamHandle.unshard_pair`: the copy-in half
+        of :meth:`_gather_batched` runs now, the collective is issued by
+        the caller as part of a coalesced bucket, and
+        :meth:`unshard_commit` performs the copy-out.  The caller holds
+        ``device.stream(stream)`` / ``no_grad``.
+
+        Returns None for shapes that cannot express an even
+        ``(output, input)`` pair — ``F == 1`` or a single parameter with
+        uneven dim-0 chunks (which needs the list-AllGather) — in which
+        case the caller falls back to a plain :meth:`unshard`.
+        """
+        if self.is_unsharded or self.sharding_factor <= 1:
+            return None
+        if len(self.sharded_params) == 1:
+            sp = self.sharded_params[0]
+            if not sp.even:
+                return None
+            sp._unsharded_storage.reallocate()
+            source = sp.sharded_data
+            if sp._mp_shard is not None:
+                sp._mp_shard_storage.reallocate()
+                sp._mp_shard.copy_(source)
+                source = sp._mp_shard
+            self._staged_gather = None
+            return (sp._unsharded_flat, source)
+        gathered, local, seg_max = self._batched_copy_in()
+        self._staged_gather = (gathered, seg_max)
+        return (gathered, local)
+
+    def unshard_commit(self) -> None:
+        """Finish a bucketed unshard once the collective is enqueued."""
+        staged = getattr(self, "_staged_gather", None)
+        if staged is not None:
+            gathered, seg_max = staged
+            self._batched_copy_out(gathered, seg_max)
+        else:
+            sp = self.sharded_params[0]
+            if sp._mp_shard is not None:
+                sp._mp_shard_storage.release()
+        self._staged_gather = None
+        self.is_unsharded = True
+        self.use_unsharded_views()
 
     def _foreach_copy_out(self, gathered: Tensor, *, seg_stride: int) -> None:
         """Fused scatter of the gathered buffer into parameter storages.
@@ -660,19 +714,7 @@ class PerParamHandle:
         """
         device = self.device
         with no_grad():
-            pending: list[tuple[ShardedParam, Tensor]] = []
-            for sp in self.sharded_params:
-                grad = sp.param.grad
-                sp.param.grad = None
-                if grad is None:
-                    continue
-                if sp.unsharded_grad_accum is not None:
-                    grad = grad + sp.unsharded_grad_accum
-                    sp.unsharded_grad_accum = None
-                if no_sync:
-                    sp.unsharded_grad_accum = grad
-                    continue
-                pending.append((sp, grad))
+            pending = self._collect_pending(no_sync)
             if not pending:
                 return None
 
@@ -702,6 +744,23 @@ class PerParamHandle:
                         sp.saved_grad_shard = new_shard.detach()
         return work
 
+    def _collect_pending(self, no_sync: bool) -> list[tuple["ShardedParam", Tensor]]:
+        """Drain ``.grad`` slots into (param, gradient) reduction pairs."""
+        pending: list[tuple[ShardedParam, Tensor]] = []
+        for sp in self.sharded_params:
+            grad = sp.param.grad
+            sp.param.grad = None
+            if grad is None:
+                continue
+            if sp.unsharded_grad_accum is not None:
+                grad = grad + sp.unsharded_grad_accum
+                sp.unsharded_grad_accum = None
+            if no_sync:
+                sp.unsharded_grad_accum = grad
+                continue
+            pending.append((sp, grad))
+        return pending
+
     def _reduce_batched(
         self,
         pending: list[tuple["ShardedParam", Tensor]],
@@ -716,9 +775,20 @@ class PerParamHandle:
         ``reduce_scatter_tensor`` (zeros reduce to zeros and the pad
         tail of the output is simply never sliced out).
         """
+        job = self._reduce_batched_parts(pending, replicate_group)
+        work = self.shard_group.reduce_scatter_tensor(
+            job.output, job.input, op=ReduceOp.AVG, stream=stream
+        )
+        return job.finish(work, stream)
+
+    def _reduce_batched_parts(
+        self,
+        pending: list[tuple["ShardedParam", Tensor]],
+        replicate_group: Optional[ProcessGroup],
+    ) -> ReduceJob:
+        """Stage the batched reduction: everything but the collective."""
         device = self.device
         factor = self.sharding_factor
-        rank = self.shard_group.rank
         seg = [
             sum(sp.shard_numels[r] for sp, _ in pending) for r in range(factor)
         ]
@@ -745,26 +815,47 @@ class PerParamHandle:
         if flat_in.dtype is not self.reduce_dtype:
             flat_in = ops.cast(flat_in, self.reduce_dtype)
         out = empty(seg_max, dtype=self.reduce_dtype, device=device)
-        work = self.shard_group.reduce_scatter_tensor(
-            out, flat_in, op=ReduceOp.AVG, stream=stream
-        )
-        if replicate_group is not None and replicate_group.world_size > 1:
-            work = replicate_group.all_reduce(out, op=ReduceOp.AVG, stream=stream)
-        if (
-            out.dtype is not self.full_precision_dtype
-            and not self.keep_low_precision_grads
-        ):
-            out = ops.cast(out, self.full_precision_dtype)
-        offset = 0
-        for sp, _ in pending:
-            new_shard = sp._shaped(ops.narrow(out, 0, offset, sp.shard_numel))
-            offset += sp.shard_numel
-            if sp.saved_grad_shard is not None:
-                # Stash-accumulate on the reduction stream (see the
-                # flat handle for the ordering rationale).
-                new_shard = new_shard + sp.saved_grad_shard
-            sp.saved_grad_shard = new_shard.detach()
-        return work
+
+        def finish(work: Optional[Work], stream: Stream) -> Optional[Work]:
+            result = out
+            if replicate_group is not None and replicate_group.world_size > 1:
+                work = replicate_group.all_reduce(result, op=ReduceOp.AVG, stream=stream)
+            if (
+                result.dtype is not self.full_precision_dtype
+                and not self.keep_low_precision_grads
+            ):
+                result = ops.cast(result, self.full_precision_dtype)
+            offset = 0
+            for sp, _ in pending:
+                new_shard = sp._shaped(ops.narrow(result, 0, offset, sp.shard_numel))
+                offset += sp.shard_numel
+                if sp.saved_grad_shard is not None:
+                    # Stash-accumulate on the reduction stream (see the
+                    # flat handle for the ordering rationale).
+                    new_shard = new_shard + sp.saved_grad_shard
+                sp.saved_grad_shard = new_shard.detach()
+            return work
+
+        return ReduceJob(out, flat_in, finish)
+
+    def reduce_grad_pair(
+        self, *, replicate_group: Optional[ProcessGroup] = None
+    ) -> Optional[ReduceJob]:
+        """Stage this unit's batched reduction for a coalesced bucket.
+
+        Same contract as :meth:`FlatParamHandle.reduce_grad_pair`: the
+        caller holds ``device.stream(stream)`` / ``no_grad``, has
+        ordered the stream after compute, and runs ``finish`` after the
+        bucket's ReduceScatter is enqueued.  Returns None when there is
+        nothing to reduce or ``F == 1`` (fall back to
+        :meth:`reduce_grad`).
+        """
+        if self.sharding_factor <= 1:
+            return None
+        pending = self._collect_pending(False)
+        if not pending:
+            return None
+        return self._reduce_batched_parts(pending, replicate_group)
 
     def restore_stashed_gradient(self) -> None:
         """Move reduced shards into ``.grad`` for the optimizer."""

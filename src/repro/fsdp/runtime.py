@@ -68,6 +68,7 @@ class FsdpRuntime:
         forward_prefetch: bool = False,
         limit_all_gathers: bool = True,
         rate_limit_inflight: int = RATE_LIMIT_INFLIGHT,
+        compile_settings=None,
     ):
         self.device = device
         self.unshard_stream: Stream = device.new_stream("fsdp-unshard")
@@ -83,6 +84,12 @@ class FsdpRuntime:
         self._final_callback_queued = False
         self.iteration = 0
         self.in_backward = False
+        #: repro.compile.CompileSettings when compilation is requested.
+        self.compile_settings = compile_settings
+        #: CaptureHook recording the current (eager) iteration, or None.
+        self.capture = None
+        #: CompiledExecutor replaying the compiled schedule, or None.
+        self.compiled = None
 
     # ------------------------------------------------------------------
     # Rate limiter (Section 3.4)
@@ -122,6 +129,7 @@ class FsdpRuntime:
     # ------------------------------------------------------------------
     def begin_iteration(self) -> None:
         self.iteration += 1
+        self._advance_compile_state()
         prof = getattr(self.device, "profiler", None)
         if prof is not None:
             # A unit whose backward never ran leaves its scope pushed;
@@ -137,6 +145,49 @@ class FsdpRuntime:
         # Parameters may have just been updated by the optimizer on the
         # compute stream; communication must observe those writes.
         self.unshard_stream.wait_stream(self.device.default_stream)
+        if self.capture is not None:
+            self.capture.on_iteration_begin()
+        if self.compiled is not None:
+            # Fires the schedule's iter_begin actions (the pipelined
+            # first forward bucket) after the optimizer-write barrier.
+            self.compiled.begin_iteration()
+
+    def _advance_compile_state(self) -> None:
+        """Iteration 1 records eagerly; iteration 2 compiles and installs.
+
+        A capture left incomplete (an aborted iteration) records again;
+        a capture marked unsupported (e.g. activation-checkpoint
+        recompute re-entered a unit's forward) raises, because the
+        user asked for compilation the runtime cannot honour.
+        """
+        settings = self.compile_settings
+        if settings is None or not settings.enabled or self.compiled is not None:
+            return
+        capture = self.capture
+        if capture is not None and capture.complete and capture.unsupported:
+            raise FsdpError(f"cannot compile FSDP step: {capture.unsupported}")
+        if capture is not None and capture.complete:
+            from repro.compile import CompiledExecutor, compile_capture
+
+            capture.liveness = dict(settings.liveness)
+            elem_size = 4
+            for unit in self.units:
+                if unit.handle is not None:
+                    elem_size = unit.handle.compute_dtype.itemsize
+                    break
+            schedule = compile_capture(
+                capture,
+                bucket_elems=settings.bucket_elems,
+                elem_size=elem_size,
+                memory_budget=settings.memory_budget,
+                verify=settings.verify,
+            )
+            self.compiled = CompiledExecutor(self, schedule)
+            self.capture = None
+        else:
+            from repro.compile import CaptureHook
+
+            self.capture = CaptureHook(liveness=settings.liveness)
 
     def reset_after_failure(self) -> None:
         """Discard in-flight state after an aborted iteration.
@@ -152,6 +203,9 @@ class FsdpRuntime:
         self.in_backward = False
         self.exec_order = []
         self.prev_exec_order = []
+        # A half-recorded capture is useless; a compiled schedule stays
+        # valid (the step's structure does not change across restarts).
+        self.capture = None
         for unit in self.units:
             unit.pending_reduce_work = None
             unit._last_unshard_event = None
@@ -187,6 +241,10 @@ class FsdpRuntime:
             # still hold a partial count; fire their reduction now.
             if unit.handle is not None:
                 unit.handle.flush_post_backward()
+        if self.compiled is not None:
+            self.compiled.on_finalize()
+        if self.capture is not None:
+            self.capture.on_finalize()
         for unit in self.units:
             if unit.handle is None:
                 continue
@@ -321,6 +379,14 @@ class FsdpUnit:
         runtime = self._require_runtime()
         if self.handle is None or self.handle.is_unsharded:
             return
+        if runtime.capture is not None:
+            runtime.capture.on_unshard_issue(
+                self.label,
+                reason=reason,
+                nbytes=self.handle.unsharded_nbytes,
+                group_key=id(self.handle.shard_group),
+                dtype=str(self.handle.compute_dtype),
+            )
         prof = getattr(runtime.device, "profiler", None)
         if prof is None:
             runtime.admit_allgather()
@@ -338,8 +404,11 @@ class FsdpUnit:
         """Reshard the handle; on an actual free, feed the rate limiter
         and the profiler."""
         runtime = self._require_runtime()
+        freed = self.handle.unsharded_nbytes
         if self.handle.reshard():
             runtime.note_reshard_free()
+            if runtime.capture is not None:
+                runtime.capture.on_reshard(self.label, freed)
             prof = getattr(runtime.device, "profiler", None)
             if prof is not None:
                 prof.on_reshard(self.label, runtime.device.cpu_time())
@@ -351,6 +420,8 @@ class FsdpUnit:
         runtime = self._require_runtime()
         event = getattr(self, "_last_unshard_event", None)
         if event is not None:
+            if runtime.capture is not None:
+                runtime.capture.on_wait(self.label)
             runtime.device.default_stream.wait_event(event)
 
     def _require_runtime(self) -> FsdpRuntime:
@@ -369,6 +440,8 @@ class FsdpUnit:
             runtime.begin_iteration()
         runtime.record_pre_forward(self)
         self.forward_ran = True
+        if runtime.capture is not None:
+            runtime.capture.on_pre_forward(self.label)
         prof = getattr(runtime.device, "profiler", None)
         if prof is not None:
             # Scope everything the unit's forward does (kernels, nested
@@ -376,6 +449,12 @@ class FsdpUnit:
             # in post_forward.
             prof.push_scope(f"forward:{self.label}")
         if self.handle is None:
+            return
+        if runtime.compiled is not None:
+            # Compiled replay: the executor fires this point's bucket
+            # issues and the single surviving wait for this unit.
+            runtime.compiled.on_pre_forward(self)
+            self.handle.use_unsharded_views()
             return
         if prof is not None and runtime.forward_prefetch and not self.is_root:
             prof.on_prefetch_outcome(
@@ -391,6 +470,8 @@ class FsdpUnit:
 
     def post_forward(self, output):
         runtime = self._require_runtime()
+        if runtime.capture is not None:
+            runtime.capture.on_post_forward(self.label)
         prof = getattr(runtime.device, "profiler", None)
         if prof is not None:
             prof.pop_scope(f"forward:{self.label}")
@@ -421,10 +502,14 @@ class FsdpUnit:
         if self.pre_backward_ran or self.handle is None:
             return None
         self.pre_backward_ran = True
+        if runtime.capture is not None:
+            runtime.capture.on_pre_backward(self.label)
         prof = getattr(runtime.device, "profiler", None)
         if prof is not None:
             prof.on_pre_backward(self.label)
-            if runtime.backward_prefetch is not BackwardPrefetch.NONE:
+            if runtime.compiled is None and (
+                runtime.backward_prefetch is not BackwardPrefetch.NONE
+            ):
                 prof.on_prefetch_outcome(
                     self.label, already_unsharded=self.handle.is_unsharded
                 )
@@ -435,6 +520,9 @@ class FsdpUnit:
             # in the post-backward hook.
             prof.push_scope(f"backward:{self.label}")
         self.handle.prepare_gradient_for_backward()
+        if runtime.compiled is not None:
+            runtime.compiled.on_pre_backward(self)
+            return None
         self._issue_unshard(reason="pre_backward")
         if runtime.backward_prefetch is BackwardPrefetch.BACKWARD_PRE:
             # Issue the next unit's AllGather now, ahead of this unit's
@@ -455,12 +543,25 @@ class FsdpUnit:
         runtime = self._require_runtime()
         self.post_backward_ran = True
         runtime.ensure_final_callback()
+        if runtime.capture is not None:
+            runtime.capture.on_post_backward(
+                self.label,
+                nbytes=self.handle.unsharded_nbytes,
+                group_key=id(self.handle.shard_group),
+                dtype=str(self.handle.compute_dtype),
+            )
         prof = getattr(runtime.device, "profiler", None)
         if prof is not None:
             prof.pop_scope(f"backward:{self.label}")
         # Free the unsharded parameters before reducing, shrinking the
         # peak: gradient memory replaces parameter memory.
         self._reshard_and_note()
+        if runtime.compiled is not None:
+            # The executor flushes this unit's reduce bucket when its
+            # trigger (the bucket's last member) fires; grads park in
+            # the handle until then.
+            runtime.compiled.on_post_backward(self)
+            return
         if prof is None:
             work = self.handle.reduce_grad(
                 runtime.unshard_stream,

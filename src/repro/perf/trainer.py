@@ -150,6 +150,18 @@ class SimConfig:
     #: Pre-built session (overrides ``profile``; lets callers keep the
     #: session for trace export after the run).
     profiler: Optional[object] = None
+    #: Graph-capture compiler (repro.compile): iteration one runs eager
+    #: under a recording hook, every later iteration replays a
+    #: bucketed/reordered collective schedule proven equivalent by the
+    #: compile-time verifier.
+    compile: bool = False
+    #: Bucket knee override in elements (None = Figure-2 ~33M).
+    compile_bucket_elems: Optional[int] = None
+    #: Transient-memory bound (bytes) the reorder pass must respect.
+    compile_memory_budget: Optional[int] = None
+    #: A :class:`repro.autotune.trace.ModelTrace` supplying per-unit
+    #: activation liveness for the memory-budget proof.
+    compile_trace: Optional[object] = None
     #: Steady-state fast-forward for timing-only (meta/abstract) runs:
     #: once two consecutive measured iterations advance every simulator
     #: clock and counter by the *same* delta, the remaining iterations
@@ -188,6 +200,9 @@ def _wrap_model(config: SimConfig, device: Device) -> Module:
         forward_prefetch=config.forward_prefetch,
         limit_all_gathers=config.limit_all_gathers,
         rate_limit_inflight=config.rate_limit_inflight,
+        compile=config.compile,
+        compile_bucket_elems=config.compile_bucket_elems,
+        compile_memory_budget=config.compile_memory_budget,
         device=device,
     )
     if config.reshard_after_forward is not None:
@@ -226,6 +241,9 @@ def _annotate_per_param(config: SimConfig, device: Device) -> Module:
         forward_prefetch=config.forward_prefetch,
         limit_all_gathers=config.limit_all_gathers,
         rate_limit_inflight=config.rate_limit_inflight,
+        compile=config.compile,
+        compile_bucket_elems=config.compile_bucket_elems,
+        compile_memory_budget=config.compile_memory_budget,
         device=device,
     )
     # Labels follow the wrapper's convention ("<RootClass>.<path>") so
@@ -381,6 +399,33 @@ def _runtime_of(wrapped: Module):
     return None
 
 
+def _apply_compile_liveness(config: SimConfig, wrapped: Module) -> None:
+    """Feed measured activation liveness to the compiler's reorder pass.
+
+    ``compile_trace`` indexes units by module *path* ('' for the root)
+    while the runtime labels them "<RootClass>.<path>"; strip the root
+    prefix to join the two.  Runs after the first (eager, captured)
+    iteration — the runtime exists by then and compilation only happens
+    at the second iteration's begin, so the settings land in time.
+    """
+    trace = config.compile_trace
+    runtime = _runtime_of(wrapped)
+    if trace is None or runtime is None or runtime.compile_settings is None:
+        return
+    units = [u for u in _all_units(wrapped) if u.handle is not None]
+    if not units:
+        return
+    paths = {
+        u.label: (u.label.split(".", 1)[1] if "." in u.label else "")
+        for u in units
+    }
+    elem_size = units[0].handle.compute_dtype.itemsize
+    by_path = trace.unit_liveness(sorted(set(paths.values())), elem_size=elem_size)
+    runtime.compile_settings.liveness = {
+        label: by_path.get(path, (0, 0)) for label, path in paths.items()
+    }
+
+
 def _checkpoint_nbytes(wrapped: Module, optimizer) -> int:
     """Bytes in one rank's shard of a model+optimizer checkpoint."""
     total = 0
@@ -494,6 +539,8 @@ def simulate_training(config: SimConfig) -> PerfResult:
                 iteration_started.setdefault(iteration, device.now())
                 _run_iteration(config, wrapped, device, optimizer)
                 completed += 1
+                if completed == 1 and config.compile:
+                    _apply_compile_liveness(config, wrapped)
                 if ff_enabled and measuring and completed < total:
                     fp = _sim_fingerprint(device, groups)
                     if ff_prev_fp is not None:
@@ -595,6 +642,9 @@ def simulate_training(config: SimConfig) -> PerfResult:
             result.prefetch_hits = totals["prefetch_hits"]
             result.prefetch_misses = totals["prefetch_misses"]
             result.extras["profiler"] = session.summary()
+        runtime = _runtime_of(wrapped)
+        if runtime is not None and runtime.compiled is not None:
+            result.extras["compile"] = runtime.compiled.schedule.summary()
     except OutOfMemoryError:
         result.oom = True
     finally:

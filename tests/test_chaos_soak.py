@@ -128,6 +128,55 @@ class TestChaosCampaign:
         )
 
 
+class TestCompiledTimingOnlyCampaign:
+    """Compile lane: the compiled schedule under timing-only chaos.
+
+    ``train_elastic`` with a compiled FSDP wrapper (iteration one
+    captures, the rest replay bucketed/reordered collectives) is run
+    through the same timing-only campaigns as the eager lane.  Faults
+    that only move time around (stragglers, delays, transient retries)
+    must leave the loss trajectory bitwise identical to the *eager
+    fault-free* baseline — one assertion covering both compiled-vs-
+    eager numerics and compiled-under-chaos determinism — with zero
+    restarts (the compiled executor funnels through the same fault-
+    aware collectives, so retries stay transparent)."""
+
+    def _run(self, schedule=None):
+        from repro.fsdp import FullyShardedDataParallel
+
+        repro.manual_seed(1234)
+        return train_elastic(
+            build_model=build_model,
+            make_loss=make_loss,
+            world_size=WORLD,
+            iterations=ITERS,
+            faults=schedule,
+            checkpoint_every=1,
+            wrap=lambda m: FullyShardedDataParallel(
+                m, compile=True, compile_bucket_elems=64
+            ),
+        )
+
+    @pytest.mark.parametrize("seed", TIMING_SEEDS)
+    def test_compiled_losses_bitwise_identical(self, seed, baseline_losses):
+        schedule = FaultSchedule.random(
+            seed=seed,
+            world_size=WORLD,
+            iterations=ITERS,
+            stragglers=1,
+            delays=2,
+            transients=1,
+            max_delay_s=2e-3,
+        )
+        assert schedule.timing_only()
+        result = self._run(schedule)
+        assert result.restarts == 0
+        assert result.losses == baseline_losses
+
+    def test_compiled_fault_free_matches_eager_baseline(self, baseline_losses):
+        assert self._run().losses == baseline_losses
+
+
 SERVE_SEEDS = list(range(200, 200 + (_SOAK or 2)))
 
 

@@ -12,6 +12,7 @@ from repro.bench import (
     fig6,
     fig7,
     fig8,
+    resilience,
     scale,
     serving,
     xhost_traffic,
@@ -25,6 +26,7 @@ __all__ = [
     "fig8",
     "scale",
     "ablations",
+    "resilience",
     "serving",
     "xhost_traffic",
 ]

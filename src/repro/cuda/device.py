@@ -136,6 +136,14 @@ class Device:
         # Ring buffer of issued/completed collectives (may be shared
         # across ranks); process groups record into it when present.
         self.flight_recorder = None
+        # Shared ``repro.resilience.CoordinatedAbort`` latch (one per
+        # world); process groups consult it pre-launch and declare into
+        # it on watchdog abort.  ``None`` = legacy uncoordinated world.
+        self.abort = None
+        # When True, the threaded backend piggybacks a collective
+        # signature on every rendezvous round and cross-checks it
+        # before combining (the desync detector).
+        self.desync_checker = None
         self._next_stream_id = 0
         self.streams: list[Stream] = []
         if kind == "sim_gpu":

@@ -33,9 +33,16 @@ from repro.distributed.process_group import (
     ProcessGroup,
     ReduceOp,
     Work,
+    retry_backoff,
+)
+from repro.distributed.rendezvous import (
+    Rendezvous,
+    RendezvousAbortedError,
+    RendezvousTimeoutError,
 )
 from repro.distributed.symmetric import SymmetricProcessGroup
 from repro.distributed.threaded import ThreadedProcessGroup
+from repro.resilience import CoordinatedAbort
 
 __all__ = [
     "DeviceMesh",
@@ -66,4 +73,9 @@ __all__ = [
     "StorageDecision",
     "FaultSchedule",
     "FaultInjector",
+    "CoordinatedAbort",
+    "Rendezvous",
+    "RendezvousAbortedError",
+    "RendezvousTimeoutError",
+    "retry_backoff",
 ]

@@ -28,9 +28,10 @@ from repro.distributed.process_group import (
 from repro.distributed.rendezvous import Rendezvous
 from repro.distributed.symmetric import SymmetricProcessGroup
 from repro.distributed.threaded import ThreadedProcessGroup
-from repro.errors import DistributedError
+from repro.errors import DistributedError, RankCrashedError, RankFailureError
 from repro.hw.comm_model import CommModel
 from repro.hw.specs import ClusterTopology, cluster_of
+from repro.resilience.abort import CoordinatedAbort
 
 __all__ = [
     "spawn",
@@ -176,6 +177,20 @@ def _resolve_injector(
     return None
 
 
+def _resolve_abort(coordinated_abort) -> CoordinatedAbort:
+    """Normalize the ``coordinated_abort`` argument to a shared latch.
+
+    ``True`` (the default) builds an enabled latch, ``False`` a
+    disabled one (the uncoordinated negative control — survivors drain
+    pending collectives serially); a pre-built
+    :class:`~repro.resilience.CoordinatedAbort` passes through so
+    elastic drivers and tests can configure health leases.
+    """
+    if isinstance(coordinated_abort, CoordinatedAbort):
+        return coordinated_abort
+    return CoordinatedAbort(enabled=bool(coordinated_abort))
+
+
 def init_single_process(
     world_size: int,
     *,
@@ -188,6 +203,7 @@ def init_single_process(
     fault_injector: Optional[FaultInjector] = None,
     collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT,
     flight_recorder=None,
+    coordinated_abort=True,
 ) -> WorldContext:
     """Set up a symmetric one-rank world for performance simulation."""
     topology = topology or cluster_of(world_size)
@@ -200,6 +216,7 @@ def init_single_process(
     device.materialize_data = materialize
     injector = _resolve_injector(fault_schedule, fault_injector)
     device.fault_injector = injector
+    device.abort = _resolve_abort(coordinated_abort)
     if flight_recorder is not None:
         device.flight_recorder = flight_recorder
     if injector is not None:
@@ -238,6 +255,8 @@ def spawn(
     fault_injector: Optional[FaultInjector] = None,
     collective_timeout: float = DEFAULT_COLLECTIVE_TIMEOUT,
     flight_recorder=None,
+    coordinated_abort=True,
+    desync_check: bool = False,
 ) -> list:
     """Run ``fn(rank, *args)`` on ``world_size`` threads; returns results.
 
@@ -250,7 +269,15 @@ def spawn(
     ``collective_timeout`` is the per-collective watchdog deadline.  If
     any rank raises, the first failing rank's error is re-raised,
     chained under :class:`DistributedError` — typed collective errors
-    (timeout, crash) propagate as the ``__cause__``.
+    (timeout, crash) propagate as the ``__cause__``, and the raised
+    error's ``rank_errors`` attribute maps every failed rank to its
+    exception (elastic controllers use it to plan targeted healing).
+
+    ``coordinated_abort`` installs one shared
+    :class:`~repro.resilience.CoordinatedAbort` latch across the world
+    (pass ``False`` for the uncoordinated negative control, or a
+    pre-built latch to configure health leases); ``desync_check``
+    enables the pre-launch cross-rank collective-signature check.
     """
     topology = topology or cluster_of(world_size)
     if topology.world_size < world_size:
@@ -259,11 +286,16 @@ def spawn(
         )
     shared_comm_model = comm_model or CommModel(topology)
     injector = _resolve_injector(fault_schedule, fault_injector)
+    abort = _resolve_abort(coordinated_abort)
     devices = []
     for rank in range(world_size):
         device = Device("sim_gpu", index=rank, spec=topology.gpu, capacity=capacity)
         device.materialize_data = materialize
         device.fault_injector = injector
+        # One abort latch shared by all ranks: the first watchdog to
+        # declare a failure poisons every group in the world.
+        device.abort = abort
+        device.desync_checker = desync_check
         # One recorder shared by all ranks: a single dump shows the
         # whole world's in-flight collectives (and the missing ranks).
         device.flight_recorder = flight_recorder
@@ -303,5 +335,27 @@ def spawn(
         thread.join()
     for rank, error in enumerate(errors):
         if error is not None:
-            raise DistributedError(f"rank {rank} failed: {error!r}") from error
+            wrapper = DistributedError(f"rank {rank} failed: {error!r}")
+            wrapper.rank_errors = {
+                r: e for r, e in enumerate(errors) if e is not None
+            }
+            wrapper.failed_ranks = _failed_ranks(errors)
+            raise wrapper from error
     return results
+
+
+def _failed_ranks(errors: list) -> tuple[int, ...]:
+    """Ranks that actually *died*, per the typed errors.
+
+    Survivors of a crash or abort raise too (RankCrashedError on every
+    rank, RankFailureError on every survivor), so the raiser set is not
+    the dead set: the dead set is the union of the ranks the typed
+    errors *name*.
+    """
+    failed: set[int] = set()
+    for exc in errors:
+        if isinstance(exc, RankCrashedError):
+            failed.add(exc.rank)
+        elif isinstance(exc, RankFailureError):
+            failed.update(exc.failed_ranks)
+    return tuple(sorted(failed))

@@ -64,6 +64,12 @@ class FaultKind(enum.Enum):
     #: converts the hang into a :class:`CollectiveTimeoutError` on every
     #: member rank.
     HANG = "hang"
+    #: The matched rank issues a collective whose signature (kind,
+    #: bytes, dtype, seq) disagrees with its peers — an SPMD divergence.
+    #: The pre-launch desync check converts it into a
+    #: :class:`CollectiveDesyncError` naming the divergent rank(s);
+    #: this kind is the detector's negative control.
+    DESYNC = "desync"
     #: The matched rank dies at the start of ``iteration`` (raises
     #: :class:`RankCrashedError`); elastic loops recover from the
     #: latest sharded checkpoint.
@@ -149,10 +155,11 @@ class FaultDecision:
     fail: bool = False
     hang: bool = False
     crash: bool = False
+    desync: bool = False
 
     @property
     def benign(self) -> bool:
-        return not (self.fail or self.hang or self.crash) and (
+        return not (self.fail or self.hang or self.crash or self.desync) and (
             self.delay_s == 0.0 and self.duration_factor == 1.0
         )
 
@@ -224,6 +231,7 @@ class FaultSchedule:
         delays: int = 2,
         transients: int = 1,
         hangs: int = 0,
+        desyncs: int = 0,
         crashes: int = 0,
         pressure_events: int = 0,
         torn_writes: int = 0,
@@ -276,6 +284,14 @@ class FaultSchedule:
             events.append(
                 FaultEvent(
                     kind=FaultKind.HANG,
+                    rank=rng.randrange(world_size),
+                    collective_index=rng.randrange(64),
+                )
+            )
+        for _ in range(desyncs):
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.DESYNC,
                     rank=rng.randrange(world_size),
                     collective_index=rng.randrange(64),
                 )
@@ -634,12 +650,29 @@ class FaultInjector:
                         self._transient_left[key] = left - 1
                         decision.fail = True
             elif event.kind is FaultKind.HANG:
+                # A hang pinned to one collective (or one iteration) is
+                # one-shot: after the watchdog fires and recovery
+                # re-issues, the event stays consumed.  A *windowed*
+                # hang (no collective_index, no iteration pin) models a
+                # dead rank: it re-fires on every matching collective,
+                # so only coordinated abort or healing gets past it.
+                one_shot = (
+                    event.collective_index is not None
+                    or event.iteration is not None
+                )
+                key = (index, rank)
+                with self._lock:
+                    if one_shot and key in self._fired:
+                        continue
+                    self._fired.add(key)
+                decision.hang = True
+            elif event.kind is FaultKind.DESYNC:
                 key = (index, rank)
                 with self._lock:
                     if key in self._fired:
                         continue
                     self._fired.add(key)
-                decision.hang = True
+                decision.desync = True
         if not decision.benign:
             detail = []
             if decision.delay_s:
@@ -650,9 +683,13 @@ class FaultInjector:
                 detail.append("transient-fail")
             if decision.hang:
                 detail.append("hang")
+            if decision.desync:
+                detail.append("desync")
             self._log(
                 InjectedFault(
-                    FaultKind.HANG
+                    FaultKind.DESYNC
+                    if decision.desync
+                    else FaultKind.HANG
                     if decision.hang
                     else FaultKind.TRANSIENT
                     if decision.fail

@@ -22,14 +22,23 @@ from repro.cuda.device import Device
 from repro.cuda.stream import Event, Stream
 from repro.distributed.fault import FaultDecision
 from repro.errors import (
+    CollectiveDesyncError,
     CollectiveFailedError,
     CollectiveTimeoutError,
     DistributedError,
+    RankFailureError,
 )
 from repro.hw.comm_model import CollectiveKind, CommModel
+from repro.resilience.desync import collective_signature, perturb_signature
 from repro.tensor import Tensor
 
-__all__ = ["Work", "ProcessGroup", "ReduceOp", "DEFAULT_COLLECTIVE_TIMEOUT"]
+__all__ = [
+    "Work",
+    "ProcessGroup",
+    "ReduceOp",
+    "DEFAULT_COLLECTIVE_TIMEOUT",
+    "retry_backoff",
+]
 
 #: Watchdog deadline for one collective, in seconds.  Interpreted on the
 #: simulated clock by the symmetric backend and on the wall clock by the
@@ -41,6 +50,29 @@ DEFAULT_COLLECTIVE_TIMEOUT = 60.0
 #: (simulated seconds; doubles per attempt like NCCL's comm re-init
 #: backoff).
 _RETRY_BACKOFF_BASE = 2e-3
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: avalanche a 64-bit value."""
+    x &= 0xFFFFFFFFFFFFFFFF
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+def retry_backoff(seed: int, rank: int, attempt: int) -> float:
+    """Jittered exponential backoff for transient-collective retries.
+
+    A pure function of ``(seed, rank, attempt)``: deterministic for
+    chaos replay, but *decorrelated across ranks* — the un-jittered
+    ``base * 2**(attempt-1)`` schedule was identical on every rank, so
+    synchronized retry storms hit the injector (and, in production, the
+    network) in lockstep.  The jitter factor spans ``[0.5, 1.5)`` of
+    the exponential step, keeping the expected schedule unchanged.
+    """
+    step = _RETRY_BACKOFF_BASE * (2 ** (attempt - 1))
+    u = _mix64(_mix64(seed ^ 0x9E3779B97F4A7C15) + (rank << 20) + attempt)
+    return step * (0.5 + (u >> 11) / float(1 << 53))
 
 
 class ReduceOp:
@@ -160,6 +192,74 @@ class ProcessGroup:
             error.flight_dump = recorder.dump(now=self.device.cpu_time())
         return error
 
+    def _attach_flight_dump(self, error):
+        recorder = self.device.flight_recorder
+        if recorder is not None:
+            error.flight_dump = recorder.dump(now=self.device.cpu_time())
+        return error
+
+    def _abort_check(self, kind: CollectiveKind) -> None:
+        """Fail fast when the communicator has been poisoned.
+
+        Coordinated-abort semantics: once any rank's failure is
+        declared, every subsequently issued collective on any group
+        sharing the world raises immediately — no further simulated
+        stall beyond the one watchdog interval the declarer paid.
+        """
+        abort = self.device.abort
+        if abort is None or not abort.enabled or not abort.poisoned:
+            return
+        raise self._attach_flight_dump(
+            RankFailureError(
+                kind=kind.value,
+                ranks=self.ranks,
+                rank=self.global_rank,
+                failed_ranks=abort.failed_ranks(),
+                detection_s=abort.detection_s(),
+            )
+        )
+
+    def _live_pending(self) -> int:
+        """Pending ops the CPU clock has not yet observed complete."""
+        now = self.device.cpu_time()
+        return sum(
+            1
+            for _, e in self._pending_ops.values()
+            if e.time is None or e.time > now
+        )
+
+    def _injector_seq(self) -> int:
+        injector = self.device.fault_injector
+        if injector is None:
+            return max(self.collective_count, 0)
+        # on_collective already advanced the counter for this launch.
+        return max(injector.collective_seq(self.global_rank) - 1, 0)
+
+    def _desync_error(
+        self, kind: CollectiveKind, nbytes: int, dtype: str = ""
+    ) -> CollectiveDesyncError:
+        """Injected-desync verdict for the lockstep (symmetric) backend.
+
+        The simulated peers are in lockstep by construction, so the
+        true signature is what every peer reports; the injected rank's
+        divergence is the deterministic perturbation.
+        """
+        seq = self._injector_seq()
+        expected = collective_signature(
+            kind=kind.value, nbytes=nbytes, dtype=dtype, ranks=self.ranks, seq=seq
+        )
+        return self._attach_flight_dump(
+            CollectiveDesyncError(
+                kind=kind.value,
+                ranks=self.ranks,
+                rank=self.global_rank,
+                seq=seq,
+                divergent_ranks=(self.global_rank,),
+                expected=expected,
+                actual=perturb_signature(expected),
+            )
+        )
+
     def _consult_faults(self, kind: CollectiveKind) -> FaultDecision:
         """Ask the installed fault injector about this collective.
 
@@ -188,7 +288,8 @@ class ProcessGroup:
                     attempts=attempt,
                     retryable=False,
                 )
-            backoff = _RETRY_BACKOFF_BASE * (2 ** (attempt - 1))
+            seed = getattr(injector.schedule, "seed", 0)
+            backoff = retry_backoff(seed, self.global_rank, attempt)
             self.device.consume_cpu(backoff)
             self.device.emit_mark(f"retry:{kind.value}#{attempt}")
 
@@ -288,7 +389,10 @@ class ProcessGroup:
         hang (or a stretch past ``timeout``) trips the watchdog, which
         raises :class:`CollectiveTimeoutError` instead of completing.
         """
+        self._abort_check(kind)
         decision = self._consult_faults(kind)
+        if decision.desync:
+            raise self._desync_error(kind, nbytes)
         stream = self._order_after_caller(stream)
         device = self.device
         device.consume_cpu(device.spec.kernel_launch_cpu)
@@ -317,8 +421,28 @@ class ProcessGroup:
             # aborts with a typed error instead of hanging forever.  The
             # flight record stays un-launched — the dump will show this
             # rank issued but never reached the kernel.
+            live_pending = self._live_pending()
             device.advance_cpu_to(max(issue, stream.ready_time) + self.timeout)
             device.emit_mark(f"watchdog:{kind.value}")
+            abort = device.abort
+            if abort is not None and abort.enabled:
+                # Coordinated abort: one watchdog interval covers the
+                # whole teardown — the declaration poisons every group
+                # sharing the world, so pending ops are abandoned, not
+                # drained, and later launches fail fast.
+                abort.declare(
+                    self.global_rank,
+                    sim_time=device.cpu_time(),
+                    detection_s=self.timeout,
+                )
+            elif abort is not None:
+                # Uncoordinated teardown (the negative control): with
+                # no abort propagation, every already-pending collective
+                # must be drained to its own watchdog deadline, one
+                # serial timeout each.
+                for _ in range(live_pending):
+                    device.consume_cpu(self.timeout)
+                    device.emit_mark(f"watchdog-drain:{kind.value}")
             raise self._timeout_error(kind)
         start, end = stream.enqueue(
             duration, issue_time=max(issue, stream.ready_time), label=kind.value

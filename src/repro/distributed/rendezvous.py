@@ -14,7 +14,7 @@ from typing import Callable, Sequence
 
 from repro.errors import DistributedError
 
-__all__ = ["Rendezvous", "RendezvousTimeoutError"]
+__all__ = ["Rendezvous", "RendezvousAbortedError", "RendezvousTimeoutError"]
 
 _DEFAULT_TIMEOUT = 120.0
 
@@ -35,6 +35,25 @@ class RendezvousTimeoutError(DistributedError):
             f"rendezvous timed out after {timeout}s "
             f"(member {member_rank}, generation {generation}); "
             "a peer rank likely failed or diverged"
+        )
+
+
+class RendezvousAbortedError(DistributedError):
+    """A blocked member was woken by a coordinated abort.
+
+    Raised instead of waiting out the full rendezvous deadline when the
+    world's abort latch is poisoned mid-round: the failed peer will
+    never arrive, so the survivor leaves immediately.  The threaded
+    backend converts this into a
+    :class:`repro.errors.RankFailureError`.
+    """
+
+    def __init__(self, member_rank: int, generation: int):
+        self.member_rank = member_rank
+        self.generation = generation
+        super().__init__(
+            f"rendezvous aborted (member {member_rank}, "
+            f"generation {generation}): a peer rank was declared failed"
         )
 
 
@@ -59,6 +78,7 @@ class Rendezvous:
         combiner: Callable[[Sequence], object],
         *,
         timeout: float | None = None,
+        abort=None,
     ):
         """Deposit ``payload``; the last thread runs ``combiner(payloads)``.
 
@@ -67,8 +87,17 @@ class Rendezvous:
         expiry a :class:`RendezvousTimeoutError` is raised and the
         round is left un-completed (the world must be torn down — a
         partial rendezvous cannot be rejoined).
+
+        ``abort`` (a ``repro.resilience.CoordinatedAbort``) makes the
+        wait abort-aware: a mid-round declaration notifies this
+        condition variable and the survivor leaves *immediately* with
+        :class:`RendezvousAbortedError` instead of burning the full
+        deadline — the wall-clock half of coordinated abort.  A round
+        that actually completed wins over a concurrent abort.
         """
         deadline = self.timeout if timeout is None else timeout
+        if abort is not None:
+            abort.register_condition(self._cond)
         with self._cond:
             generation = self._generation
             self._payloads[member_rank] = payload
@@ -82,9 +111,15 @@ class Rendezvous:
                     self._generation += 1
                     self._cond.notify_all()
                 return self._result
-            deadline_result = self._cond.wait_for(
-                lambda: self._generation != generation, timeout=deadline
-            )
-            if not deadline_result:
-                raise RendezvousTimeoutError(member_rank, deadline, generation)
-            return self._result
+
+            def done() -> bool:
+                if self._generation != generation:
+                    return True
+                return abort is not None and abort.enabled and abort.poisoned
+
+            completed = self._cond.wait_for(done, timeout=deadline)
+            if self._generation != generation:
+                return self._result
+            if completed:
+                raise RendezvousAbortedError(member_rank, generation)
+            raise RendezvousTimeoutError(member_rank, deadline, generation)

@@ -16,9 +16,19 @@ import numpy as np
 from repro import dtypes
 from repro.cuda.stream import Stream
 from repro.distributed.process_group import ProcessGroup, ReduceOp, Work
-from repro.distributed.rendezvous import Rendezvous, RendezvousTimeoutError
-from repro.errors import DistributedError
+from repro.distributed.rendezvous import (
+    Rendezvous,
+    RendezvousAbortedError,
+    RendezvousTimeoutError,
+)
+from repro.errors import CollectiveDesyncError, DistributedError, RankFailureError
 from repro.hw.comm_model import CollectiveKind
+from repro.resilience.desync import (
+    DesyncVerdict,
+    collective_signature,
+    compare_signatures,
+    perturb_signature,
+)
 from repro.tensor import Tensor
 
 __all__ = ["ThreadedProcessGroup"]
@@ -36,6 +46,11 @@ class ThreadedProcessGroup(ProcessGroup):
     def __init__(self, *, rendezvous: Rendezvous, **kwargs):
         super().__init__(**kwargs)
         self.rendezvous = rendezvous
+        # Per-group launch counter for desync signatures.  Each rank
+        # holds its own group instance, and SPMD programs issue group
+        # collectives in lockstep, so counters agree across ranks
+        # exactly when the program is in sync — which is the check.
+        self._desync_seq = 0
 
     # ------------------------------------------------------------------
     # Core rendezvous-collective template
@@ -48,6 +63,7 @@ class ThreadedProcessGroup(ProcessGroup):
         combine_data,
         stream: Optional[Stream],
         shard_nbytes=None,
+        dtype_name: str = "",
     ) -> tuple[Work, object]:
         """One rendezvous collective, with fault injection and watchdog.
 
@@ -60,23 +76,64 @@ class ThreadedProcessGroup(ProcessGroup):
         and every rank surfaces a typed :class:`CollectiveTimeoutError`
         instead of deadlocking.  Payload combination is untouched by any
         of this: faults change timing, never math.
+
+        With a coordinated-abort latch installed, a hung rank *declares*
+        itself on watchdog expiry: blocked peers wake immediately (the
+        latch notifies the rendezvous condition) and raise
+        :class:`RankFailureError` after charging only the declarer's
+        watchdog interval; later launches fail fast in
+        :meth:`_abort_check`.  With a desync checker installed, every
+        payload carries a ``(kind, nbytes, dtype, group, seq)``
+        signature, cross-checked before combining.
         """
+        self._abort_check(kind)
+        seq = self._desync_seq
+        self._desync_seq += 1
         decision = self._consult_faults(kind)
         if decision.hang:
             # This rank's collective never completes.  Its own watchdog
             # trips after ``timeout`` simulated seconds; peers trip
-            # their wall-clock rendezvous deadline below.
+            # their wall-clock rendezvous deadline below — or, with
+            # coordinated abort, wake on this declaration instead.
             self.device.advance_cpu_to(self.device.cpu_time() + self.timeout)
             self.device.emit_mark(f"watchdog:{kind.value}")
+            abort = self.device.abort
+            if abort is not None and abort.enabled:
+                abort.declare(
+                    self.global_rank,
+                    sim_time=self.device.cpu_time(),
+                    detection_s=self.timeout,
+                )
             raise self._timeout_error(kind)
         stream = self._order_after_caller(stream)
         device = self.device
         device.consume_cpu(device.spec.kernel_launch_cpu)
         local_ready = max(device.cpu_time(), stream.ready_time) + decision.delay_s
+        signature = None
+        if device.desync_checker:
+            signature = collective_signature(
+                kind=kind.value,
+                nbytes=nbytes,
+                dtype=dtype_name,
+                ranks=self.ranks,
+                seq=seq,
+            )
+            if decision.desync:
+                signature = perturb_signature(signature)
+        elif decision.desync:
+            # Negative control without the checker installed: the
+            # divergence is known only locally, so surface it directly
+            # (a real deployment would deadlock here instead).
+            raise self._desync_error(kind, nbytes, dtype_name)
 
         def combiner(payloads):
-            times = [t for t, _ in payloads]
-            datas = [d for _, d in payloads]
+            times = [t for t, _, _ in payloads]
+            sigs = [s for _, _, s in payloads]
+            if all(s is not None for s in sigs):
+                verdict = compare_signatures(sigs)
+                if verdict is not None:
+                    return (max(times), verdict)
+            datas = [d for _, d, _ in payloads]
             combined = combine_data(datas) if combine_data is not None else None
             return (max(times), combined)
 
@@ -99,11 +156,37 @@ class ThreadedProcessGroup(ProcessGroup):
             )
         try:
             start, combined = self.rendezvous.exchange(
-                self.rank, (local_ready, data), combiner, timeout=self.timeout
+                self.rank,
+                (local_ready, data, signature),
+                combiner,
+                timeout=self.timeout,
+                abort=device.abort,
             )
-        except RendezvousTimeoutError:
+        except RendezvousAbortedError:
+            # A peer's watchdog declared a failure mid-round: leave
+            # immediately (wall clock) and charge the simulated clock
+            # only up to the declaration point — the whole group pays
+            # ~one watchdog interval total, not one per survivor.
+            abort = device.abort
+            device.emit_mark(f"abort:{kind.value}")
+            device.advance_cpu_to(max(device.cpu_time(), abort.declared_time()))
+            raise self._attach_flight_dump(
+                RankFailureError(
+                    kind=kind.value,
+                    ranks=self.ranks,
+                    rank=self.global_rank,
+                    failed_ranks=abort.failed_ranks(),
+                    detection_s=abort.detection_s(),
+                )
+            ) from None
+        except RendezvousTimeoutError as err:
+            # Uncoordinated fallback: this survivor burned the full
+            # deadline on its own watchdog.
             device.emit_mark(f"watchdog:{kind.value}")
-            raise self._timeout_error(kind) from None
+            device.advance_cpu_to(device.cpu_time() + self.timeout)
+            raise self._timeout_error(kind) from err
+        if isinstance(combined, DesyncVerdict):
+            raise self._verdict_error(kind, combined)
         duration = self._collective_duration(kind, nbytes, shard_nbytes)
         duration *= decision.duration_factor
         launch_start, launch_end = stream.enqueue(duration, issue_time=start, label=kind.value)
@@ -115,6 +198,29 @@ class ThreadedProcessGroup(ProcessGroup):
         event = stream.record_event()
         token = self._track_launch(kind, event)
         return Work(event, on_complete=lambda: self._retire_op(token)), combined
+
+    def _verdict_error(
+        self, kind: CollectiveKind, verdict: DesyncVerdict
+    ) -> CollectiveDesyncError:
+        """Convert a cross-rank signature verdict into a typed error."""
+        divergent_global = tuple(
+            self.ranks[m] for m in verdict.divergent_members
+        )
+        if self.rank in verdict.divergent_members:
+            actual = verdict.actual_for(self.rank)
+        else:
+            actual = verdict.actual_for(verdict.divergent_members[0])
+        return self._attach_flight_dump(
+            CollectiveDesyncError(
+                kind=kind.value,
+                ranks=self.ranks,
+                rank=self.global_rank,
+                seq=verdict.expected[4],
+                divergent_ranks=divergent_global,
+                expected=verdict.expected,
+                actual=actual,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Collectives
@@ -129,6 +235,7 @@ class ThreadedProcessGroup(ProcessGroup):
             _payload_array(input),
             _concat_or_none,
             stream,
+            dtype_name=input.dtype.name,
         )
         if gathered is not None and output.is_materialized:
             output._np.reshape(-1)[...] = dtypes.quantize(gathered, output.dtype)
@@ -148,7 +255,12 @@ class ThreadedProcessGroup(ProcessGroup):
             return total
 
         work, reduced = self._run(
-            CollectiveKind.REDUCE_SCATTER, nbytes, _payload_array(input), combine, stream
+            CollectiveKind.REDUCE_SCATTER,
+            nbytes,
+            _payload_array(input),
+            combine,
+            stream,
+            dtype_name=input.dtype.name,
         )
         if reduced is not None and output.is_materialized:
             shard = reduced[self.rank * output.numel : (self.rank + 1) * output.numel]
@@ -168,7 +280,12 @@ class ThreadedProcessGroup(ProcessGroup):
             return list(datas)  # keep per-rank arrays; sliced per pair below
 
         work, per_rank = self._run(
-            CollectiveKind.ALL_GATHER_BASE, nbytes, data, combine, stream
+            CollectiveKind.ALL_GATHER_BASE,
+            nbytes,
+            data,
+            combine,
+            stream,
+            dtype_name=pairs[0][1].dtype.name,
         )
         if per_rank is not None:
             offset = 0
@@ -202,7 +319,12 @@ class ThreadedProcessGroup(ProcessGroup):
             return total
 
         work, reduced = self._run(
-            CollectiveKind.REDUCE_SCATTER, nbytes, data, combine, stream
+            CollectiveKind.REDUCE_SCATTER,
+            nbytes,
+            data,
+            combine,
+            stream,
+            dtype_name=pairs[0][1].dtype.name,
         )
         if reduced is not None:
             offset = 0
@@ -243,7 +365,13 @@ class ThreadedProcessGroup(ProcessGroup):
             return total
 
         work, reduced = self._run(
-            kind, nbytes, _payload_array(input), combine, stream, shard_nbytes=shard_nbytes
+            kind,
+            nbytes,
+            _payload_array(input),
+            combine,
+            stream,
+            shard_nbytes=shard_nbytes,
+            dtype_name=input.dtype.name,
         )
         if reduced is not None and output.is_materialized:
             shard = reduced[offset : offset + output.numel]
@@ -265,7 +393,12 @@ class ThreadedProcessGroup(ProcessGroup):
             return total
 
         work, reduced = self._run(
-            CollectiveKind.ALL_REDUCE, nbytes, _payload_array(tensor), combine, stream
+            CollectiveKind.ALL_REDUCE,
+            nbytes,
+            _payload_array(tensor),
+            combine,
+            stream,
+            dtype_name=tensor.dtype.name,
         )
         if reduced is not None and tensor.is_materialized:
             tensor._np.reshape(-1)[...] = dtypes.quantize(reduced, tensor.dtype)
@@ -282,7 +415,12 @@ class ThreadedProcessGroup(ProcessGroup):
             return datas[src_index]
 
         work, data = self._run(
-            CollectiveKind.BROADCAST, nbytes, _payload_array(tensor), combine, stream
+            CollectiveKind.BROADCAST,
+            nbytes,
+            _payload_array(tensor),
+            combine,
+            stream,
+            dtype_name=tensor.dtype.name,
         )
         if data is not None and tensor.is_materialized:
             tensor._np.reshape(-1)[...] = dtypes.quantize(data, tensor.dtype)
@@ -304,7 +442,13 @@ class ThreadedProcessGroup(ProcessGroup):
             return list(datas)
 
         work, shards = self._run(
-            kind, nbytes, _payload_array(input), combine, stream, shard_nbytes=shard_nbytes
+            kind,
+            nbytes,
+            _payload_array(input),
+            combine,
+            stream,
+            shard_nbytes=shard_nbytes,
+            dtype_name=input.dtype.name,
         )
         if shards is not None:
             for out, shard in zip(outputs, shards):
@@ -329,13 +473,26 @@ class ThreadedProcessGroup(ProcessGroup):
                 result = sum(values)
             return (max(times), result)
 
+        self._abort_check(CollectiveKind.ALL_REDUCE)
         try:
             start, result = self.rendezvous.exchange(
                 self.rank, (self.device.cpu_time(), float(value)), combiner,
                 timeout=self.timeout,
+                abort=self.device.abort,
             )
-        except RendezvousTimeoutError:
-            raise self._timeout_error(CollectiveKind.ALL_REDUCE) from None
+        except RendezvousAbortedError:
+            abort = self.device.abort
+            raise self._attach_flight_dump(
+                RankFailureError(
+                    kind=CollectiveKind.ALL_REDUCE.value,
+                    ranks=self.ranks,
+                    rank=self.global_rank,
+                    failed_ranks=abort.failed_ranks(),
+                    detection_s=abort.detection_s(),
+                )
+            ) from None
+        except RendezvousTimeoutError as err:
+            raise self._timeout_error(CollectiveKind.ALL_REDUCE) from err
         self.device.advance_cpu_to(start + self.comm_model.launch_overhead)
         return result
 

@@ -10,6 +10,8 @@ __all__ = [
     "CollectiveError",
     "CollectiveTimeoutError",
     "CollectiveFailedError",
+    "RankFailureError",
+    "CollectiveDesyncError",
     "RankCrashedError",
     "FsdpError",
     "ShardingError",
@@ -111,6 +113,84 @@ class CollectiveFailedError(CollectiveError):
         super().__init__(
             f"collective {kind!r} on ranks {self.ranks} failed on rank {rank} "
             f"after {attempts} attempt(s) ({flavour})"
+        )
+
+
+class RankFailureError(CollectiveError):
+    """A peer rank was declared dead and the communicator was aborted.
+
+    Mirrors NCCL's communicator abort: once any rank's watchdog (or
+    health lease) declares a peer failed, the whole communicator is
+    poisoned — in-flight collectives on every surviving rank wake
+    immediately and subsequently issued collectives fail fast, instead
+    of each survivor serially burning a full watchdog timeout per
+    pending op.  Names the dead rank(s) so the controller can plan a
+    targeted recovery (e.g. peer healing of exactly those ranks).
+    """
+
+    def __init__(
+        self,
+        *,
+        kind: str,
+        ranks: tuple,
+        rank: int,
+        failed_ranks: tuple,
+        detection_s: float = 0.0,
+    ):
+        self.kind = kind
+        self.ranks = tuple(ranks)
+        self.rank = rank
+        self.failed_ranks = tuple(sorted(failed_ranks))
+        self.detection_s = detection_s
+        # Filled by the process group when a flight recorder is
+        # installed (same channel as CollectiveTimeoutError).
+        self.flight_dump = None
+        noun = "rank" if len(self.failed_ranks) == 1 else "ranks"
+        super().__init__(
+            f"collective {kind!r} on ranks {self.ranks} aborted on rank "
+            f"{rank}: {noun} {self.failed_ranks} declared failed "
+            f"(coordinated abort, detected in {detection_s:g}s)"
+        )
+
+
+class CollectiveDesyncError(CollectiveError):
+    """Cross-rank collective signature mismatch (desynchronized ranks).
+
+    The pre-launch desync check exchanges a per-collective signature
+    ``(kind, nbytes, dtype, group ranks, seq)`` across the group —
+    the TORCH_DISTRIBUTED_DEBUG=DETAIL analog.  A mismatch means the
+    SPMD program diverged (conditional collective, shape drift,
+    mismatched wrapping); launching would deadlock or silently corrupt
+    data, so the group raises instead, naming the divergent ranks and
+    both signatures.
+    """
+
+    def __init__(
+        self,
+        *,
+        kind: str,
+        ranks: tuple,
+        rank: int,
+        seq: int,
+        divergent_ranks: tuple,
+        expected: tuple,
+        actual: tuple,
+    ):
+        self.kind = kind
+        self.ranks = tuple(ranks)
+        self.rank = rank
+        self.seq = seq
+        self.divergent_ranks = tuple(sorted(divergent_ranks))
+        self.expected = tuple(expected)
+        self.actual = tuple(actual)
+        # Filled by the process group when a flight recorder is
+        # installed.
+        self.flight_dump = None
+        noun = "rank" if len(self.divergent_ranks) == 1 else "ranks"
+        super().__init__(
+            f"collective desync at seq {seq} on ranks {self.ranks}: "
+            f"{noun} {self.divergent_ranks} diverged "
+            f"(expected signature {self.expected!r}, got {self.actual!r})"
         )
 
 

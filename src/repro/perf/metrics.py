@@ -213,6 +213,18 @@ class PerfResult:
     recoveries: int = 0
     recovered_iterations: int = 0
     recovery_overhead_s: float = 0.0
+    #: Simulated fault-to-detection latency (watchdog interval, abort
+    #: declaration, or health-probe period), reported separately from
+    #: ``recovery_overhead_s`` so detection tuning and restore tuning
+    #: can be read independently.
+    detection_s: float = 0.0
+    #: Checkpoint-free peer-healing accounting (``recovery="heal"``):
+    #: simulated seconds spent pulling the failed rank's shards from a
+    #: replicate-group peer, how many ranks were healed that way, and
+    #: how many failures had to fall back to a checkpoint restore.
+    heal_s: float = 0.0
+    healed_ranks: int = 0
+    heal_fallbacks: int = 0
     #: Checkpointing accounting (elastic runs with a checkpoint writer).
     #: ``checkpoint_save_s`` is issue→durable wall time summed over
     #: saves; ``checkpoint_stall_s`` is the part the training loop
@@ -283,8 +295,15 @@ class PerfResult:
             text += (
                 f"  faults={self.faults_injected} recov={self.recoveries}"
                 f"/{self.recovered_iterations}it"
+                f" det={self.detection_s * 1e3:.1f}ms"
                 f" ovh={self.recovery_overhead_s * 1e3:.1f}ms"
             )
+            if self.healed_ranks or self.heal_fallbacks:
+                text += (
+                    f" heal={self.healed_ranks}"
+                    f"/{self.heal_s * 1e3:.1f}ms"
+                    f" fallback={self.heal_fallbacks}"
+                )
         if self.checkpoint_saves:
             text += (
                 f"  ckpt={self.checkpoint_saves}"

@@ -29,6 +29,7 @@ from repro.errors import (
     DistributedError,
     OutOfMemoryError,
     RankCrashedError,
+    RankFailureError,
 )
 from repro.fsdp import (
     BackwardPrefetch,
@@ -41,6 +42,12 @@ from repro.hw.specs import ClusterTopology
 from repro.nn.module import Module
 from repro.optim import Adam, SGD
 from repro.perf.metrics import GiB, PerfResult
+from repro.resilience import (
+    DEFAULT_HEALTH_PROBE_S,
+    PEER_HEAL_BANDWIDTH,
+    HealContext,
+    payload_nbytes,
+)
 from repro.tensor import Tensor
 
 __all__ = [
@@ -58,6 +65,7 @@ LossFn = Callable[[Module, Device], "object"]
 #: the respawned world restores from an older verified-good iteration.
 RECOVERABLE_ERRORS = (
     RankCrashedError,
+    RankFailureError,
     CollectiveTimeoutError,
     CollectiveFailedError,
     CheckpointCorruptionError,
@@ -133,6 +141,19 @@ class SimConfig:
     #: Recover from rank failures by rewinding to the latest checkpoint
     #: instead of propagating the error.
     elastic: bool = False
+    #: Elastic recovery mode: "restore" rewinds every rank to the latest
+    #: checkpoint; "heal" (hybrid sharding only) restores the failed
+    #: rank's shards from a surviving replicate-group peer at link
+    #: bandwidth — survivors keep their live state and only the
+    #: interrupted iteration is replayed.  Non-hybrid strategies and
+    #: checkpoint-corruption failures fall back to "restore" (counted in
+    #: ``PerfResult.heal_fallbacks``).
+    recovery: str = "restore"
+    #: Install the coordinated-abort latch: the first watchdog to
+    #: declare a failure poisons every group, so survivors stall for
+    #: ~one watchdog interval instead of draining pending collectives
+    #: serially.  ``False`` is the uncoordinated negative control.
+    coordinated_abort: bool = True
     #: Sharded-checkpoint cadence for the elastic loop (iterations).
     checkpoint_every: int = 1
     #: Snapshot shards on a dedicated side stream and commit them with a
@@ -442,6 +463,23 @@ def _restore_cost_s(wrapped: Module, optimizer) -> float:
     return _checkpoint_nbytes(wrapped, optimizer) / CHECKPOINT_RESTORE_BANDWIDTH
 
 
+def _detection_latency(failure: BaseException) -> float:
+    """Simulated time between the fault and the job *knowing* about it.
+
+    A hang is noticed by the collective watchdog (one timeout interval,
+    or the coordinated abort's declared detection time); a silent crash
+    by the out-of-band elastic-agent health probe; a corrupted
+    checkpoint surfaces synchronously at load and costs nothing extra.
+    """
+    if isinstance(failure, RankFailureError):
+        return failure.detection_s
+    if isinstance(failure, CollectiveTimeoutError):
+        return failure.timeout
+    if isinstance(failure, RankCrashedError):
+        return DEFAULT_HEALTH_PROBE_S
+    return 0.0
+
+
 def simulate_training(config: SimConfig) -> PerfResult:
     """Simulate a few training iterations; returns steady-state metrics.
 
@@ -465,6 +503,7 @@ def simulate_training(config: SimConfig) -> PerfResult:
         capacity=config.capacity,
         fault_injector=injector,
         collective_timeout=config.collective_timeout,
+        coordinated_abort=config.coordinated_abort,
     )
     device = ctx.device
     session = None
@@ -564,7 +603,7 @@ def simulate_training(config: SimConfig) -> PerfResult:
                             iteration=completed,
                             nbytes=_checkpoint_nbytes(wrapped, optimizer),
                         )
-            except RECOVERABLE_ERRORS:
+            except RECOVERABLE_ERRORS as failure:
                 result.recoveries += 1
                 if not config.elastic or result.recoveries > config.max_recoveries:
                     raise
@@ -574,8 +613,49 @@ def simulate_training(config: SimConfig) -> PerfResult:
                 if runtime is not None:
                     runtime.reset_after_failure()
                 optimizer.zero_grad()
+                detection = _detection_latency(failure)
+                if isinstance(failure, RankCrashedError):
+                    # The death itself is silent; the health probe's
+                    # interval passes before the controller reacts.
+                    device.consume_cpu(detection)
+                result.detection_s += detection
+                if device.abort is not None:
+                    # Clear the poisoned latch so the recovered world's
+                    # collectives stop failing fast.
+                    device.abort.reset()
                 crash_time = device.now()
                 device.synchronize()
+                heal = (
+                    config.recovery == "heal"
+                    and config.parallelism == "fsdp"
+                    and config.sharding_strategy.is_hybrid
+                    and not isinstance(failure, CheckpointCorruptionError)
+                )
+                if config.recovery == "heal" and not heal:
+                    result.heal_fallbacks += 1
+                if heal:
+                    # Checkpoint-free peer heal (hybrid sharding): the
+                    # replacement rank pulls its shards + optimizer
+                    # state from a replicate-group peer at link
+                    # bandwidth; survivors keep their live state, so
+                    # only the interrupted iteration is replayed.
+                    wasted_since = iteration_started.get(completed)
+                    if wasted_since is not None:
+                        result.recovery_overhead_s += max(
+                            0.0, device.now() - wasted_since - detection
+                        )
+                    heal_s = _checkpoint_nbytes(wrapped, optimizer) / PEER_HEAL_BANDWIDTH
+                    if session is not None:
+                        with session.scoped("heal:peer-restore"):
+                            device.consume_cpu(heal_s)
+                    else:
+                        device.consume_cpu(heal_s)
+                    device.emit_mark("heal:peer-restore")
+                    result.heal_s += heal_s
+                    result.healed_ranks += 1
+                    result.recovery_overhead_s += heal_s
+                    iteration_started.pop(completed, None)
+                    continue
                 # An async save still draining at crash time is lost:
                 # rewind to the newest *durably committed* checkpoint,
                 # not the newest issued one.
@@ -585,14 +665,20 @@ def simulate_training(config: SimConfig) -> PerfResult:
                     rewind = last_checkpoint
                 wasted_since = iteration_started.get(rewind)
                 if wasted_since is not None:
-                    result.recovery_overhead_s += device.now() - wasted_since
+                    result.recovery_overhead_s += max(
+                        0.0, device.now() - wasted_since - detection
+                    )
                 restore = _restore_cost_s(wrapped, optimizer)
                 verify = (
                     _checkpoint_nbytes(wrapped, optimizer)
                     * config.world_size
                     / CHECKPOINT_VERIFY_BANDWIDTH
                 )
-                device.consume_cpu(verify + restore)
+                if session is not None:
+                    with session.scoped("recovery:restore"):
+                        device.consume_cpu(verify + restore)
+                else:
+                    device.consume_cpu(verify + restore)
                 result.checkpoint_load_s += restore
                 result.checkpoint_verify_s += verify
                 result.recovery_overhead_s += verify + restore
@@ -778,6 +864,61 @@ class ElasticResult:
     #: The checkpoint store the run used (inspectable: quarantined
     #: iterations, storage byte counters, committed manifests).
     store: Optional[object] = None
+    #: Recovery mode the run was launched with ("restore" or "heal").
+    recovery: str = "restore"
+    #: Simulated fault-to-detection latency summed over restarts.
+    detection_s: float = 0.0
+    #: Simulated seconds reloading + verifying checkpoints on restarts.
+    restore_s: float = 0.0
+    #: Simulated seconds pulling failed ranks' shards from replicate
+    #: peers (``recovery="heal"``).
+    heal_s: float = 0.0
+    #: Estimated simulated seconds re-executing recovered iterations.
+    replay_s: float = 0.0
+    #: One entry per healed restart: the tuple of ranks peer-restored.
+    healed_ranks: list = field(default_factory=list)
+    #: Restarts where healing was requested but had to fall back to a
+    #: checkpoint restore (no surviving replica, shrink/grow restart,
+    #: or a corrupted-checkpoint failure).
+    heal_fallbacks: int = 0
+    #: The typed cause of each restart, in order (e.g. a
+    #: RankCrashedError, or a CollectiveTimeoutError whose __cause__
+    #: chains the rendezvous diagnostics).
+    failures: list = field(default_factory=list)
+
+    @property
+    def recovery_overhead_s(self) -> float:
+        """Total simulated recovery cost: detect + restore/heal + replay."""
+        return self.detection_s + self.restore_s + self.heal_s + self.replay_s
+
+
+def _load_heal_payload(wrapped: Module, opt, payload: dict) -> None:
+    """Restore one rank's state from a heal deposit (same layout).
+
+    Deposits are :func:`repro.checkpoint.snapshot_payload` dicts; heal
+    incarnations keep the world size and wrap granularity, so the
+    same-layout sharded loaders apply directly (no resharding pass).
+    """
+    from repro.autograd.grad_mode import no_grad
+    from repro.fsdp.optim_state import load_sharded_optim_state_dict
+    from repro.fsdp.state_dict import _join, _module_fqns, load_sharded_state_dict
+
+    load_sharded_state_dict(wrapped, payload["model"])
+    if opt is not None and "optim" in payload:
+        load_sharded_optim_state_dict(wrapped, opt, payload["optim"])
+    buffers = payload.get("buffers")
+    if buffers:
+        fqns = _module_fqns(wrapped)
+        with no_grad():
+            for module in wrapped.modules():
+                if id(module) not in fqns:
+                    continue
+                for name, buffer in module._buffers.items():
+                    if buffer is None:
+                        continue
+                    value = buffers.get(_join(fqns[id(module)], name))
+                    if value is not None:
+                        buffer.copy_(value)
 
 
 def train_elastic(
@@ -797,6 +938,9 @@ def train_elastic(
     topology: Optional[ClusterTopology] = None,
     store: Optional[object] = None,
     restart_world_size: Optional[Callable[[int, int], int]] = None,
+    recovery: str = "restore",
+    coordinated_abort=True,
+    desync_check: bool = False,
 ) -> ElasticResult:
     """Run a real-data threaded training loop with elastic recovery.
 
@@ -822,6 +966,17 @@ def train_elastic(
     function of its arguments for post-recovery losses to match an
     uninterrupted run (property-tested in
     ``tests/test_elastic_recovery.py``).
+
+    ``recovery="heal"`` enables checkpoint-free peer healing: every
+    rank deposits its (hybrid-replicated) shards into an in-memory
+    :class:`repro.resilience.HealContext` at each iteration boundary —
+    free, the replicate-group peers already hold those bytes — and on a
+    failure the controller plans a targeted restore where survivors
+    keep their live state and each failed rank adopts a surviving
+    replica peer's deposit at link bandwidth.  When no replica of a
+    failed rank survives (or the restart resizes the world, or the
+    failure is a corrupted checkpoint) the restart falls back to the
+    checkpoint store and ``heal_fallbacks`` is incremented.
     """
     from repro import checkpoint as ckpt
     from repro.autograd.grad_mode import no_grad
@@ -833,12 +988,20 @@ def train_elastic(
         store = ckpt.DistributedCheckpointStore(injector=injector)
     elif injector is not None and store.storage.injector is None:
         store.storage.injector = injector
+    heal_ctx = HealContext() if recovery == "heal" else None
+    # Cross-incarnation control state: the heal plan computed by the
+    # controller for the next spawn, and a lock for result accounting
+    # written from rank threads.
+    control: dict = {"heal_plan": None}
+    acct_lock = threading.Lock()
+    iteration_times: list[float] = []
     # Template weights so every (re)spawned incarnation starts from the
     # same initialization regardless of ambient RNG state.
     template = build_model()
     template_arrays = [p.detach().numpy().copy() for p in template.parameters()]
 
     def worker(rank: int):
+        device = dist.get_device()
         model = build_model()
         with no_grad():
             for param, src in zip(model.parameters(), template_arrays):
@@ -859,14 +1022,51 @@ def train_elastic(
                 units=ckpt.unit_layouts(wrapped),
             )
 
-        start = store.latest()
-        if start is None:
-            start = 0
-            save_checkpoint(0)
+        def deposit(tag: int) -> None:
+            # Heal deposits are free in simulated time: under hybrid
+            # sharding the replicate-group peers already hold these
+            # bytes, the context only *indexes* them for the planner.
+            if heal_ctx is not None:
+                heal_ctx.deposit(
+                    rank, tag, ckpt.snapshot_payload(wrapped, opt, copy=True)
+                )
+
+        plan = control["heal_plan"]
+        if plan is not None:
+            # Peer heal: survivors resume from their own (live) state;
+            # each failed rank's replacement adopts a surviving replica
+            # peer's deposit, paying the shard transfer at link speed.
+            start = plan.tag
+            donor = plan.sources.get(rank, rank)
+            _load_heal_payload(wrapped, opt, heal_ctx.deposit_for(donor).payload)
+            if rank in plan.sources:
+                transfer_s = plan.transfer_nbytes(rank) / PEER_HEAL_BANDWIDTH
+                device.consume_cpu(transfer_s)
+                device.emit_mark("heal:peer-restore")
+                with acct_lock:
+                    result.heal_s += transfer_s
         else:
-            manifest, payloads = store.read_all(start)
-            ckpt.load_resharded(wrapped, opt, manifest=manifest, payloads=payloads)
+            start = store.latest()
+            if start is None:
+                start = 0
+                save_checkpoint(0)
+            else:
+                manifest, payloads = store.read_all(start)
+                ckpt.load_resharded(wrapped, opt, manifest=manifest, payloads=payloads)
+                nbytes = payload_nbytes(
+                    ckpt.snapshot_payload(wrapped, opt, copy=False)
+                )
+                restore_s = (
+                    nbytes / CHECKPOINT_RESTORE_BANDWIDTH
+                    + nbytes * world / CHECKPOINT_VERIFY_BANDWIDTH
+                )
+                device.consume_cpu(restore_s)
+                if rank == 0:
+                    with acct_lock:
+                        result.restore_s += restore_s
+        deposit(start)
         for iteration in range(start, iterations):
+            iter_begin = device.now()
             if injector is not None:
                 injector.begin_iteration(rank, iteration)
             loss = make_loss(wrapped, rank, iteration)
@@ -881,8 +1081,12 @@ def train_elastic(
             done = iteration + 1
             if checkpoint_every and done % checkpoint_every == 0:
                 save_checkpoint(done)
+            deposit(done)
+            if rank == 0:
+                with acct_lock:
+                    iteration_times.append(device.now() - iter_begin)
 
-    result = ElasticResult(injector=injector, store=store)
+    result = ElasticResult(injector=injector, store=store, recovery=recovery)
     result.world_sizes.append(world_size)
     all_losses: dict[int, float] = {}
     while True:
@@ -893,18 +1097,44 @@ def train_elastic(
                 topology=topology,
                 fault_injector=injector,
                 collective_timeout=collective_timeout,
+                coordinated_abort=coordinated_abort,
+                desync_check=desync_check,
             )
         except DistributedError as exc:
-            recoverable = isinstance(exc.__cause__, RECOVERABLE_ERRORS)
+            cause = exc.__cause__
+            recoverable = isinstance(cause, RECOVERABLE_ERRORS)
             if not recoverable or result.restarts >= max_restarts:
                 raise
             result.restarts += 1
+            result.failures.append(cause)
+            result.detection_s += _detection_latency(cause)
+            plan = None
+            if heal_ctx is not None:
+                failed = tuple(getattr(exc, "failed_ranks", ()) or ())
+                # Whatever the failed ranks held is gone; survivors'
+                # deposits stay live for planning.
+                heal_ctx.invalidate(failed)
+                if (
+                    failed
+                    and restart_world_size is None
+                    and not isinstance(cause, CheckpointCorruptionError)
+                ):
+                    plan = heal_ctx.plan(failed, world_size)
+                if plan is None:
+                    # No surviving replica (or a storage failure): fall
+                    # back to the checkpoint store, and drop deposits
+                    # that would now be *ahead* of the restored state.
+                    result.heal_fallbacks += 1
+                    heal_ctx.clear()
+                else:
+                    result.healed_ranks.append(failed)
+            control["heal_plan"] = plan
             if injector is not None:
                 injector.advance_generation()
                 furthest = max(
                     injector.iteration_of(rank) for rank in range(world_size)
                 )
-                rewind = store.latest() or 0
+                rewind = plan.tag if plan is not None else (store.latest() or 0)
                 result.recovered_iterations += max(0, furthest - rewind)
             if restart_world_size is not None:
                 world_size = max(1, int(restart_world_size(result.restarts, world_size)))
@@ -912,6 +1142,10 @@ def train_elastic(
             continue
         break
     result.losses = [all_losses.get(i) for i in range(iterations)]
+    if iteration_times and result.recovered_iterations:
+        result.replay_s = result.recovered_iterations * (
+            sum(iteration_times) / len(iteration_times)
+        )
     if injector is not None:
         result.faults_injected = len(injector.injected)
     return result

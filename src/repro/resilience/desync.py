@@ -1,0 +1,97 @@
+"""Pre-launch collective desync detection (DEBUG=DETAIL analog).
+
+Every collective launch computes a local *signature*
+``(kind, nbytes, dtype, group ranks, seq)``; the threaded backend
+piggybacks signatures on the rendezvous payload and compares them
+before combining data.  A mismatch means the SPMD program diverged —
+some rank took a different branch, produced a different shape, or fell
+a collective behind — and actually launching would deadlock (mismatched
+participation) or silently corrupt data (mismatched reduction sizes).
+The check converts that latent hang into an immediate
+:class:`repro.errors.CollectiveDesyncError` naming the divergent ranks
+and both signatures.
+
+The expected signature is the majority signature across members,
+tie-broken toward the lowest member rank; the divergent set is every
+member whose signature differs from it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "DesyncVerdict",
+    "collective_signature",
+    "compare_signatures",
+    "perturb_signature",
+]
+
+
+def collective_signature(
+    *, kind: str, nbytes: int, dtype: str, ranks: tuple, seq: int
+) -> tuple:
+    return (kind, int(nbytes), dtype, tuple(ranks), int(seq))
+
+
+def perturb_signature(sig: tuple) -> tuple:
+    """Deterministic divergent variant of a signature.
+
+    Used by the ``FaultKind.DESYNC`` negative control: the injected
+    rank reports a signature one collective *behind* (seq-1 … the
+    classic missed-conditional-collective divergence) with a doubled
+    byte count, as if it were still replaying the previous launch with
+    a different shape.
+    """
+    kind, nbytes, dtype, ranks, seq = sig
+    return (kind, nbytes * 2, dtype, ranks, max(seq - 1, 0))
+
+
+@dataclass(frozen=True)
+class DesyncVerdict:
+    """Cross-member comparison result for one collective launch."""
+
+    expected: tuple
+    actual_by_member: tuple  # ((member_rank, signature), ...)
+    divergent_members: tuple  # member ranks whose signature != expected
+
+    def actual_for(self, member: int) -> tuple:
+        for m, sig in self.actual_by_member:
+            if m == member:
+                return sig
+        return self.expected
+
+
+def compare_signatures(
+    signatures: Sequence[tuple],
+) -> DesyncVerdict | None:
+    """Compare one signature per member rank; ``None`` means in sync.
+
+    ``signatures[i]`` is member rank ``i``'s signature.  The expected
+    signature is the most common one; on a tie, the lowest member
+    rank's signature wins (deterministic, and matches the convention
+    that rank 0 defines the program).
+    """
+    if not signatures:
+        return None
+    counts = Counter(signatures)
+    top = max(counts.values())
+    candidates = [s for s, c in counts.items() if c == top]
+    if len(candidates) == 1:
+        expected = candidates[0]
+    else:
+        expected = next(s for s in signatures if s in candidates)
+    divergent = tuple(
+        member for member, sig in enumerate(signatures) if sig != expected
+    )
+    if not divergent:
+        return None
+    return DesyncVerdict(
+        expected=expected,
+        actual_by_member=tuple(
+            (member, sig) for member, sig in enumerate(signatures)
+        ),
+        divergent_members=divergent,
+    )

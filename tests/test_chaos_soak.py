@@ -177,6 +177,90 @@ class TestCompiledTimingOnlyCampaign:
         assert self._run().losses == baseline_losses
 
 
+HEAL_SEEDS = list(range(300, 300 + (_SOAK or 2)))
+
+
+class TestHealCampaign:
+    """Heal lane: randomized crash campaigns under ``recovery="heal"``.
+
+    Hybrid sharding (W=4, F=2) keeps a surviving replicate peer for any
+    single dead rank, so every chaos restart should heal — restoring the
+    failed rank's shards from its peer instead of rewinding the world —
+    and still replay the exact fault-free trajectory bitwise."""
+
+    HEAL_WORLD = 4
+
+    def _wrap(self, model):
+        from repro.fsdp import (
+            FullyShardedDataParallel,
+            ModuleWrapPolicy,
+            ShardingStrategy,
+        )
+
+        return FullyShardedDataParallel(
+            model,
+            auto_wrap_policy=ModuleWrapPolicy({nn.Linear}),
+            sharding_strategy=ShardingStrategy.HYBRID_SHARD,
+            sharding_factor=2,
+        )
+
+    def _run(self, schedule=None, recovery="heal"):
+        repro.manual_seed(1234)
+        return train_elastic(
+            build_model=build_model,
+            make_loss=make_loss,
+            world_size=self.HEAL_WORLD,
+            iterations=ITERS,
+            faults=schedule,
+            checkpoint_every=1,
+            wrap=self._wrap,
+            recovery=recovery,
+        )
+
+    @pytest.fixture(scope="class")
+    def heal_baseline(self):
+        return self._run(recovery="restore").losses
+
+    @pytest.mark.parametrize("seed", TIMING_SEEDS)
+    def test_timing_only_campaign_never_heals(self, seed, heal_baseline):
+        schedule = FaultSchedule.random(
+            seed=seed,
+            world_size=self.HEAL_WORLD,
+            iterations=ITERS,
+            stragglers=1,
+            delays=2,
+            transients=1,
+            max_delay_s=2e-3,
+        )
+        result = self._run(schedule)
+        assert result.restarts == 0
+        assert result.healed_ranks == []
+        assert result.losses == heal_baseline
+
+    @pytest.mark.parametrize("seed", HEAL_SEEDS)
+    def test_crash_campaign_heals_bitwise(self, seed, heal_baseline):
+        schedule = FaultSchedule.random(
+            seed=seed,
+            world_size=self.HEAL_WORLD,
+            iterations=ITERS,
+            stragglers=1,
+            delays=1,
+            transients=1,
+            crashes=1,
+            max_delay_s=2e-3,
+        )
+        assert not schedule.timing_only()
+        result = self._run(schedule)
+        # A single dead rank always has a surviving replicate peer at
+        # F=2: every restart heals, none falls back to the store.
+        assert result.restarts >= 1
+        assert len(result.healed_ranks) == result.restarts
+        assert result.heal_fallbacks == 0
+        assert result.heal_s > 0.0
+        assert result.restore_s == 0.0
+        assert result.losses == heal_baseline
+
+
 SERVE_SEEDS = list(range(200, 200 + (_SOAK or 2)))
 
 

@@ -12,6 +12,7 @@ from repro.errors import (
     CollectiveTimeoutError,
     DistributedError,
     RankCrashedError,
+    RankFailureError,
 )
 from repro.fsdp import FullyShardedDataParallel as FSDP, ModuleWrapPolicy
 from repro.perf.trainer import CheckpointStore, train_elastic
@@ -48,8 +49,52 @@ def run_elastic(schedule=None, iterations=6, **kwargs):
 
 class TestWatchdogThreaded:
     def test_hung_collective_raises_typed_error_on_all_ranks(self):
-        """A hang never deadlocks: every rank gets a CollectiveTimeoutError
-        naming the collective, well inside the 10s budget."""
+        """A hang never deadlocks: the hung rank trips its own watchdog
+        (CollectiveTimeoutError) and, with coordinated abort on by
+        default, every survivor wakes with a RankFailureError naming
+        the hung rank — all well inside the 10s budget."""
+        schedule = FaultSchedule(
+            [FaultEvent(kind=FaultKind.HANG, rank=1, collective_index=2)]
+        )
+        injector = FaultInjector(schedule)
+
+        def worker(rank):
+            model = build_model()
+            wrapped = FSDP(model, auto_wrap_policy=ModuleWrapPolicy({nn.Linear}))
+            try:
+                for iteration in range(3):
+                    loss = make_loss(wrapped, rank, iteration)
+                    loss.backward()
+                    wrapped.zero_grad()
+            except (CollectiveTimeoutError, RankFailureError) as error:
+                return error
+            return None
+
+        start = time.monotonic()
+        results = dist.spawn(
+            worker, WORLD, fault_injector=injector, collective_timeout=0.5
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 10.0
+        hung = results[1]
+        assert isinstance(hung, CollectiveTimeoutError)
+        assert hung.timeout == 0.5
+        assert "timed out" in str(hung)
+        for rank, error in enumerate(results):
+            if rank == 1:
+                continue
+            assert isinstance(error, RankFailureError), error
+            assert error.failed_ranks == (1,)
+            assert error.detection_s == 0.5
+        for error in results:
+            assert error.kind  # names the collective kind
+            assert error.ranks == tuple(range(WORLD))
+            assert error.rank in range(WORLD)
+
+    def test_uncoordinated_hang_times_out_every_rank(self):
+        """Negative control: with coordinated abort disabled, every rank
+        independently burns its own watchdog deadline and reports a
+        CollectiveTimeoutError (the pre-abort semantics)."""
         schedule = FaultSchedule(
             [FaultEvent(kind=FaultKind.HANG, rank=1, collective_index=2)]
         )
@@ -67,18 +112,16 @@ class TestWatchdogThreaded:
                 return error
             return None
 
-        start = time.monotonic()
         results = dist.spawn(
-            worker, WORLD, fault_injector=injector, collective_timeout=0.5
+            worker,
+            WORLD,
+            fault_injector=injector,
+            collective_timeout=0.5,
+            coordinated_abort=False,
         )
-        elapsed = time.monotonic() - start
-        assert elapsed < 10.0
         assert all(isinstance(r, CollectiveTimeoutError) for r in results)
         for error in results:
-            assert error.kind  # names the collective kind
             assert error.ranks == tuple(range(WORLD))
-            assert error.rank in range(WORLD)
-            assert error.pending_ops >= 1
             assert "timed out" in str(error)
 
     def test_crash_propagates_as_typed_cause(self):

@@ -45,12 +45,17 @@ def run_world(recorder, *, schedule=None, collectives=2, hang_at=None, timeout=2
         except CollectiveTimeoutError as error:
             return error
 
+    # Coordinated abort is disabled: this suite checks the *watchdog
+    # timeout* diagnosis path, where every rank independently parks
+    # until its own deadline and surfaces a CollectiveTimeoutError
+    # (the coordinated fast path is covered in test_resilience.py).
     return dist.spawn(
         worker,
         WORLD,
         fault_schedule=schedule,
         flight_recorder=recorder,
         collective_timeout=timeout,
+        coordinated_abort=False,
     )
 
 
